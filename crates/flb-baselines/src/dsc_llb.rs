@@ -1,0 +1,64 @@
+//! DSC-LLB — the multi-step scheduler of the paper's comparison: DSC
+//! clustering followed by LLB cluster mapping.
+
+use crate::dsc;
+use crate::llb::{map_clusters, LlbPriority};
+use flb_graph::TaskGraph;
+use flb_sched::{Machine, Schedule, Scheduler};
+
+/// The composed DSC-LLB multi-step scheduling algorithm.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DscLlb {
+    /// Candidate-priority rule used by the LLB step (see
+    /// [`LlbPriority`] for the paper-wording ambiguity).
+    pub priority: LlbPriority,
+}
+
+impl DscLlb {
+    /// DSC-LLB with the default (greatest-bottom-level) LLB priority.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// DSC-LLB with an explicit LLB priority rule.
+    #[must_use]
+    pub fn with_priority(priority: LlbPriority) -> Self {
+        DscLlb { priority }
+    }
+}
+
+impl Scheduler for DscLlb {
+    fn name(&self) -> &'static str {
+        "DSC-LLB"
+    }
+
+    fn schedule(&self, graph: &TaskGraph, machine: &Machine) -> Schedule {
+        let clustering = dsc::cluster(graph);
+        map_clusters(graph, machine, &clustering, self.priority)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flb_graph::paper::fig1;
+    use flb_sched::validate::validate;
+
+    #[test]
+    fn composed_scheduler_is_valid() {
+        let g = fig1();
+        let s = DscLlb::new().schedule(&g, &Machine::new(2));
+        assert_eq!(validate(&g, &s), Ok(()));
+        assert_eq!(DscLlb::new().name(), "DSC-LLB");
+    }
+
+    #[test]
+    fn scales_with_processors() {
+        let g = flb_graph::gen::stencil(6, 6);
+        let s1 = DscLlb::new().schedule(&g, &Machine::new(1));
+        let s4 = DscLlb::new().schedule(&g, &Machine::new(4));
+        assert_eq!(validate(&g, &s4), Ok(()));
+        assert!(s4.makespan() <= s1.makespan());
+    }
+}

@@ -1,0 +1,76 @@
+//! Baseline scheduling algorithms from the FLB paper's evaluation (§3, §6).
+//!
+//! Everything FLB is compared against, re-implemented from the published
+//! descriptions:
+//!
+//! * [`Etf`] — Earliest Task First (Hwang, Chow, Anger, Lee 1989): the same
+//!   selection criterion as FLB, realised with the exhaustive
+//!   `O(W (E + V) P)` ready-tasks × processors scan;
+//! * [`Mcp`] — Modified Critical Path (Wu & Gajski 1990): static ALAP
+//!   priorities, earliest-start processor; the paper benchmarks the
+//!   lower-cost random-tie-break variant without idle-slot insertion, and
+//!   the original insertion variant is kept as an ablation (A1);
+//! * [`Fcp`] — Fast Critical Path (Rădulescu & van Gemund, ICS 1999):
+//!   static-priority task selection with the two-processor rule (enabling
+//!   processor vs earliest-idle processor);
+//! * [`dsc`] — Dominant Sequence Clustering (Yang & Gerasoulis 1994), the
+//!   clustering step of the multi-step method;
+//! * [`llb`] — List-based Load Balancing (Rădulescu, van Gemund, Lin 1999),
+//!   the cluster-mapping step;
+//! * [`DscLlb`] — the composed multi-step scheduler the paper compares
+//!   against.
+//!
+//! Beyond the paper's own comparison set, two more classics it cites are
+//! provided for the extended experiments:
+//!
+//! * [`Dls`] — Dynamic Level Scheduling (Sih & Lee 1993, the paper's [10]);
+//! * [`Heft`] — Heterogeneous Earliest Finish Time (Topcuoglu et al. 2002),
+//!   the reference algorithm of the related-machines extension (X9);
+//! * [`Hlfet`] — Highest Level First with Estimated Times, the canonical
+//!   static-priority list scheduler;
+//! * [`duplication`] — the task-duplication class (§1's DSH/BTDH/CPFD),
+//!   with its own multi-instance schedule model, validator and a
+//!   critical-parent duplication scheduler.
+//!
+//! All algorithms implement [`flb_sched::Scheduler`] and are
+//! interchangeable:
+//!
+//! ```
+//! use flb_baselines::{Etf, Mcp};
+//! use flb_core::Flb;
+//! use flb_graph::paper::fig1;
+//! use flb_sched::{Machine, Scheduler};
+//!
+//! let g = fig1();
+//! let m = Machine::new(2);
+//! let algorithms: Vec<Box<dyn Scheduler>> =
+//!     vec![Box::new(Flb::default()), Box::new(Etf), Box::new(Mcp::default())];
+//! for a in &algorithms {
+//!     let s = a.schedule(&g, &m);
+//!     assert!(flb_sched::validate::validate(&g, &s).is_ok(), "{}", a.name());
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dls;
+mod dsc_llb;
+mod etf;
+mod fcp;
+mod heft;
+mod hlfet;
+mod mcp;
+
+pub mod dsc;
+pub mod duplication;
+pub mod llb;
+
+pub use dls::Dls;
+pub use dsc_llb::DscLlb;
+pub use etf::Etf;
+pub use fcp::Fcp;
+pub use heft::Heft;
+pub use hlfet::Hlfet;
+pub use llb::LlbPriority;
+pub use mcp::{Mcp, McpTieBreak};

@@ -1,0 +1,38 @@
+//! Criterion bench of the end-to-end pipeline per algorithm: generate-once,
+//! then schedule + validate + simulate — the full path a user of the
+//! library takes. Complements `scheduler_cost` (pure scheduling time) by
+//! including the verification substrates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flb_bench::named_schedulers;
+use flb_graph::costs::CostModel;
+use flb_graph::gen::Family;
+use flb_sched::{validate::validate, Machine};
+use std::hint::black_box;
+
+fn pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    for fam in [Family::Lu, Family::Stencil] {
+        let g = CostModel::paper_default(5.0).apply(&fam.topology(500), 9);
+        let machine = Machine::new(8);
+        for (name, s) in named_schedulers() {
+            group.bench_with_input(
+                BenchmarkId::new(name, fam.name()),
+                &machine,
+                |b, machine| {
+                    b.iter(|| {
+                        let sched = s.schedule(&g, machine);
+                        validate(&g, &sched).expect("valid");
+                        let sim = flb_sim::simulate(&g, &sched).expect("feasible");
+                        black_box(sim.makespan)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, pipeline);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench for Fig. 2: scheduling cost of each algorithm as the
+//! number of processors grows. Uses moderately sized graphs (V ≈ 500) so a
+//! full `cargo bench` stays tractable; the paper-scale numbers come from
+//! `cargo run --release --bin fig2`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flb_bench::named_schedulers;
+use flb_graph::costs::CostModel;
+use flb_graph::gen::Family;
+use flb_sched::Machine;
+use std::hint::black_box;
+
+fn scheduler_cost(c: &mut Criterion) {
+    let topo = Family::Stencil.topology(500);
+    let g = CostModel::paper_default(1.0).apply(&topo, 42);
+
+    let mut group = c.benchmark_group("scheduler_cost");
+    group.sample_size(10);
+    for p in [2usize, 8, 32] {
+        let machine = Machine::new(p);
+        for (name, s) in named_schedulers() {
+            group.bench_with_input(
+                BenchmarkId::new(name, p),
+                &machine,
+                |b, machine| {
+                    b.iter(|| black_box(s.schedule(black_box(&g), machine).makespan()));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scheduler_cost);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Experiment X4 (extension): how much does the paper's contention-free
+//! communication assumption (§2) flatter the schedules?
+//!
+//! Every schedule is replayed on the discrete-event machine twice — under
+//! the paper's model (unlimited concurrent messages) and under the
+//! single-port model (each processor sends one message at a time) — and the
+//! makespan inflation is reported per algorithm and CCR. Algorithms that
+//! aggressively co-locate communicating tasks (DSC-LLB) should inflate
+//! less than processor-greedy ones.
+//!
+//! Run: `cargo run -p flb-bench --release --bin contention [--quick]`
+
+use flb_bench::report::{fmt_ratio, table};
+use flb_bench::{named_schedulers, suite_from_args};
+use flb_sched::Machine;
+use flb_sim::{simulate_with, Contention, SimConfig};
+use flb_workloads::stats::geo_mean;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (spec, quick) = suite_from_args(&args);
+    let suite = spec.generate();
+    let procs: &[usize] = if quick { &[4, 16] } else { &[4, 16, 32] };
+    println!(
+        "Contention study ({} workloads, V ~ {}, P in {procs:?})\n",
+        suite.len(),
+        spec.target_tasks
+    );
+
+    let free_cfg = SimConfig {
+        contention: Contention::None,
+        ..SimConfig::default()
+    };
+    let port_cfg = SimConfig {
+        contention: Contention::OnePort,
+        ..SimConfig::default()
+    };
+
+    let mut rows = Vec::new();
+    for &ccr in &spec.ccrs {
+        for (name, s) in named_schedulers() {
+            let mut inflation = Vec::new();
+            for w in suite.iter().filter(|w| w.ccr == ccr) {
+                for &p in procs {
+                    let sched = s.schedule(&w.graph, &Machine::new(p));
+                    let free = simulate_with(&w.graph, &sched, &free_cfg)
+                        .expect("feasible")
+                        .makespan;
+                    let port = simulate_with(&w.graph, &sched, &port_cfg)
+                        .expect("feasible")
+                        .makespan;
+                    inflation.push(port as f64 / free as f64);
+                }
+            }
+            rows.push(vec![
+                format!("{ccr}"),
+                name.to_string(),
+                fmt_ratio(geo_mean(&inflation)),
+                fmt_ratio(inflation.iter().copied().fold(f64::MIN, f64::max)),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        table(
+            &[
+                "CCR".into(),
+                "algorithm".into(),
+                "mean inflation".into(),
+                "worst".into(),
+            ],
+            &rows
+        )
+    );
+    println!("inflation = one-port makespan / contention-free makespan (1.00 = assumption harmless).");
+}

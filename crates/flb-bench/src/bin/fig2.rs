@@ -1,0 +1,106 @@
+//! Experiment F2: regenerates the paper's Fig. 2 — average scheduling
+//! running time (algorithm cost) versus the number of processors, for MCP,
+//! ETF, DSC-LLB, FCP and FLB on the `V ≈ 2000` workload suite.
+//!
+//! Run: `cargo run -p flb-bench --release --bin fig2` (add `--quick` for a
+//! scaled-down suite). Absolute times depend on the host — the paper used a
+//! Pentium Pro/233 — but the *shape* is the claim: ETF grows steeply with
+//! `P`, MCP moderately, DSC-LLB is `P`-independent, FCP and FLB are flat
+//! and cheapest.
+
+use flb_bench::report::{fmt_seconds, table};
+use flb_bench::{measure_all, suite_from_args};
+use flb_workloads::stats::mean;
+use flb_workloads::PAPER_PROC_COUNTS;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (spec, quick) = suite_from_args(&args);
+    let suite = spec.generate();
+    println!(
+        "Fig. 2: scheduling cost vs P  ({} workloads, V ~ {}, {})",
+        suite.len(),
+        spec.target_tasks,
+        if quick { "quick suite" } else { "paper suite" }
+    );
+
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let ms = measure_all(&suite, &PAPER_PROC_COUNTS, threads);
+    if flb_bench::csv::maybe_write_csv(&args, || {
+        flb_bench::csv::measurements_csv(&suite, &ms)
+    })
+    .expect("writing --csv file")
+    {
+        println!("(raw measurements written to the --csv file)");
+    }
+
+    let names = flb_bench::scheduler_names();
+    let mut header = vec!["P".to_string()];
+    header.extend(names.iter().map(|n| n.to_string()));
+    let mut rows = Vec::new();
+    for &p in &PAPER_PROC_COUNTS {
+        let mut row = vec![p.to_string()];
+        for name in &names {
+            let xs: Vec<f64> = ms
+                .iter()
+                .filter(|m| m.procs == p && m.algorithm == *name)
+                .map(|m| m.seconds)
+                .collect();
+            row.push(fmt_seconds(mean(&xs)));
+        }
+        rows.push(row);
+    }
+    println!("\n{}", table(&header, &rows));
+
+    // The shape claims of §6.1, checked quantitatively.
+    let avg = |name: &str, p: usize| -> f64 {
+        mean(
+            &ms.iter()
+                .filter(|m| m.algorithm == name && m.procs == p)
+                .map(|m| m.seconds)
+                .collect::<Vec<_>>(),
+        )
+    };
+    let p_lo = PAPER_PROC_COUNTS[0];
+    let p_hi = *PAPER_PROC_COUNTS.last().expect("non-empty");
+    println!("shape checks (paper §6.1):");
+    println!(
+        "  ETF cost grows with P:        {:.1}x from P={p_lo} to P={p_hi}  {}",
+        avg("ETF", p_hi) / avg("ETF", p_lo),
+        verdict(avg("ETF", p_hi) > 2.0 * avg("ETF", p_lo))
+    );
+    println!(
+        "  ETF >> FLB at P={p_hi}:            {:.1}x  {}",
+        avg("ETF", p_hi) / avg("FLB", p_hi),
+        verdict(avg("ETF", p_hi) > 5.0 * avg("FLB", p_hi))
+    );
+    // The paper's Fig. 2 shows MCP's cost growing with P while FLB stays
+    // flat (their absolute offset is hardware-dependent: on the paper's
+    // Pentium Pro MCP is 3x FLB at P=32, while modern caches favour MCP's
+    // array scans at these sizes — see EXPERIMENTS.md). The shape claim is
+    // the growth-rate ordering.
+    let mcp_growth = avg("MCP", p_hi) / avg("MCP", p_lo);
+    let flb_growth = avg("FLB", p_hi) / avg("FLB", p_lo);
+    println!(
+        "  MCP cost grows faster than FLB's: {mcp_growth:.1}x vs {flb_growth:.1}x  {}",
+        verdict(mcp_growth > flb_growth)
+    );
+    println!(
+        "  FLB ~ flat in P:              {:.1}x from P={p_lo} to P={p_hi}  {}",
+        avg("FLB", p_hi) / avg("FLB", p_lo),
+        verdict(avg("FLB", p_hi) < 3.0 * avg("FLB", p_lo))
+    );
+    println!(
+        "  FCP ~ FLB at P={p_hi}:             {:.2}x  {}",
+        avg("FCP", p_hi) / avg("FLB", p_hi),
+        verdict(avg("FCP", p_hi) < 3.0 * avg("FLB", p_hi) && avg("FLB", p_hi) < 3.0 * avg("FCP", p_hi).max(1e-12))
+    );
+}
+
+fn verdict(ok: bool) -> &'static str {
+    if ok {
+        "[matches paper]"
+    } else {
+        "[DIVERGES]"
+    }
+}

@@ -1,0 +1,137 @@
+//! Experiment F4 (+X2): regenerates the paper's Fig. 4 — average normalised
+//! schedule lengths (NSL, makespan over MCP's makespan) versus `P`, per
+//! problem family and CCR, for MCP, ETF, DSC-LLB, FCP and FLB — and prints
+//! the §6.2 summary comparisons.
+//!
+//! Run: `cargo run -p flb-bench --release --bin fig4` (add `--quick` for a
+//! scaled-down suite).
+
+use flb_bench::report::{fmt_ratio, table};
+use flb_bench::{measure_all, scheduler_names, suite_from_args, Measurement};
+use flb_graph::gen::Family;
+use flb_workloads::stats::{geo_mean, mean};
+use flb_workloads::{SuiteSpec, PAPER_PROC_COUNTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (mut spec, quick) = suite_from_args(&args);
+    // Fig. 4 plots LU, Stencil and Laplace.
+    if !quick {
+        spec = SuiteSpec::paper_fig4();
+    } else {
+        spec.families = vec![Family::Lu, Family::Stencil, Family::Laplace];
+    }
+    let suite = spec.generate();
+    println!(
+        "Fig. 4: normalised schedule lengths (reference: MCP)  ({} workloads, V ~ {}, {})",
+        suite.len(),
+        spec.target_tasks,
+        if quick { "quick suite" } else { "paper suite" }
+    );
+
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let ms = measure_all(&suite, &PAPER_PROC_COUNTS, threads);
+    if flb_bench::csv::maybe_write_csv(&args, || {
+        flb_bench::csv::measurements_csv(&suite, &ms)
+    })
+    .expect("writing --csv file")
+    {
+        println!("(raw measurements written to the --csv file)");
+    }
+    let names = scheduler_names();
+
+    // makespan lookup: (workload, algorithm, procs) is unique.
+    let span = |wi: usize, alg: &str, p: usize| -> f64 {
+        ms.iter()
+            .find(|m| m.workload == wi && m.algorithm == alg && m.procs == p)
+            .map(|m| m.makespan as f64)
+            .expect("measurement grid is complete")
+    };
+
+    // NSL per measurement relative to MCP on the same workload and P.
+    let nsl = |m: &Measurement| m.makespan as f64 / span(m.workload, "MCP", m.procs);
+
+    for &fam in &spec.families {
+        for &ccr in &spec.ccrs {
+            println!("\n{}  CCR = {}", fam.name(), ccr);
+            let mut header = vec!["P".to_string()];
+            header.extend(names.iter().map(|n| n.to_string()));
+            let mut rows = Vec::new();
+            for &p in &PAPER_PROC_COUNTS {
+                let mut row = vec![p.to_string()];
+                for name in &names {
+                    let xs: Vec<f64> = ms
+                        .iter()
+                        .filter(|m| {
+                            m.algorithm == *name
+                                && m.procs == p
+                                && suite[m.workload].family == fam
+                                && suite[m.workload].ccr == ccr
+                        })
+                        .map(&nsl)
+                        .collect();
+                    row.push(fmt_ratio(mean(&xs)));
+                }
+                rows.push(row);
+            }
+            println!("{}", table(&header, &rows));
+        }
+    }
+
+    // §6.2 summary block (experiment X2): aggregate comparisons.
+    println!("\n== summary (geometric means over all workloads and P) ==");
+    let agg = |name: &str| -> f64 {
+        geo_mean(
+            &ms.iter()
+                .filter(|m| m.algorithm == name)
+                .map(&nsl)
+                .collect::<Vec<_>>(),
+        )
+    };
+    for name in &names {
+        println!("  {:<8} NSL {:.3}", name, agg(name));
+    }
+
+    let flb = agg("FLB");
+    let claims = [
+        (
+            "FLB comparable to MCP (within 10%)",
+            (flb / agg("MCP") - 1.0).abs() < 0.10,
+        ),
+        (
+            "FLB comparable to ETF (within 10%)",
+            (flb / agg("ETF") - 1.0).abs() < 0.10,
+        ),
+        (
+            "FLB comparable to FCP (within 10%)",
+            (flb / agg("FCP") - 1.0).abs() < 0.10,
+        ),
+        (
+            "FLB consistently outperforms DSC-LLB",
+            flb < agg("DSC-LLB"),
+        ),
+        (
+            "DSC-LLB within ~40% of MCP",
+            agg("DSC-LLB") / agg("MCP") < 1.45,
+        ),
+    ];
+    println!("\nclaim checks (paper §6.2):");
+    for (text, ok) in claims {
+        println!(
+            "  {text}: {}",
+            if ok { "[matches paper]" } else { "[DIVERGES]" }
+        );
+    }
+
+    // Per-(P, workload) win/loss of FLB vs DSC-LLB — "consistently".
+    let mut wins = 0usize;
+    let mut total = 0usize;
+    for m in ms.iter().filter(|m| m.algorithm == "FLB") {
+        let d = span(m.workload, "DSC-LLB", m.procs);
+        total += 1;
+        if (m.makespan as f64) <= d {
+            wins += 1;
+        }
+    }
+    println!("  FLB <= DSC-LLB in {wins}/{total} configurations");
+}

@@ -1,0 +1,70 @@
+//! Experiment X9 (extension): related (heterogeneous) processors.
+//!
+//! The paper's machine is homogeneous; its authors extended FLB to
+//! heterogeneous systems in follow-up work, and DLS was heterogeneous-first
+//! by design. This harness schedules the paper suite on machines whose
+//! processors fall into speed classes (slowdown factors), and reports each
+//! algorithm's makespan normalised to the machine-aware lower bound. The
+//! expected pattern: the speed-oblivious EST-based algorithms (FLB, ETF,
+//! MCP, FCP) degrade as the speed spread grows — an early start on a slow
+//! processor is a bad trade — while DLS's Δ-term keeps it closest to the
+//! bound.
+//!
+//! Run: `cargo run -p flb-bench --release --bin hetero [--quick]`
+
+use flb_baselines::{Dls, Heft};
+use flb_bench::report::{fmt_ratio, table};
+use flb_bench::{named_schedulers, suite_from_args};
+use flb_graph::Time;
+use flb_sched::bounds::makespan_lower_bound_on;
+use flb_sched::{validate::validate, Machine};
+use flb_workloads::stats::geo_mean;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (spec, quick) = suite_from_args(&args);
+    let suite = spec.generate();
+
+    // 8-processor machines with widening speed spreads.
+    let machines: Vec<(&str, Vec<Time>)> = vec![
+        ("uniform (1x)", vec![1; 8]),
+        ("mild (1-2x)", vec![1, 1, 1, 1, 2, 2, 2, 2]),
+        ("wide (1-4x)", vec![1, 1, 2, 2, 3, 3, 4, 4]),
+        ("extreme (1-8x)", vec![1, 1, 2, 2, 4, 4, 8, 8]),
+    ];
+    println!(
+        "Related-processor machines ({} workloads, V ~ {}, P = 8{})\n",
+        suite.len(),
+        spec.target_tasks,
+        if quick { ", quick suite" } else { "" }
+    );
+
+    let mut algorithms = named_schedulers();
+    algorithms.push(("DLS", Box::new(Dls)));
+    algorithms.push(("HEFT", Box::new(Heft)));
+
+    let mut rows = Vec::new();
+    for (label, slows) in &machines {
+        let machine = Machine::related(slows.clone());
+        let mut row = vec![label.to_string()];
+        for (name, s) in &algorithms {
+            let mut ratios = Vec::new();
+            for w in &suite {
+                let sched = s.schedule(&w.graph, &machine);
+                validate(&w.graph, &sched)
+                    .unwrap_or_else(|e| panic!("{name} invalid on {}: {e}", w.label()));
+                let bound = makespan_lower_bound_on(&w.graph, &machine);
+                ratios.push(sched.makespan() as f64 / bound as f64);
+            }
+            row.push(fmt_ratio(geo_mean(&ratios)));
+        }
+        rows.push(row);
+    }
+
+    let mut header = vec!["machine".to_string()];
+    header.extend(algorithms.iter().map(|(n, _)| n.to_string()));
+    println!("{}", table(&header, &rows));
+    println!("\nvalues are makespan / machine-aware lower bound (geometric mean; lower is");
+    println!("better, 1.00 is unbeatable). DLS and HEFT are speed-aware; the EST-based");
+    println!("algorithms of the paper are speed-oblivious by construction.");
+}

@@ -1,0 +1,74 @@
+//! Experiment T1: regenerates the paper's Table 1 — the execution trace of
+//! FLB scheduling the Fig. 1 task graph on two processors — and checks it
+//! against the published rows.
+//!
+//! Run: `cargo run -p flb-bench --bin table1`
+
+use flb_core::trace::{render, trace};
+use flb_core::TieBreak;
+use flb_graph::dot::to_dot;
+use flb_graph::paper::fig1;
+use flb_sched::gantt;
+use flb_sched::validate::validate;
+use flb_sched::Machine;
+
+/// The paper's Table 1 decisions: (task, proc, start, finish) per row.
+const PAPER_ROWS: [(usize, usize, u64, u64); 8] = [
+    (0, 0, 0, 2),
+    (3, 0, 2, 5),
+    (1, 1, 3, 5),
+    (2, 0, 5, 7),
+    (4, 1, 5, 8),
+    (5, 0, 7, 10),
+    (6, 1, 8, 10),
+    (7, 0, 12, 14),
+];
+
+fn main() {
+    let g = fig1();
+    let machine = Machine::new(2);
+
+    println!("== Fig. 1 task graph (DOT) ==");
+    println!("{}", to_dot(&g));
+
+    let (schedule, rows) = trace(&g, &machine, TieBreak::BottomLevel);
+    println!("== Table 1: FLB execution trace on 2 processors ==");
+    println!("{}", render(&rows));
+
+    println!("== Resulting schedule ==");
+    println!("{}", gantt::render(&g, &schedule, 70));
+
+    validate(&g, &schedule).expect("trace schedule must be valid");
+
+    let mut ok = true;
+    for (i, (&(t, p, st, ft), row)) in PAPER_ROWS.iter().zip(&rows).enumerate() {
+        let got = (
+            row.step.task.0,
+            row.step.proc.0,
+            row.step.start,
+            row.step.finish,
+        );
+        let matches = got == (t, p, st, ft);
+        ok &= matches;
+        println!(
+            "row {}: paper t{} -> p{} [{} - {}], reproduced t{} -> p{} [{} - {}]  {}",
+            i + 1,
+            t,
+            p,
+            st,
+            ft,
+            got.0,
+            got.1,
+            got.2,
+            got.3,
+            if matches { "OK" } else { "MISMATCH" }
+        );
+    }
+    println!(
+        "\nTable 1 reproduction: {} ({} rows, makespan {})",
+        if ok { "EXACT" } else { "MISMATCH" },
+        rows.len(),
+        schedule.makespan()
+    );
+    assert!(ok, "Table 1 rows diverged from the paper");
+}

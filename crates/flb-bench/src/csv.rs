@@ -1,0 +1,85 @@
+//! CSV export of experiment measurements, for external plotting tools.
+
+use crate::runner::Measurement;
+use flb_workloads::Workload;
+use std::fmt::Write as _;
+
+/// Renders measurements as CSV with workload metadata columns:
+/// `family,ccr,seed,tasks,procs,algorithm,makespan,seconds`.
+#[must_use]
+pub fn measurements_csv(workloads: &[Workload], ms: &[Measurement]) -> String {
+    let mut out = String::from("family,ccr,seed,tasks,procs,algorithm,makespan,seconds\n");
+    for m in ms {
+        let w = &workloads[m.workload];
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{:.6}",
+            w.family.name(),
+            w.ccr,
+            w.seed,
+            w.graph.num_tasks(),
+            m.procs,
+            m.algorithm,
+            m.makespan,
+            m.seconds
+        );
+    }
+    out
+}
+
+/// Writes `content` to `path` if `--csv <path>` appears in `args`,
+/// returning whether a file was written.
+pub fn maybe_write_csv(args: &[String], content: impl FnOnce() -> String) -> std::io::Result<bool> {
+    let Some(i) = args.iter().position(|a| a == "--csv") else {
+        return Ok(false);
+    };
+    let Some(path) = args.get(i + 1) else {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "--csv requires a file path",
+        ));
+    };
+    std::fs::write(path, content())?;
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure_all;
+    use flb_workloads::SuiteSpec;
+
+    #[test]
+    fn csv_shape_matches_measurements() {
+        let mut spec = SuiteSpec::small();
+        spec.families.truncate(1);
+        spec.instances = 1;
+        spec.target_tasks = 40;
+        let ws = spec.generate();
+        let ms = measure_all(&ws, &[2], 1);
+        let csv = measurements_csv(&ws, &ms);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "family,ccr,seed,tasks,procs,algorithm,makespan,seconds");
+        assert_eq!(lines.len(), 1 + ms.len());
+        assert!(lines[1..].iter().all(|l| l.matches(',').count() == 7));
+        assert!(csv.contains(",FLB,"));
+        assert!(csv.contains(",MCP,"));
+    }
+
+    #[test]
+    fn maybe_write_csv_paths() {
+        let none: Vec<String> = vec!["fig2".into()];
+        assert!(!maybe_write_csv(&none, || "x".into()).unwrap());
+
+        let missing: Vec<String> = vec!["--csv".into()];
+        assert!(maybe_write_csv(&missing, || "x".into()).is_err());
+
+        let dir = std::env::temp_dir().join("flb-bench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.csv");
+        let args: Vec<String> = vec!["--csv".into(), path.to_str().unwrap().into()];
+        assert!(maybe_write_csv(&args, || "a,b\n1,2\n".into()).unwrap());
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a,b\n1,2\n");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,44 @@
+//! The algorithm registry: the five schedulers of the paper's comparison.
+
+use flb_baselines::{DscLlb, Etf, Fcp, Mcp};
+use flb_core::Flb;
+use flb_sched::Scheduler;
+
+/// The display order used in the paper's figures.
+pub const NAMES: [&str; 5] = ["MCP", "ETF", "DSC-LLB", "FCP", "FLB"];
+
+/// Fresh instances of the five compared schedulers, in [`NAMES`] order.
+///
+/// A new set per call: the boxed schedulers are cheap to construct and this
+/// keeps the registry usable from worker threads without `Sync` bounds.
+#[must_use]
+pub fn named_schedulers() -> Vec<(&'static str, Box<dyn Scheduler>)> {
+    vec![
+        ("MCP", Box::new(Mcp::default())),
+        ("ETF", Box::new(Etf)),
+        ("DSC-LLB", Box::new(DscLlb::default())),
+        ("FCP", Box::new(Fcp)),
+        ("FLB", Box::new(Flb::default())),
+    ]
+}
+
+/// Just the display names, in figure order.
+#[must_use]
+pub fn scheduler_names() -> Vec<&'static str> {
+    NAMES.to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_names() {
+        let regs = named_schedulers();
+        assert_eq!(regs.len(), NAMES.len());
+        for ((label, s), expect) in regs.iter().zip(NAMES) {
+            assert_eq!(*label, expect);
+            assert_eq!(s.name(), expect);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Plain-text table rendering for the harness binaries.
+
+use std::fmt::Write as _;
+
+/// Renders a table: a header row plus data rows, columns left-aligned and
+/// padded to the widest cell, with a separator under the header.
+#[must_use]
+pub fn table(header: &[String], rows: &[Vec<String>]) -> String {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(String::len).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let emit = |cells: &[String], out: &mut String| {
+        for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+            if i + 1 == ncols {
+                let _ = write!(out, "{cell}");
+            } else {
+                let _ = write!(out, "{cell:<w$}  ");
+            }
+        }
+        out.push('\n');
+    };
+    emit(header, &mut out);
+    let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        emit(row, &mut out);
+    }
+    out
+}
+
+/// Formats seconds as adaptive `ms`/`s` text.
+#[must_use]
+pub fn fmt_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else {
+        format!("{:.1} ms", s * 1e3)
+    }
+}
+
+/// Formats a ratio with two decimals.
+#[must_use]
+pub fn fmt_ratio(r: f64) -> String {
+    format!("{r:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = table(
+            &["P".into(), "FLB".into()],
+            &[
+                vec!["2".into(), "1.0".into()],
+                vec!["32".into(), "0.97".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines[0], "P   FLB");
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert_eq!(lines[2], "2   1.0");
+        assert_eq!(lines[3], "32  0.97");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = table(&["a".into()], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn second_formatting() {
+        assert_eq!(fmt_seconds(0.0123), "12.3 ms");
+        assert_eq!(fmt_seconds(2.5), "2.50 s");
+        assert_eq!(fmt_ratio(1.2345), "1.23");
+    }
+}

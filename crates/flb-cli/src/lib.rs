@@ -1,0 +1,687 @@
+//! Implementation of the `flb` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `generate` — build a workload task graph and emit it (text format or
+//!   DOT);
+//! * `info` — print a graph's statistics (V, E, width, CCR, critical path);
+//! * `schedule` — schedule a graph with a chosen algorithm; optionally show
+//!   a Gantt chart, the FLB execution trace, and the simulator replay;
+//! * `compare` — run the paper's five algorithms (plus DLS) on one graph
+//!   and tabulate makespans, NSLs and speedups;
+//! * `simulate` — replay a saved schedule on the discrete-event machine,
+//!   optionally under single-port communication contention;
+//! * `transform` — apply a scheduling pre-pass (transitive reduction or
+//!   chain coarsening) and emit the transformed graph;
+//! * `report` — emit a self-contained HTML report (comparison table + SVG
+//!   Gantt charts).
+//!
+//! The heavy lifting lives in library functions returning `Result<String>`
+//! so the whole surface is unit-testable; `main` only forwards `std::env`
+//! arguments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use flb_baselines::{DscLlb, Etf, Fcp, Mcp};
+use flb_core::{trace, Flb, TieBreak};
+use flb_graph::costs::CostModel;
+use flb_graph::gen::Family;
+use flb_graph::serialize::{parse_text, to_text};
+use flb_graph::{dot, paper, TaskGraph};
+use flb_sched::metrics::{speedup, summarise};
+use flb_sched::validate::validate;
+use flb_sched::{gantt, Machine, Scheduler};
+use std::fmt::Write as _;
+
+/// A CLI error: carries the message shown to the user.
+#[derive(Debug, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+flb — Fast Load Balancing task scheduling (Radulescu & van Gemund, ICPP 1999)
+
+USAGE:
+  flb generate  --family <lu|laplace|stencil|fft> [--tasks N] [--ccr X] [--seed S] [--dot|--stg]
+  flb info      (--input FILE | --family ... | --fig1)
+  flb schedule  --alg <flb|etf|mcp|mcp-ins|fcp|dsc-llb|dls|heft|hlfet|runtime-bl|runtime-fifo|runtime-lpt>
+                --procs P <graph opts>
+                [--gantt] [--trace] [--simulate] [--save FILE] [--svg FILE] [--trace-csv FILE]
+  flb compare   --procs P <graph opts>
+  flb simulate  --schedule FILE <graph opts> [--one-port]
+  flb transform (--reduce | --coarsen) <graph opts> [--dot]
+  flb report    --out FILE.html <graph opts> [--procs P | --speeds ...]
+
+MACHINE OPTIONS (schedule/compare): --procs P for the paper's homogeneous
+  machine, or --speeds 1,1,2,4 for related processors (integer slowdowns).
+
+GRAPH OPTIONS (for info/schedule/compare/simulate/transform):
+  --input FILE   read a graph (native text format; `.stg` files are parsed
+                 as Standard Task Graph Set benchmarks with unit comms)
+  --fig1         use the paper's Fig. 1 example graph
+  --family F [--tasks N] [--ccr X] [--seed S]   generate a workload
+
+DEFAULTS: --tasks 2000, --ccr 1.0, --seed 1, costs U(0, 200)\n";
+
+/// Minimal flag parser: `--key value` pairs plus boolean switches.
+struct Args<'a> {
+    argv: &'a [String],
+}
+
+impl<'a> Args<'a> {
+    fn new(argv: &'a [String]) -> Self {
+        Args { argv }
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.argv.iter().any(|a| a == name)
+    }
+
+    fn value(&self, name: &str) -> Option<&'a str> {
+        self.argv
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.argv.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| err(format!("invalid value for {name}: {v:?}"))),
+        }
+    }
+}
+
+/// Builds the graph selected by the common graph options.
+fn load_graph(a: &Args<'_>) -> Result<TaskGraph, CliError> {
+    if a.flag("--fig1") {
+        return Ok(paper::fig1());
+    }
+    if let Some(path) = a.value("--input") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| err(format!("cannot read {path}: {e}")))?;
+        // `.stg` files use the Standard Task Graph Set format; anything
+        // else is this tool's native text format.
+        return if path.ends_with(".stg") {
+            flb_graph::stg::parse_stg(&text)
+                .map_err(|e| err(format!("cannot parse {path}: {e}")))
+        } else {
+            parse_text(&text).map_err(|e| err(format!("cannot parse {path}: {e}")))
+        };
+    }
+    let family: Family = a
+        .value("--family")
+        .ok_or_else(|| err("missing graph: use --input, --fig1 or --family"))?
+        .parse()
+        .map_err(err)?;
+    let tasks: usize = a.parsed("--tasks", 2000)?;
+    let ccr: f64 = a.parsed("--ccr", 1.0)?;
+    let seed: u64 = a.parsed("--seed", 1)?;
+    Ok(CostModel::paper_default(ccr).apply(&family.topology(tasks), seed))
+}
+
+/// Builds the machine from `--procs` and the optional `--speeds a,b,c`
+/// slowdown list (which overrides the processor count).
+fn load_machine(a: &Args<'_>) -> Result<Machine, CliError> {
+    if let Some(spec) = a.value("--speeds") {
+        let slows: Option<Vec<u64>> = spec.split(',').map(|x| x.trim().parse().ok()).collect();
+        return match slows {
+            Some(v) if !v.is_empty() && v.iter().all(|&x| x >= 1) => Ok(Machine::related(v)),
+            _ => Err(err(format!(
+                "invalid --speeds {spec:?}: expected comma-separated integers >= 1"
+            ))),
+        };
+    }
+    let procs: usize = a.parsed("--procs", 4)?;
+    if procs == 0 {
+        return Err(err("--procs must be at least 1"));
+    }
+    Ok(Machine::new(procs))
+}
+
+fn scheduler_by_name(name: &str) -> Result<Box<dyn Scheduler>, CliError> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "flb" => Box::new(Flb::default()),
+        "etf" => Box::new(Etf),
+        "mcp" => Box::new(Mcp::default()),
+        "mcp-ins" => Box::new(Mcp::original()),
+        "fcp" => Box::new(Fcp),
+        "dsc-llb" | "dscllb" => Box::new(DscLlb::default()),
+        "dls" => Box::new(flb_baselines::Dls),
+        "heft" => Box::new(flb_baselines::Heft),
+        "hlfet" => Box::new(flb_baselines::Hlfet),
+        "runtime-bl" => Box::new(flb_sim::RuntimeDispatcher(flb_sim::DispatchPolicy::BottomLevel)),
+        "runtime-fifo" => Box::new(flb_sim::RuntimeDispatcher(flb_sim::DispatchPolicy::Fifo)),
+        "runtime-lpt" => Box::new(flb_sim::RuntimeDispatcher(flb_sim::DispatchPolicy::LongestTask)),
+        other => return Err(err(format!("unknown algorithm {other:?}"))),
+    })
+}
+
+/// Entry point: dispatches on the subcommand, returns the text to print.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let Some(cmd) = argv.first() else {
+        return Ok(USAGE.to_owned());
+    };
+    let a = Args::new(&argv[1..]);
+    match cmd.as_str() {
+        "generate" => cmd_generate(&a),
+        "info" => cmd_info(&a),
+        "schedule" => cmd_schedule(&a),
+        "compare" => cmd_compare(&a),
+        "simulate" => cmd_simulate(&a),
+        "transform" => cmd_transform(&a),
+        "report" => cmd_report(&a),
+        "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
+        other => Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
+    }
+}
+
+fn cmd_generate(a: &Args<'_>) -> Result<String, CliError> {
+    let g = load_graph(a)?;
+    if a.flag("--dot") {
+        Ok(dot::to_dot(&g))
+    } else if a.flag("--stg") {
+        Ok(flb_graph::stg::to_stg(&g))
+    } else {
+        Ok(to_text(&g))
+    }
+}
+
+fn cmd_info(a: &Args<'_>) -> Result<String, CliError> {
+    let g = load_graph(a)?;
+    // Exact width is O(V·E) bitset work: worth it up to a few thousand
+    // tasks, fall back to the ready-sweep bound beyond.
+    let s = flb_graph::analyze::stats(&g, g.num_tasks() <= 5000);
+    let mut out = String::new();
+    let _ = writeln!(out, "name            {}", g.name());
+    let _ = writeln!(out, "tasks (V)       {}", s.tasks);
+    let _ = writeln!(out, "edges (E)       {}", s.edges);
+    let _ = writeln!(out, "entry tasks     {}", s.entries);
+    let _ = writeln!(out, "exit tasks      {}", s.exits);
+    let _ = writeln!(
+        out,
+        "out-degree      min {} / mean {:.2} / max {}",
+        s.out_degree.0, s.out_degree.1, s.out_degree.2
+    );
+    let _ = writeln!(
+        out,
+        "in-degree       min {} / mean {:.2} / max {}",
+        s.in_degree.0, s.in_degree.1, s.in_degree.2
+    );
+    let _ = writeln!(out, "depth           {}", s.depth);
+    let _ = writeln!(out, "width (exact)   {}", s.width);
+    let _ = writeln!(out, "width (ready)   {}", s.ready_width);
+    let _ = writeln!(out, "total comp      {}", s.total_comp);
+    let _ = writeln!(out, "total comm      {}", s.total_comm);
+    let _ = writeln!(out, "CCR             {:.3}", s.ccr);
+    let _ = writeln!(out, "granularity     {:.3}", s.granularity);
+    let _ = writeln!(out, "critical path   {}", s.critical_path);
+    let _ = writeln!(out, "CP (comp only)  {}", s.critical_path_comp);
+    let _ = writeln!(out, "max speedup     {:.2}", s.max_speedup);
+    if a.flag("--profile") {
+        let profile = flb_graph::analyze::parallelism_profile(&g);
+        let _ = writeln!(out, "parallelism profile (ready per layer):");
+        let _ = writeln!(out, "  {profile:?}");
+    }
+    Ok(out)
+}
+
+fn cmd_schedule(a: &Args<'_>) -> Result<String, CliError> {
+    let g = load_graph(a)?;
+    let machine = load_machine(a)?;
+    let procs = machine.num_procs();
+    let alg = a.value("--alg").unwrap_or("flb");
+    let mut out = String::new();
+
+    let schedule = if a.flag("--trace") || a.value("--trace-csv").is_some() {
+        if !alg.eq_ignore_ascii_case("flb") {
+            return Err(err("--trace is only available for --alg flb"));
+        }
+        let (s, rows) = trace::trace(&g, &machine, TieBreak::BottomLevel);
+        if a.flag("--trace") {
+            let _ = writeln!(out, "{}", trace::render(&rows));
+        }
+        if let Some(path) = a.value("--trace-csv") {
+            std::fs::write(path, trace::to_csv(&rows))
+                .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+            let _ = writeln!(out, "trace CSV saved to {path}");
+        }
+        s
+    } else {
+        let s = scheduler_by_name(alg)?;
+        s.schedule(&g, &machine)
+    };
+
+    validate(&g, &schedule).map_err(|e| err(format!("internal error: {e}")))?;
+    let m = summarise(&g, &schedule);
+    let _ = writeln!(out, "algorithm       {alg}");
+    let _ = writeln!(out, "processors      {procs}");
+    let _ = writeln!(out, "makespan        {}", m.makespan);
+    let _ = writeln!(out, "speedup         {:.3}", m.speedup);
+    let _ = writeln!(out, "efficiency      {:.3}", m.efficiency);
+    let _ = writeln!(out, "idle time       {}", m.idle);
+
+    if a.flag("--simulate") {
+        let sim = flb_sim::simulate(&g, &schedule)
+            .map_err(|e| err(format!("simulation failed: {e}")))?;
+        let _ = writeln!(out, "sim makespan    {} (replay agrees: {})",
+            sim.makespan, sim.makespan == m.makespan);
+        let _ = writeln!(out, "sim messages    {}", sim.messages);
+        let _ = writeln!(out, "sim comm volume {}", sim.comm_volume);
+    }
+    if a.flag("--gantt") {
+        let _ = writeln!(out, "\n{}", gantt::render(&g, &schedule, 100));
+    }
+    if let Some(path) = a.value("--save") {
+        std::fs::write(path, flb_sched::io::to_text(&schedule))
+            .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        let _ = writeln!(out, "schedule saved to {path}");
+    }
+    if let Some(path) = a.value("--svg") {
+        std::fs::write(path, gantt::render_svg(&g, &schedule, 900))
+            .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        let _ = writeln!(out, "SVG Gantt chart saved to {path}");
+    }
+    Ok(out)
+}
+
+fn cmd_simulate(a: &Args<'_>) -> Result<String, CliError> {
+    let g = load_graph(a)?;
+    let path = a
+        .value("--schedule")
+        .ok_or_else(|| err("missing --schedule FILE"))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    let schedule =
+        flb_sched::io::parse_text(&text).map_err(|e| err(format!("cannot parse {path}: {e}")))?;
+    if schedule.num_tasks() != g.num_tasks() {
+        return Err(err(format!(
+            "schedule covers {} tasks but the graph has {}",
+            schedule.num_tasks(),
+            g.num_tasks()
+        )));
+    }
+    let contention = if a.flag("--one-port") {
+        flb_sim::Contention::OnePort
+    } else {
+        flb_sim::Contention::None
+    };
+    let sim = flb_sim::simulate_with(&g, &schedule, &flb_sim::SimConfig { contention, ..Default::default() })
+        .map_err(|e| err(format!("simulation failed: {e}")))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "contention      {contention:?}");
+    let _ = writeln!(out, "sim makespan    {}", sim.makespan);
+    let _ = writeln!(out, "messages        {}", sim.messages);
+    let _ = writeln!(out, "local edges     {}", sim.local_edges);
+    let _ = writeln!(out, "comm volume     {}", sim.comm_volume);
+    let _ = writeln!(out, "efficiency      {:.3}", sim.efficiency());
+    Ok(out)
+}
+
+fn cmd_transform(a: &Args<'_>) -> Result<String, CliError> {
+    let g = load_graph(a)?;
+    let out_graph = match (a.flag("--reduce"), a.flag("--coarsen")) {
+        (true, false) => flb_graph::transform::transitive_reduction(&g),
+        (false, true) => flb_graph::transform::coarsen_chains(&g).graph,
+        _ => return Err(err("pass exactly one of --reduce or --coarsen")),
+    };
+    if a.flag("--dot") {
+        Ok(dot::to_dot(&out_graph))
+    } else {
+        Ok(to_text(&out_graph))
+    }
+}
+
+/// `report`: a self-contained HTML page with graph statistics, the
+/// algorithm comparison table, and an SVG Gantt chart per algorithm.
+fn cmd_report(a: &Args<'_>) -> Result<String, CliError> {
+    let g = load_graph(a)?;
+    let machine = load_machine(a)?;
+    let out_path = a.value("--out").ok_or_else(|| err("missing --out FILE.html"))?;
+
+    let stats = flb_graph::analyze::stats(&g, g.num_tasks() <= 5000);
+    let algs = ["MCP", "ETF", "DSC-LLB", "FCP", "FLB", "DLS", "HEFT"];
+
+    let mut html = String::new();
+    let _ = writeln!(html, "<!DOCTYPE html><html><head><meta charset=\"utf-8\">");
+    let _ = writeln!(html, "<title>flb report: {}</title>", g.name());
+    let _ = writeln!(
+        html,
+        "<style>body{{font-family:monospace;margin:2em}}table{{border-collapse:collapse}}\
+         td,th{{border:1px solid #999;padding:4px 10px;text-align:right}}\
+         th{{background:#eee}}h2{{margin-top:1.5em}}</style></head><body>"
+    );
+    let _ = writeln!(html, "<h1>Schedule report: {}</h1>", g.name());
+    let _ = writeln!(
+        html,
+        "<p>{} tasks, {} edges, CCR {:.2}, width {}, critical path {}, \
+         machine: {} processor(s){}.</p>",
+        stats.tasks,
+        stats.edges,
+        stats.ccr,
+        stats.width,
+        stats.critical_path,
+        machine.num_procs(),
+        if machine.is_homogeneous() {
+            String::new()
+        } else {
+            let speeds: Vec<String> = machine
+                .procs()
+                .map(|p| machine.slowdown(p).to_string())
+                .collect();
+            format!(" (slowdowns {})", speeds.join(","))
+        }
+    );
+
+    let _ = writeln!(
+        html,
+        "<h2>Comparison</h2><table><tr><th>algorithm</th><th>makespan</th>\
+         <th>speedup</th><th>efficiency</th></tr>"
+    );
+    let mut schedules = Vec::new();
+    for alg in algs {
+        let s = scheduler_by_name(alg)?;
+        let sched = s.schedule(&g, &machine);
+        validate(&g, &sched).map_err(|e| err(format!("{alg} invalid: {e}")))?;
+        let m = summarise(&g, &sched);
+        let _ = writeln!(
+            html,
+            "<tr><td>{alg}</td><td>{}</td><td>{:.3}</td><td>{:.3}</td></tr>",
+            m.makespan, m.speedup, m.efficiency
+        );
+        schedules.push((alg, sched));
+    }
+    let _ = writeln!(html, "</table>");
+
+    for (alg, sched) in &schedules {
+        let _ = writeln!(html, "<h2>{alg} (makespan {})</h2>", sched.makespan());
+        html.push_str(&gantt::render_svg(&g, sched, 1000));
+    }
+    let _ = writeln!(html, "</body></html>");
+
+    std::fs::write(out_path, html).map_err(|e| err(format!("cannot write {out_path}: {e}")))?;
+    Ok(format!("report written to {out_path}\n"))
+}
+
+fn cmd_compare(a: &Args<'_>) -> Result<String, CliError> {
+    let g = load_graph(a)?;
+    let machine = load_machine(a)?;
+    let procs = machine.num_procs();
+    let algs = ["MCP", "ETF", "DSC-LLB", "FCP", "FLB", "DLS"];
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} tasks, {} edges, CCR {:.2}, P = {}",
+        g.num_tasks(),
+        g.num_edges(),
+        g.ccr(),
+        procs
+    );
+    let _ = writeln!(out, "{:<9} {:>10} {:>8} {:>9}", "algorithm", "makespan", "NSL", "speedup");
+    let mcp_span = Mcp::default().schedule(&g, &machine).makespan();
+    for alg in algs {
+        let s = scheduler_by_name(alg)?;
+        let sched = s.schedule(&g, &machine);
+        validate(&g, &sched).map_err(|e| err(format!("{alg} invalid: {e}")))?;
+        let _ = writeln!(
+            out,
+            "{:<9} {:>10} {:>8.3} {:>9.3}",
+            alg,
+            sched.makespan(),
+            sched.makespan() as f64 / mcp_span as f64,
+            speedup(&g, &sched),
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(args: &[&str]) -> Result<String, CliError> {
+        let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run(&argv)
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        assert!(run_str(&[]).unwrap().contains("USAGE"));
+        assert!(run_str(&["help"]).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run_str(&["frob"]).is_err());
+    }
+
+    #[test]
+    fn generate_text_roundtrips() {
+        let text = run_str(&[
+            "generate", "--family", "stencil", "--tasks", "40", "--ccr", "0.5", "--seed", "3",
+        ])
+        .unwrap();
+        let g = parse_text(&text).unwrap();
+        assert!(g.num_tasks() >= 30);
+    }
+
+    #[test]
+    fn generate_dot() {
+        let dot = run_str(&["generate", "--fig1", "--dot"]).unwrap();
+        assert!(dot.starts_with("digraph"));
+    }
+
+    #[test]
+    fn info_fig1() {
+        let info = run_str(&["info", "--fig1"]).unwrap();
+        assert!(info.contains("tasks (V)       8"));
+        assert!(info.contains("edges (E)       10"));
+        assert!(info.contains("width (exact)   3"));
+        assert!(info.contains("critical path   15"));
+    }
+
+    #[test]
+    fn schedule_fig1_all_algorithms() {
+        for alg in ["flb", "etf", "mcp", "mcp-ins", "fcp", "dsc-llb"] {
+            let out = run_str(&["schedule", "--fig1", "--alg", alg, "--procs", "2"]).unwrap();
+            assert!(out.contains("makespan"), "{alg}: {out}");
+        }
+    }
+
+    #[test]
+    fn schedule_with_trace_gantt_simulate() {
+        let out = run_str(&[
+            "schedule", "--fig1", "--alg", "flb", "--procs", "2", "--trace", "--gantt",
+            "--simulate",
+        ])
+        .unwrap();
+        assert!(out.contains("EP tasks on p0"));
+        assert!(out.contains("makespan        14"));
+        assert!(out.contains("replay agrees: true"));
+        assert!(out.contains("p0  |"));
+    }
+
+    #[test]
+    fn trace_requires_flb() {
+        assert!(run_str(&["schedule", "--fig1", "--alg", "etf", "--trace"]).is_err());
+    }
+
+    #[test]
+    fn compare_fig1() {
+        let out = run_str(&["compare", "--fig1", "--procs", "2"]).unwrap();
+        for alg in ["MCP", "ETF", "DSC-LLB", "FCP", "FLB"] {
+            assert!(out.contains(alg), "missing {alg} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn save_and_simulate_roundtrip() {
+        let dir = std::env::temp_dir().join("flb-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let sched_path = dir.join("fig1.sched");
+        let sched_path = sched_path.to_str().unwrap();
+
+        let out = run_str(&[
+            "schedule", "--fig1", "--alg", "flb", "--procs", "2", "--save", sched_path,
+        ])
+        .unwrap();
+        assert!(out.contains("schedule saved"));
+
+        let sim = run_str(&["simulate", "--fig1", "--schedule", sched_path]).unwrap();
+        assert!(sim.contains("sim makespan    14"), "{sim}");
+
+        let port = run_str(&[
+            "simulate", "--fig1", "--schedule", sched_path, "--one-port",
+        ])
+        .unwrap();
+        assert!(port.contains("OnePort"));
+        std::fs::remove_file(sched_path).ok();
+    }
+
+    #[test]
+    fn simulate_rejects_mismatched_graph() {
+        let dir = std::env::temp_dir().join("flb-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("tiny.sched");
+        std::fs::write(&p, "procs 1\ns 0 0 0 1\n").unwrap();
+        let r = run_str(&["simulate", "--fig1", "--schedule", p.to_str().unwrap()]);
+        assert!(r.is_err());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn transform_reduce_and_coarsen() {
+        let reduced = run_str(&["transform", "--fig1", "--reduce"]).unwrap();
+        let g = parse_text(&reduced).unwrap();
+        assert_eq!(g.num_edges(), 10); // fig1 is already reduced
+
+        let coarse = run_str(&["transform", "--fig1", "--coarsen"]).unwrap();
+        let g = parse_text(&coarse).unwrap();
+        assert_eq!(g.num_tasks(), 7); // t2 -> t6 chain merged
+
+        assert!(run_str(&["transform", "--fig1"]).is_err());
+        assert!(run_str(&["transform", "--fig1", "--reduce", "--coarsen"]).is_err());
+        let dot = run_str(&["transform", "--fig1", "--reduce", "--dot"]).unwrap();
+        assert!(dot.starts_with("digraph"));
+    }
+
+    #[test]
+    fn extended_algorithms_available() {
+        for alg in ["dls", "heft", "hlfet", "runtime-bl", "runtime-fifo", "runtime-lpt"] {
+            let out = run_str(&["schedule", "--fig1", "--alg", alg, "--procs", "2"]).unwrap();
+            assert!(out.contains("makespan"), "{alg}");
+        }
+    }
+
+    #[test]
+    fn svg_and_trace_csv_exports() {
+        let dir = std::env::temp_dir().join("flb-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let svg_path = dir.join("fig1.svg");
+        let csv_path = dir.join("fig1.csv");
+        let out = run_str(&[
+            "schedule", "--fig1", "--alg", "flb", "--procs", "2",
+            "--svg", svg_path.to_str().unwrap(),
+            "--trace-csv", csv_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("SVG Gantt chart saved"));
+        assert!(out.contains("trace CSV saved"));
+        let svg = std::fs::read_to_string(&svg_path).unwrap();
+        assert!(svg.starts_with("<svg "));
+        let csv = std::fs::read_to_string(&csv_path).unwrap();
+        assert!(csv.starts_with("iteration,kind,task"));
+        assert_eq!(csv.matches(",decision,").count(), 8);
+        std::fs::remove_file(&svg_path).ok();
+        std::fs::remove_file(&csv_path).ok();
+    }
+
+    #[test]
+    fn html_report_generation() {
+        let dir = std::env::temp_dir().join("flb-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.html");
+        let out = run_str(&[
+            "report", "--fig1", "--procs", "2", "--out", path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("report written"));
+        let html = std::fs::read_to_string(&path).unwrap();
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        for alg in ["MCP", "ETF", "DSC-LLB", "FCP", "FLB", "DLS", "HEFT"] {
+            assert!(html.contains(&format!("<td>{alg}</td>")), "missing {alg}");
+        }
+        // One SVG chart per algorithm.
+        assert_eq!(html.matches("<svg ").count(), 7);
+        assert!(html.contains("critical path 15"));
+        std::fs::remove_file(&path).ok();
+
+        assert!(run_str(&["report", "--fig1"]).is_err()); // missing --out
+    }
+
+    #[test]
+    fn related_machine_via_speeds() {
+        let out = run_str(&[
+            "schedule", "--fig1", "--alg", "dls", "--speeds", "1,3",
+        ])
+        .unwrap();
+        assert!(out.contains("processors      2"), "{out}");
+        let cmp = run_str(&["compare", "--fig1", "--speeds", "1,2,4"]).unwrap();
+        assert!(cmp.contains("DLS"));
+        assert!(run_str(&["schedule", "--fig1", "--speeds", "1,0"]).is_err());
+        assert!(run_str(&["schedule", "--fig1", "--speeds", "abc"]).is_err());
+    }
+
+    #[test]
+    fn stg_generate_and_load() {
+        let dir = std::env::temp_dir().join("flb-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("bench.stg");
+        let stg = run_str(&[
+            "generate", "--family", "lu", "--tasks", "30", "--stg",
+        ])
+        .unwrap();
+        std::fs::write(&p, &stg).unwrap();
+        let info = run_str(&["info", "--input", p.to_str().unwrap()]).unwrap();
+        assert!(info.contains("tasks (V)"));
+        let out = run_str(&[
+            "schedule", "--input", p.to_str().unwrap(), "--alg", "flb", "--procs", "3",
+        ])
+        .unwrap();
+        assert!(out.contains("makespan"));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn info_profile_flag() {
+        let out = run_str(&["info", "--fig1", "--profile"]).unwrap();
+        assert!(out.contains("parallelism profile"));
+        assert!(out.contains("[1, 3, 3, 1]"));
+    }
+
+    #[test]
+    fn bad_flag_values_error() {
+        assert!(run_str(&["schedule", "--fig1", "--procs", "zero"]).is_err());
+        assert!(run_str(&["schedule", "--fig1", "--procs", "0"]).is_err());
+        assert!(run_str(&["generate", "--family", "nope"]).is_err());
+        assert!(run_str(&["info"]).is_err());
+        assert!(run_str(&["info", "--input", "/definitely/missing.tg"]).is_err());
+        assert!(run_str(&["schedule", "--fig1", "--alg", "nope"]).is_err());
+    }
+}

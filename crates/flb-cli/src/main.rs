@@ -1,0 +1,12 @@
+//! `flb` — the command-line front-end (logic lives in the library).
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match flb_cli::run(&argv) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Brute-force earliest-start oracle (the ETF-style exhaustive scan).
+//!
+//! [`min_est`] computes, in `O(W · P · preds)`, the minimum estimated start
+//! time over *all* ready task–processor pairs of a partial schedule. The
+//! paper's Theorem 3 states FLB's two-pair comparison always achieves this
+//! minimum; the test-suite asserts it on every step of every random graph
+//! (experiment X1 in DESIGN.md).
+
+use flb_graph::{TaskId, Time};
+use flb_sched::{ProcId, ScheduleBuilder};
+
+/// The minimum `EST(t, p)` over the given ready tasks and every processor,
+/// together with one pair realising it (smallest task id, then smallest
+/// processor id, among the minimisers). Returns `None` when `ready` is
+/// empty.
+#[must_use]
+pub fn min_est(
+    builder: &ScheduleBuilder<'_>,
+    ready: &[TaskId],
+) -> Option<(TaskId, ProcId, Time)> {
+    let mut best: Option<(Time, TaskId, ProcId)> = None;
+    for &t in ready {
+        for p in 0..builder.num_procs() {
+            let p = ProcId(p);
+            let est = builder.est(t, p);
+            let cand = (est, t, p);
+            if best.is_none_or(|b| cand < b) {
+                best = Some(cand);
+            }
+        }
+    }
+    best.map(|(est, t, p)| (t, p, est))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flb_graph::paper::fig1;
+    use flb_sched::Machine;
+
+    #[test]
+    fn empty_ready_set_gives_none() {
+        let g = fig1();
+        let m = Machine::new(2);
+        let b = ScheduleBuilder::new(&g, &m);
+        assert_eq!(min_est(&b, &[]), None);
+    }
+
+    #[test]
+    fn initial_state_picks_entry_task_at_zero() {
+        let g = fig1();
+        let m = Machine::new(2);
+        let b = ScheduleBuilder::new(&g, &m);
+        let (t, p, est) = min_est(&b, &[TaskId(0)]).unwrap();
+        assert_eq!((t, p, est), (TaskId(0), ProcId(0), 0));
+    }
+
+    #[test]
+    fn oracle_matches_paper_second_iteration() {
+        // After t0 on p0: ready = {t1, t2, t3}; all can start at 2 on p0
+        // (EMT 2 = PRT 2); on p1 their messages arrive at 3, 6, 3. The
+        // minimum EST is 2.
+        let g = fig1();
+        let m = Machine::new(2);
+        let mut b = ScheduleBuilder::new(&g, &m);
+        b.place(TaskId(0), ProcId(0), 0);
+        let (_, p, est) = min_est(&b, &[TaskId(1), TaskId(2), TaskId(3)]).unwrap();
+        assert_eq!(est, 2);
+        assert_eq!(p, ProcId(0));
+    }
+}

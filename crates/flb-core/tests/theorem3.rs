@@ -1,0 +1,96 @@
+//! Experiment X1: the paper's Theorem 3, checked empirically.
+//!
+//! At every iteration, the start time of the task FLB schedules must equal
+//! the minimum `EST(t, p)` over *all* ready tasks and *all* processors — the
+//! quantity ETF computes with an exhaustive scan. We verify this on every
+//! step of every graph family at several machine sizes.
+
+use flb_core::{oracle, FlbRun, TieBreak};
+use flb_graph::costs::{CostModel, Dist};
+use flb_graph::{gen, TaskGraph};
+use flb_sched::validate::validate;
+use flb_sched::Machine;
+use proptest::prelude::*;
+
+fn arb_weighted_graph() -> impl Strategy<Value = TaskGraph> {
+    let topo = prop_oneof![
+        (2usize..14).prop_map(gen::lu),
+        (1usize..7).prop_map(gen::laplace),
+        (1usize..6, 1usize..6).prop_map(|(p, s)| gen::stencil(p, s)),
+        (1u32..5).prop_map(gen::fft),
+        (1usize..7, 1usize..4).prop_map(|(w, s)| gen::fork_join(w, s)),
+        (1usize..10).prop_map(gen::chain),
+        (1usize..10).prop_map(gen::independent),
+        (8usize..40, 2usize..5, any::<u64>()).prop_map(|(v, l, seed)| gen::random_layered(
+            &gen::RandomLayeredSpec { tasks: v, layers: l, edge_prob: 0.35, max_skip: 2 },
+            seed
+        )),
+    ];
+    (
+        topo,
+        prop_oneof![Just(0.2), Just(1.0), Just(5.0)],
+        any::<u64>(),
+    )
+        .prop_map(|(t, ccr, seed)| {
+            CostModel {
+                comp: Dist::UniformMean(10),
+                ccr,
+            }
+            .apply(&t, seed)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every FLB step achieves the oracle's global minimum EST, for both
+    /// tie-break rules, across machine sizes.
+    #[test]
+    fn flb_selects_globally_earliest_start(
+        g in arb_weighted_graph(),
+        procs in 1usize..9,
+        tie in prop_oneof![Just(TieBreak::BottomLevel), Just(TieBreak::TaskId)],
+    ) {
+        let m = Machine::new(procs);
+        let mut run = FlbRun::new(&g, &m, tie);
+        loop {
+            let ready = run.ready_tasks();
+            let oracle_min = oracle::min_est(run.builder(), &ready);
+            match run.step() {
+                Some(step) => {
+                    let (_, _, est) = oracle_min.expect("ready set non-empty while stepping");
+                    prop_assert_eq!(
+                        step.start, est,
+                        "FLB started {} at {}, oracle found EST {}",
+                        step.task, step.start, est
+                    );
+                }
+                None => {
+                    prop_assert!(oracle_min.is_none());
+                    break;
+                }
+            }
+        }
+        let s = run.finish();
+        prop_assert_eq!(validate(&g, &s), Ok(()));
+    }
+
+    /// FLB schedules are always feasible and bounded: makespan at least the
+    /// computation-only critical path, at most the full serialisation.
+    #[test]
+    fn flb_schedules_are_feasible_and_bounded(
+        g in arb_weighted_graph(),
+        procs in 1usize..9,
+    ) {
+        use flb_sched::Scheduler;
+        let s = flb_core::Flb::default().schedule(&g, &Machine::new(procs));
+        prop_assert_eq!(validate(&g, &s), Ok(()));
+        let span = s.makespan();
+        prop_assert!(span >= flb_graph::levels::critical_path_comp_only(&g));
+        prop_assert!(span <= g.total_comp() + g.total_comm());
+        // On one processor FLB never idles: makespan is exactly T_seq.
+        if procs == 1 {
+            prop_assert_eq!(span, g.total_comp());
+        }
+    }
+}

@@ -1,0 +1,424 @@
+//! A binary min-heap indexed by dense `usize` item ids.
+
+/// A binary min-heap whose items are dense `usize` ids with an associated
+/// priority key, supporting `O(log n)` insertion, minimum removal, arbitrary
+/// removal and key update.
+///
+/// Ids must be smaller than the id universe the heap was created with (they
+/// are used to index the position table). Each id may be present at most
+/// once; re-inserting a present id is reported as an error by [`insert`],
+/// while [`update`] changes the key of a present id.
+///
+/// Ties between equal keys are broken by the smaller id, so iteration order
+/// is fully deterministic — a requirement for reproducible schedules.
+///
+/// ```
+/// use flb_ds::IndexedMinHeap;
+///
+/// let mut ready = IndexedMinHeap::new(8); // ids 0..8
+/// ready.insert(3, 20u64);
+/// ready.insert(5, 10);
+/// ready.insert(1, 30);
+/// assert_eq!(ready.peek(), Some((5, &10)));
+///
+/// ready.update(1, 5);        // BalanceList: re-prioritise id 1
+/// ready.remove(3);           // RemoveItem: drop an arbitrary id
+/// assert_eq!(ready.pop(), Some((1, 5)));
+/// assert_eq!(ready.pop(), Some((5, 10)));
+/// assert!(ready.is_empty());
+/// ```
+///
+/// [`insert`]: IndexedMinHeap::insert
+/// [`update`]: IndexedMinHeap::update
+#[derive(Clone, Debug)]
+pub struct IndexedMinHeap<K> {
+    /// `(key, id)` pairs in heap order.
+    heap: Vec<(K, usize)>,
+    /// `pos[id]` = index of `id` inside `heap`, or `NONE` if absent.
+    pos: Vec<usize>,
+}
+
+const NONE: usize = usize::MAX;
+
+impl<K: Ord> IndexedMinHeap<K> {
+    /// Creates an empty heap able to hold ids in `0..universe`.
+    #[must_use]
+    pub fn new(universe: usize) -> Self {
+        Self {
+            heap: Vec::new(),
+            pos: vec![NONE; universe],
+        }
+    }
+
+    /// Number of items currently in the heap.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the heap holds no items.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The size of the id universe the heap was created with.
+    #[must_use]
+    pub fn universe(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// Whether `id` is currently in the heap.
+    #[must_use]
+    pub fn contains(&self, id: usize) -> bool {
+        self.pos.get(id).is_some_and(|&p| p != NONE)
+    }
+
+    /// The key of `id`, if present.
+    #[must_use]
+    pub fn key(&self, id: usize) -> Option<&K> {
+        match self.pos.get(id) {
+            Some(&p) if p != NONE => Some(&self.heap[p].0),
+            _ => None,
+        }
+    }
+
+    /// The minimum `(id, key)` pair without removing it.
+    #[must_use]
+    pub fn peek(&self) -> Option<(usize, &K)> {
+        self.heap.first().map(|(k, id)| (*id, k))
+    }
+
+    /// Inserts `id` with `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= universe` or if `id` is already present; FLB's lists
+    /// never legitimately double-insert, so this guards algorithmic bugs.
+    pub fn insert(&mut self, id: usize, key: K) {
+        assert!(
+            id < self.pos.len(),
+            "id {id} outside heap universe {}",
+            self.pos.len()
+        );
+        assert!(self.pos[id] == NONE, "id {id} already present in heap");
+        let i = self.heap.len();
+        self.heap.push((key, id));
+        self.pos[id] = i;
+        self.sift_up(i);
+    }
+
+    /// Inserts `id` with `key`, or updates its key when already present.
+    pub fn insert_or_update(&mut self, id: usize, key: K) {
+        if self.contains(id) {
+            self.update(id, key);
+        } else {
+            self.insert(id, key);
+        }
+    }
+
+    /// Removes and returns the minimum `(id, key)` pair.
+    pub fn pop(&mut self) -> Option<(usize, K)> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let last = self.heap.len() - 1;
+        self.heap.swap(0, last);
+        self.fix_pos(0);
+        let (key, id) = self.heap.pop().expect("non-empty");
+        self.pos[id] = NONE;
+        if !self.heap.is_empty() {
+            self.sift_down(0);
+        }
+        Some((id, key))
+    }
+
+    /// Removes an arbitrary `id`, returning its key if it was present.
+    pub fn remove(&mut self, id: usize) -> Option<K> {
+        let p = *self.pos.get(id)?;
+        if p == NONE {
+            return None;
+        }
+        let last = self.heap.len() - 1;
+        self.heap.swap(p, last);
+        if p != last {
+            self.fix_pos(p);
+        }
+        let (key, removed) = self.heap.pop().expect("non-empty");
+        debug_assert_eq!(removed, id);
+        self.pos[id] = NONE;
+        if p < self.heap.len() {
+            // The element swapped into `p` can violate heap order in at most
+            // one direction (parent(p) <= old children of p), so fixing both
+            // ways is safe: only one of the two calls moves anything.
+            self.sift_down(p);
+            self.sift_up(p);
+        }
+        Some(key)
+    }
+
+    /// Changes the key of a present `id` (the paper's `BalanceList`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not present.
+    pub fn update(&mut self, id: usize, key: K) {
+        let p = self.pos[id];
+        assert!(p != NONE, "update of absent id {id}");
+        let up = key < self.heap[p].0;
+        self.heap[p].0 = key;
+        if up {
+            self.sift_up(p);
+        } else {
+            self.sift_down(p);
+        }
+    }
+
+    /// Removes every item, keeping the allocated capacity.
+    pub fn clear(&mut self) {
+        for &(_, id) in &self.heap {
+            self.pos[id] = NONE;
+        }
+        self.heap.clear();
+    }
+
+    /// Iterates over `(id, key)` pairs in unspecified (heap) order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &K)> {
+        self.heap.iter().map(|(k, id)| (*id, k))
+    }
+
+    /// Drains the heap in ascending key order.
+    pub fn into_sorted_vec(mut self) -> Vec<(usize, K)> {
+        let mut out = Vec::with_capacity(self.heap.len());
+        while let Some(pair) = self.pop() {
+            out.push(pair);
+        }
+        out
+    }
+
+    /// Verifies the heap invariant and position-table consistency.
+    ///
+    /// Intended for tests and debug assertions; `O(n)`.
+    #[must_use]
+    pub fn check_invariants(&self) -> bool {
+        for (i, (k, id)) in self.heap.iter().enumerate() {
+            if self.pos[*id] != i {
+                return false;
+            }
+            if i > 0 {
+                let parent = &self.heap[(i - 1) / 2];
+                if Self::entry_key(parent) > Self::entry_key(&(k, *id)) {
+                    return false;
+                }
+            }
+        }
+        self.pos.iter().filter(|&&p| p != NONE).count() == self.heap.len()
+    }
+
+    /// Total order over heap entries: key first, id as tie-break.
+    fn entry_key<'a>(e: &'a (impl std::borrow::Borrow<K> + 'a, usize)) -> (&'a K, usize) {
+        (e.0.borrow(), e.1)
+    }
+
+    fn less(&self, a: usize, b: usize) -> bool {
+        let (ka, ia) = &self.heap[a];
+        let (kb, ib) = &self.heap[b];
+        (ka, ia) < (kb, ib)
+    }
+
+    fn fix_pos(&mut self, p: usize) {
+        let id = self.heap[p].1;
+        self.pos[id] = p;
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.less(i, parent) {
+                self.heap.swap(i, parent);
+                self.fix_pos(i);
+                self.fix_pos(parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut smallest = i;
+            if l < self.heap.len() && self.less(l, smallest) {
+                smallest = l;
+            }
+            if r < self.heap.len() && self.less(r, smallest) {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            self.heap.swap(i, smallest);
+            self.fix_pos(i);
+            self.fix_pos(smallest);
+            i = smallest;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_heap() {
+        let mut h: IndexedMinHeap<u64> = IndexedMinHeap::new(4);
+        assert!(h.is_empty());
+        assert_eq!(h.len(), 0);
+        assert_eq!(h.pop(), None);
+        assert_eq!(h.peek(), None);
+        assert!(!h.contains(0));
+        assert_eq!(h.key(0), None);
+        assert!(h.check_invariants());
+    }
+
+    #[test]
+    fn insert_pop_orders_by_key() {
+        let mut h = IndexedMinHeap::new(8);
+        for (id, key) in [(0, 50u64), (1, 10), (2, 30), (3, 20), (4, 40)] {
+            h.insert(id, key);
+            assert!(h.check_invariants());
+        }
+        assert_eq!(h.len(), 5);
+        assert_eq!(h.peek(), Some((1, &10)));
+        let drained: Vec<_> = std::iter::from_fn(|| h.pop()).collect();
+        assert_eq!(drained, vec![(1, 10), (3, 20), (2, 30), (4, 40), (0, 50)]);
+    }
+
+    #[test]
+    fn equal_keys_break_ties_by_id() {
+        let mut h = IndexedMinHeap::new(8);
+        for id in [5, 2, 7, 0] {
+            h.insert(id, 1u32);
+        }
+        assert_eq!(h.pop(), Some((0, 1)));
+        assert_eq!(h.pop(), Some((2, 1)));
+        assert_eq!(h.pop(), Some((5, 1)));
+        assert_eq!(h.pop(), Some((7, 1)));
+    }
+
+    #[test]
+    fn remove_arbitrary_item() {
+        let mut h = IndexedMinHeap::new(8);
+        for (id, key) in [(0, 5u64), (1, 1), (2, 3), (3, 4), (4, 2)] {
+            h.insert(id, key);
+        }
+        assert_eq!(h.remove(2), Some(3));
+        assert!(h.check_invariants());
+        assert_eq!(h.remove(2), None);
+        assert_eq!(h.remove(7), None);
+        let drained: Vec<_> = std::iter::from_fn(|| h.pop()).collect();
+        assert_eq!(drained, vec![(1, 1), (4, 2), (3, 4), (0, 5)]);
+    }
+
+    #[test]
+    fn remove_head_and_tail() {
+        let mut h = IndexedMinHeap::new(4);
+        h.insert(0, 1u64);
+        h.insert(1, 2);
+        h.insert(2, 3);
+        assert_eq!(h.remove(0), Some(1)); // head
+        assert!(h.check_invariants());
+        assert_eq!(h.remove(2), Some(3)); // tail
+        assert!(h.check_invariants());
+        assert_eq!(h.pop(), Some((1, 2)));
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn update_decrease_and_increase() {
+        let mut h = IndexedMinHeap::new(8);
+        for (id, key) in [(0, 10u64), (1, 20), (2, 30)] {
+            h.insert(id, key);
+        }
+        h.update(2, 5); // decrease: becomes the head
+        assert!(h.check_invariants());
+        assert_eq!(h.peek(), Some((2, &5)));
+        h.update(2, 25); // increase: sinks again
+        assert!(h.check_invariants());
+        assert_eq!(h.peek(), Some((0, &10)));
+        let drained: Vec<_> = std::iter::from_fn(|| h.pop()).collect();
+        assert_eq!(drained, vec![(0, 10), (1, 20), (2, 25)]);
+    }
+
+    #[test]
+    fn insert_or_update_covers_both_paths() {
+        let mut h = IndexedMinHeap::new(4);
+        h.insert_or_update(1, 10u64);
+        assert_eq!(h.key(1), Some(&10));
+        h.insert_or_update(1, 3);
+        assert_eq!(h.key(1), Some(&3));
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already present")]
+    fn double_insert_panics() {
+        let mut h = IndexedMinHeap::new(4);
+        h.insert(1, 1u64);
+        h.insert(1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside heap universe")]
+    fn out_of_universe_panics() {
+        let mut h = IndexedMinHeap::new(2);
+        h.insert(2, 1u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "update of absent id")]
+    fn update_absent_panics() {
+        let mut h: IndexedMinHeap<u64> = IndexedMinHeap::new(2);
+        h.update(0, 1);
+    }
+
+    #[test]
+    fn clear_resets_positions() {
+        let mut h = IndexedMinHeap::new(4);
+        h.insert(0, 1u64);
+        h.insert(3, 2);
+        h.clear();
+        assert!(h.is_empty());
+        assert!(!h.contains(0));
+        assert!(!h.contains(3));
+        // Ids are reusable after clear.
+        h.insert(0, 9);
+        assert_eq!(h.pop(), Some((0, 9)));
+    }
+
+    #[test]
+    fn into_sorted_vec_is_ascending() {
+        let mut h = IndexedMinHeap::new(16);
+        for (id, key) in [(8, 3u64), (1, 9), (4, 1), (9, 7), (2, 5)] {
+            h.insert(id, key);
+        }
+        let v = h.into_sorted_vec();
+        assert_eq!(v, vec![(4, 1), (8, 3), (2, 5), (9, 7), (1, 9)]);
+    }
+
+    #[test]
+    fn tuple_keys_with_reverse_component() {
+        // FLB keys tasks by (time, Reverse(bottom level), id): smaller time
+        // first, larger bottom level first among equal times.
+        use std::cmp::Reverse;
+        let mut h = IndexedMinHeap::new(4);
+        h.insert(0, (5u64, Reverse(1u64)));
+        h.insert(1, (5, Reverse(9)));
+        h.insert(2, (4, Reverse(0)));
+        assert_eq!(h.pop(), Some((2, (4, Reverse(0)))));
+        assert_eq!(h.pop(), Some((1, (5, Reverse(9)))));
+        assert_eq!(h.pop(), Some((0, (5, Reverse(1)))));
+    }
+}

@@ -1,0 +1,22 @@
+//! Priority-queue substrate for the FLB scheduler.
+//!
+//! The FLB algorithm (Rădulescu & van Gemund, ICPP 1999) maintains five kinds
+//! of sorted lists — two per-processor lists of EP-type tasks, a global
+//! non-EP-type task list, the active-processor list and the global processor
+//! list — and needs three operations on each of them in `O(log n)`:
+//!
+//! * `Enqueue` — insert an item with a priority,
+//! * `Dequeue` — remove the minimum-priority item,
+//! * `RemoveItem` / `BalanceList` — remove or re-prioritise an *arbitrary*
+//!   item identified by its id.
+//!
+//! [`IndexedMinHeap`] provides exactly that: a binary min-heap over items
+//! identified by dense `usize` ids (task ids or processor ids), with a
+//! position index enabling `O(log n)` removal and key updates of any item.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod indexed_heap;
+
+pub use indexed_heap::IndexedMinHeap;

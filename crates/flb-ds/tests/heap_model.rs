@@ -1,0 +1,117 @@
+//! Model-based property tests: `IndexedMinHeap` against a naive reference
+//! implementation backed by a `BTreeMap`.
+
+use flb_ds::IndexedMinHeap;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// A reference "heap" with the same observable behaviour, implemented the
+/// slow-and-obviously-correct way.
+#[derive(Default)]
+struct ModelHeap {
+    items: BTreeMap<usize, u64>,
+}
+
+impl ModelHeap {
+    fn insert(&mut self, id: usize, key: u64) {
+        assert!(self.items.insert(id, key).is_none());
+    }
+    fn pop(&mut self) -> Option<(usize, u64)> {
+        let (&id, &key) = self
+            .items
+            .iter()
+            .min_by_key(|&(&id, &key)| (key, id))?;
+        self.items.remove(&id);
+        Some((id, key))
+    }
+    fn remove(&mut self, id: usize) -> Option<u64> {
+        self.items.remove(&id)
+    }
+    fn update(&mut self, id: usize, key: u64) {
+        *self.items.get_mut(&id).expect("present") = key;
+    }
+    fn peek(&self) -> Option<(usize, u64)> {
+        self.items
+            .iter()
+            .min_by_key(|&(&id, &key)| (key, id))
+            .map(|(&id, &key)| (id, key))
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(usize, u64),
+    Pop,
+    Remove(usize),
+    Update(usize, u64),
+    Peek,
+}
+
+fn op_strategy(universe: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..universe, any::<u64>()).prop_map(|(id, k)| Op::Insert(id, k)),
+        Just(Op::Pop),
+        (0..universe).prop_map(Op::Remove),
+        (0..universe, any::<u64>()).prop_map(|(id, k)| Op::Update(id, k)),
+        Just(Op::Peek),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn heap_matches_model(ops in proptest::collection::vec(op_strategy(24), 1..200)) {
+        let universe = 24;
+        let mut heap = IndexedMinHeap::new(universe);
+        let mut model = ModelHeap::default();
+        for op in ops {
+            match op {
+                Op::Insert(id, k) => {
+                    if !heap.contains(id) {
+                        heap.insert(id, k);
+                        model.insert(id, k);
+                    }
+                }
+                Op::Pop => {
+                    prop_assert_eq!(heap.pop(), model.pop());
+                }
+                Op::Remove(id) => {
+                    prop_assert_eq!(heap.remove(id), model.remove(id));
+                }
+                Op::Update(id, k) => {
+                    if heap.contains(id) {
+                        heap.update(id, k);
+                        model.update(id, k);
+                    }
+                }
+                Op::Peek => {
+                    prop_assert_eq!(heap.peek().map(|(id, k)| (id, *k)), model.peek());
+                }
+            }
+            prop_assert!(heap.check_invariants());
+            prop_assert_eq!(heap.len(), model.items.len());
+        }
+        // Drain both: must agree item-for-item.
+        loop {
+            let (a, b) = (heap.pop(), model.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn into_sorted_vec_is_sorted(keys in proptest::collection::vec(any::<u64>(), 0..64)) {
+        let mut heap = IndexedMinHeap::new(keys.len());
+        for (id, &k) in keys.iter().enumerate() {
+            heap.insert(id, k);
+        }
+        let sorted = heap.into_sorted_vec();
+        prop_assert_eq!(sorted.len(), keys.len());
+        for w in sorted.windows(2) {
+            prop_assert!((w[0].1, w[0].0) <= (w[1].1, w[1].0));
+        }
+    }
+}

@@ -1,0 +1,680 @@
+//! Task-graph topology generators.
+//!
+//! The paper's evaluation (§6) uses task graphs "representing various types
+//! of parallel algorithms": **LU decomposition**, a **Laplace equation
+//! solver** and a **stencil algorithm**, each sized to about `V = 2000`
+//! tasks, plus **FFT** discussed alongside them. These are the standard
+//! synthetic DAG families of the scheduling literature; this module
+//! implements them plus the usual extra shapes (trees, fork–join, chains,
+//! random layered graphs) used by the wider test suite.
+//!
+//! Every generator emits **unit** computation and communication costs; the
+//! [`crate::costs`] module re-weights a topology with a random cost model at
+//! a chosen CCR, matching the paper's methodology (random execution times
+//! and communication delays on a fixed topology).
+
+use crate::{Cost, TaskGraph, TaskGraphBuilder, TaskId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// LU-decomposition task graph.
+///
+/// Column-oriented LU without pivoting on an `m × m` matrix: for each step
+/// `k` there is a pivot task `P_k` and update tasks `U_{k,j}` for each later
+/// column `j > k`. `P_k` feeds every `U_{k,j}`; `U_{k,j}` feeds the next
+/// step's task in the same column (`P_{k+1}` when `j = k+1`, else
+/// `U_{k+1,j}`). `V = m(m+1)/2`; the paper's `V ≈ 2000` corresponds to
+/// `m = 62` (1953 tasks). The many successive fork–joins give LU its low
+/// parallelism at large `P` (§6.2).
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+#[must_use]
+pub fn lu(m: usize) -> TaskGraph {
+    assert!(m > 0, "LU needs at least a 1x1 matrix");
+    let mut b = TaskGraphBuilder::named(format!("lu-{m}"));
+    // ids[k][j - k] with j = k meaning the pivot task of step k.
+    let mut ids: Vec<Vec<TaskId>> = Vec::with_capacity(m);
+    for k in 0..m {
+        ids.push((k..m).map(|_| b.add_task(1)).collect());
+    }
+    for k in 0..m {
+        for j in (k + 1)..m {
+            // P_k -> U_{k,j}
+            b.add_edge(ids[k][0], ids[k][j - k], 1).expect("valid edge");
+            // U_{k,j} -> next task of column j at step k+1.
+            b.add_edge(ids[k][j - k], ids[k + 1][j - k - 1], 1)
+                .expect("valid edge");
+        }
+    }
+    b.build().expect("LU topology is a DAG")
+}
+
+/// Laplace-solver task graph: an `n × n` wavefront grid.
+///
+/// Task `(i, j)` depends on `(i-1, j)` and `(i, j-1)` — the data-dependence
+/// pattern of a Gauss–Seidel sweep for the Laplace equation. `V = n²`
+/// (`n = 45` gives the paper's 2025 tasks); every interior task performs a
+/// join, which is why the paper groups Laplace with LU as join-heavy.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn laplace(n: usize) -> TaskGraph {
+    assert!(n > 0, "Laplace grid needs n >= 1");
+    let mut b = TaskGraphBuilder::named(format!("laplace-{n}"));
+    let ids: Vec<Vec<TaskId>> = (0..n)
+        .map(|_| (0..n).map(|_| b.add_task(1)).collect())
+        .collect();
+    for i in 0..n {
+        for j in 0..n {
+            if i + 1 < n {
+                b.add_edge(ids[i][j], ids[i + 1][j], 1).expect("valid edge");
+            }
+            if j + 1 < n {
+                b.add_edge(ids[i][j], ids[i][j + 1], 1).expect("valid edge");
+            }
+        }
+    }
+    b.build().expect("Laplace topology is a DAG")
+}
+
+/// One-dimensional 3-point stencil task graph.
+///
+/// `steps` time steps over `points` spatial points; task `(s, i)` depends on
+/// `(s-1, i-1)`, `(s-1, i)` and `(s-1, i+1)` (clamped at the borders).
+/// `V = points · steps` (`50 × 40 = 2000` for the paper's size). Highly
+/// regular, near-constant width — the class the paper reports as achieving
+/// linear speedup.
+///
+/// # Panics
+///
+/// Panics if `points == 0` or `steps == 0`.
+#[must_use]
+pub fn stencil(points: usize, steps: usize) -> TaskGraph {
+    assert!(points > 0 && steps > 0, "stencil needs points, steps >= 1");
+    let mut b = TaskGraphBuilder::named(format!("stencil-{points}x{steps}"));
+    let ids: Vec<Vec<TaskId>> = (0..steps)
+        .map(|_| (0..points).map(|_| b.add_task(1)).collect())
+        .collect();
+    for s in 1..steps {
+        for i in 0..points {
+            let lo = i.saturating_sub(1);
+            let hi = (i + 1).min(points - 1);
+            for j in lo..=hi {
+                b.add_edge(ids[s - 1][j], ids[s][i], 1).expect("valid edge");
+            }
+        }
+    }
+    b.build().expect("stencil topology is a DAG")
+}
+
+/// FFT butterfly task graph on `2^log2_points` points.
+///
+/// `log2_points + 1` rows of `2^log2_points` tasks; task `(s, i)` for
+/// `s >= 1` depends on `(s-1, i)` and `(s-1, i XOR 2^(s-1))`.
+/// `V = (k+1)·2^k` (`k = 8` gives 2304 tasks, the closest to the paper's
+/// 2000). Regular with full width — linear-speedup class (§6.2).
+///
+/// # Panics
+///
+/// Panics if `log2_points == 0` or `log2_points > 20`.
+#[must_use]
+pub fn fft(log2_points: u32) -> TaskGraph {
+    assert!(
+        (1..=20).contains(&log2_points),
+        "fft needs 1 <= log2_points <= 20"
+    );
+    let n = 1usize << log2_points;
+    let rows = log2_points as usize + 1;
+    let mut b = TaskGraphBuilder::named(format!("fft-{n}"));
+    let ids: Vec<Vec<TaskId>> = (0..rows)
+        .map(|_| (0..n).map(|_| b.add_task(1)).collect())
+        .collect();
+    for s in 1..rows {
+        let stride = 1usize << (s - 1);
+        for i in 0..n {
+            b.add_edge(ids[s - 1][i], ids[s][i], 1).expect("valid edge");
+            b.add_edge(ids[s - 1][i ^ stride], ids[s][i], 1)
+                .expect("valid edge");
+        }
+    }
+    b.build().expect("fft topology is a DAG")
+}
+
+/// Blocked (tiled) Cholesky factorisation task graph on an `nb × nb` tile
+/// grid — the canonical dense-linear-algebra DAG of task-based runtimes.
+///
+/// Kernels and dependences per step `k`:
+///
+/// * `POTRF(k)`  ← `SYRK(k-1, k)`
+/// * `TRSM(k,i)` ← `POTRF(k)`, `GEMM(k-1, i, k)`      for `i > k`
+/// * `SYRK(k,i)` ← `TRSM(k,i)`, `SYRK(k-1, i)`        for `i > k`
+/// * `GEMM(k,i,j)` ← `TRSM(k,i)`, `TRSM(k,j)`, `GEMM(k-1, i, j)` for `k < j < i`
+///
+/// `V = nb + nb(nb−1) + C(nb,3)` (`nb = 22` gives 2024 tasks). Unlike the
+/// other generators this one emits *relative* computation weights matching
+/// the kernels' flop counts (`POTRF` 2, `TRSM`/`SYRK` 3, `GEMM` 6) with
+/// unit tile-transfer communication; [`crate::costs::CostModel::apply`]
+/// still re-weights it like any topology when randomised costs are wanted.
+///
+/// # Panics
+///
+/// Panics if `nb == 0`.
+#[must_use]
+pub fn cholesky(nb: usize) -> TaskGraph {
+    assert!(nb > 0, "cholesky needs at least one tile");
+    let mut b = TaskGraphBuilder::named(format!("cholesky-{nb}"));
+    // Task handles per step: potrf[k], trsm[k][i-k-1], syrk[k][i-k-1],
+    // gemm[k] as a map keyed by (i, j).
+    let mut potrf = Vec::with_capacity(nb);
+    let mut trsm: Vec<Vec<TaskId>> = Vec::with_capacity(nb);
+    let mut syrk: Vec<Vec<TaskId>> = Vec::with_capacity(nb);
+    let mut gemm: Vec<std::collections::BTreeMap<(usize, usize), TaskId>> =
+        Vec::with_capacity(nb);
+
+    for k in 0..nb {
+        let p = b.add_task(2);
+        potrf.push(p);
+        if k > 0 {
+            // POTRF(k) <- SYRK(k-1, k)
+            b.add_edge(syrk[k - 1][0], p, 1).expect("valid edge");
+        }
+
+        let mut tr = Vec::new();
+        for i in (k + 1)..nb {
+            let t = b.add_task(3);
+            b.add_edge(p, t, 1).expect("valid edge");
+            if k > 0 {
+                let g = gemm[k - 1][&(i, k)];
+                b.add_edge(g, t, 1).expect("valid edge");
+            }
+            tr.push(t);
+        }
+
+        let mut sy = Vec::new();
+        for i in (k + 1)..nb {
+            let s = b.add_task(3);
+            b.add_edge(tr[i - k - 1], s, 1).expect("valid edge");
+            if k > 0 {
+                b.add_edge(syrk[k - 1][i - k], s, 1).expect("valid edge");
+            }
+            sy.push(s);
+        }
+
+        let mut gm = std::collections::BTreeMap::new();
+        for i in (k + 1)..nb {
+            for j in (k + 1)..i {
+                let g = b.add_task(6);
+                b.add_edge(tr[i - k - 1], g, 1).expect("valid edge");
+                b.add_edge(tr[j - k - 1], g, 1).expect("valid edge");
+                if k > 0 {
+                    b.add_edge(gemm[k - 1][&(i, j)], g, 1).expect("valid edge");
+                }
+                gm.insert((i, j), g);
+            }
+        }
+
+        trsm.push(tr);
+        syrk.push(sy);
+        gemm.push(gm);
+    }
+    b.build().expect("cholesky topology is a DAG")
+}
+
+/// Linear chain of `n` tasks (width 1; a serial program).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn chain(n: usize) -> TaskGraph {
+    assert!(n > 0);
+    let mut b = TaskGraphBuilder::named(format!("chain-{n}"));
+    let ids: Vec<TaskId> = (0..n).map(|_| b.add_task(1)).collect();
+    for w in ids.windows(2) {
+        b.add_edge(w[0], w[1], 1).expect("valid edge");
+    }
+    b.build().expect("chain is a DAG")
+}
+
+/// `n` independent tasks (width `n`; an embarrassingly parallel program).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn independent(n: usize) -> TaskGraph {
+    assert!(n > 0);
+    let mut b = TaskGraphBuilder::named(format!("independent-{n}"));
+    for _ in 0..n {
+        b.add_task(1);
+    }
+    b.build().expect("edgeless graph is a DAG")
+}
+
+/// Fork–join program: `stages` sequential stages, each forking into `width`
+/// parallel tasks that join before the next stage.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `stages == 0`.
+#[must_use]
+pub fn fork_join(width: usize, stages: usize) -> TaskGraph {
+    assert!(width > 0 && stages > 0);
+    let mut b = TaskGraphBuilder::named(format!("forkjoin-{width}x{stages}"));
+    let mut join = b.add_task(1);
+    for _ in 0..stages {
+        let mid: Vec<TaskId> = (0..width).map(|_| b.add_task(1)).collect();
+        let next = b.add_task(1);
+        for &m in &mid {
+            b.add_edge(join, m, 1).expect("valid edge");
+            b.add_edge(m, next, 1).expect("valid edge");
+        }
+        join = next;
+    }
+    b.build().expect("fork-join is a DAG")
+}
+
+/// Complete out-tree (fork tree) of the given arity and height
+/// (`height = 0` is a single task).
+#[must_use]
+pub fn out_tree(arity: usize, height: u32) -> TaskGraph {
+    assert!(arity > 0);
+    let mut b = TaskGraphBuilder::named(format!("outtree-{arity}h{height}"));
+    let root = b.add_task(1);
+    let mut frontier = vec![root];
+    for _ in 0..height {
+        let mut next = Vec::with_capacity(frontier.len() * arity);
+        for &p in &frontier {
+            for _ in 0..arity {
+                let c = b.add_task(1);
+                b.add_edge(p, c, 1).expect("valid edge");
+                next.push(c);
+            }
+        }
+        frontier = next;
+    }
+    b.build().expect("tree is a DAG")
+}
+
+/// Complete in-tree (join/reduction tree): the mirror of [`out_tree`].
+#[must_use]
+pub fn in_tree(arity: usize, height: u32) -> TaskGraph {
+    assert!(arity > 0);
+    let mut b = TaskGraphBuilder::named(format!("intree-{arity}h{height}"));
+    // Build leaves-to-root: the frontier holds roots of already-built
+    // subtrees; combine `arity` of them under each new parent.
+    let leaves = (arity as u64).pow(height) as usize;
+    let mut frontier: Vec<TaskId> = (0..leaves).map(|_| b.add_task(1)).collect();
+    while frontier.len() > 1 {
+        let mut next = Vec::with_capacity(frontier.len() / arity);
+        for group in frontier.chunks(arity) {
+            let parent = b.add_task(1);
+            for &c in group {
+                b.add_edge(c, parent, 1).expect("valid edge");
+            }
+            next.push(parent);
+        }
+        frontier = next;
+    }
+    b.build().expect("tree is a DAG")
+}
+
+/// Parameters for [`random_layered`].
+#[derive(Clone, Debug)]
+pub struct RandomLayeredSpec {
+    /// Approximate total number of tasks.
+    pub tasks: usize,
+    /// Number of layers (depth of the DAG).
+    pub layers: usize,
+    /// Probability of an edge between tasks in adjacent layers.
+    pub edge_prob: f64,
+    /// How many layers ahead an edge may skip (1 = only adjacent).
+    pub max_skip: usize,
+}
+
+impl Default for RandomLayeredSpec {
+    fn default() -> Self {
+        Self {
+            tasks: 200,
+            layers: 10,
+            edge_prob: 0.2,
+            max_skip: 2,
+        }
+    }
+}
+
+/// Random layered DAG: `spec.tasks` tasks spread over `spec.layers` layers
+/// of random (≥ 1) sizes, with forward edges sampled independently between
+/// layers at distance ≤ `max_skip`. Every non-first-layer task is guaranteed
+/// at least one predecessor, so depth equals the layer structure.
+///
+/// Deterministic for a fixed `seed`.
+#[must_use]
+pub fn random_layered(spec: &RandomLayeredSpec, seed: u64) -> TaskGraph {
+    assert!(spec.tasks >= spec.layers && spec.layers > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = TaskGraphBuilder::named(format!("rand-layered-{}-s{seed}", spec.tasks));
+
+    // Random layer sizes, each at least 1, summing to `tasks`.
+    let mut sizes = vec![1usize; spec.layers];
+    for _ in 0..spec.tasks - spec.layers {
+        let l = rng.random_range(0..spec.layers);
+        sizes[l] += 1;
+    }
+    let layers: Vec<Vec<TaskId>> = sizes
+        .iter()
+        .map(|&sz| (0..sz).map(|_| b.add_task(1)).collect())
+        .collect();
+
+    for l in 1..spec.layers {
+        for &t in &layers[l] {
+            let mut has_pred = false;
+            let lo = l.saturating_sub(spec.max_skip.max(1));
+            for prev_layer in &layers[lo..l] {
+                for &p in prev_layer {
+                    if rng.random_bool(spec.edge_prob) {
+                        b.add_edge(p, t, 1).expect("valid edge");
+                        has_pred = true;
+                    }
+                }
+            }
+            if !has_pred {
+                // Guarantee connectivity to the previous layer.
+                let prev = &layers[l - 1];
+                let p = prev[rng.random_range(0..prev.len())];
+                b.add_edge(p, t, 1).expect("valid edge");
+            }
+        }
+    }
+    b.build().expect("layered construction is acyclic")
+}
+
+/// Erdős–Rényi random DAG: `v` tasks; each forward pair `(i, j)`, `i < j`,
+/// gets an edge with probability `p`. Deterministic for a fixed `seed`.
+#[must_use]
+pub fn random_dag(v: usize, p: f64, seed: u64) -> TaskGraph {
+    assert!(v > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = TaskGraphBuilder::named(format!("rand-dag-{v}-s{seed}"));
+    let ids: Vec<TaskId> = (0..v).map(|_| b.add_task(1)).collect();
+    for i in 0..v {
+        for j in (i + 1)..v {
+            if rng.random_bool(p) {
+                b.add_edge(ids[i], ids[j], 1).expect("valid edge");
+            }
+        }
+    }
+    b.build().expect("forward edges are acyclic")
+}
+
+/// The problem families evaluated in the paper, as an enumerable list used
+/// by the workload suite and the CLI.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// LU decomposition ([`lu`]).
+    Lu,
+    /// Laplace solver wavefront grid ([`laplace`]).
+    Laplace,
+    /// 1-D stencil ([`stencil`]).
+    Stencil,
+    /// FFT butterfly ([`fft`]).
+    Fft,
+}
+
+impl Family {
+    /// All paper families in presentation order.
+    pub const ALL: [Family; 4] = [Family::Lu, Family::Laplace, Family::Stencil, Family::Fft];
+
+    /// Display name matching the paper's figures.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Lu => "LU",
+            Family::Laplace => "Laplace",
+            Family::Stencil => "Stencil",
+            Family::Fft => "FFT",
+        }
+    }
+
+    /// Generates this family's topology at (approximately) `v` tasks, using
+    /// the same size parameters the paper implies for `v ≈ 2000`.
+    #[must_use]
+    pub fn topology(self, v: usize) -> TaskGraph {
+        match self {
+            Family::Lu => {
+                // V = m (m + 1) / 2  =>  m ≈ (sqrt(8 V + 1) - 1) / 2.
+                let m = ((((8 * v + 1) as f64).sqrt() - 1.0) / 2.0).round().max(1.0) as usize;
+                lu(m)
+            }
+            Family::Laplace => {
+                let n = (v as f64).sqrt().round().max(1.0) as usize;
+                laplace(n)
+            }
+            Family::Stencil => {
+                // Aspect ratio 50 x 40 at v = 2000: points = 1.25 * steps.
+                let steps = ((v as f64) / 1.25).sqrt().round().max(1.0) as usize;
+                let points = v.div_ceil(steps);
+                stencil(points, steps)
+            }
+            Family::Fft => {
+                // V = (k+1) 2^k: pick the k whose size is closest to v.
+                let k = (1..=16)
+                    .min_by_key(|&k| {
+                        let size = (k as usize + 1) << k;
+                        size.abs_diff(v)
+                    })
+                    .expect("non-empty range");
+                fft(k)
+            }
+        }
+    }
+}
+
+impl std::str::FromStr for Family {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "lu" => Ok(Family::Lu),
+            "laplace" => Ok(Family::Laplace),
+            "stencil" => Ok(Family::Stencil),
+            "fft" => Ok(Family::Fft),
+            other => Err(format!("unknown family {other:?} (lu|laplace|stencil|fft)")),
+        }
+    }
+}
+
+/// Unit communication cost shared by all generators (re-weighted later).
+#[allow(dead_code)]
+const UNIT: Cost = 1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::width::{max_antichain, max_ready_width};
+
+    #[test]
+    fn lu_sizes() {
+        assert_eq!(lu(1).num_tasks(), 1);
+        assert_eq!(lu(2).num_tasks(), 3);
+        assert_eq!(lu(62).num_tasks(), 62 * 63 / 2); // paper scale: 1953
+    }
+
+    #[test]
+    fn lu_structure() {
+        let g = lu(3); // P0, U01, U02, P1, U12, P2
+        assert_eq!(g.num_tasks(), 6);
+        assert_eq!(g.entry_tasks().count(), 1);
+        assert_eq!(g.exit_tasks().count(), 1);
+        // P0 forks to both updates.
+        assert_eq!(g.out_degree(crate::TaskId(0)), 2);
+        // Width: the two updates of step 0 are independent.
+        assert_eq!(max_antichain(&g), 2);
+    }
+
+    #[test]
+    fn laplace_sizes_and_width() {
+        let g = laplace(5);
+        assert_eq!(g.num_tasks(), 25);
+        assert_eq!(g.entry_tasks().count(), 1);
+        assert_eq!(g.exit_tasks().count(), 1);
+        assert_eq!(max_antichain(&g), 5); // anti-diagonal
+        assert_eq!(max_ready_width(&g), 5);
+    }
+
+    #[test]
+    fn stencil_sizes_and_shape() {
+        let g = stencil(4, 3);
+        assert_eq!(g.num_tasks(), 12);
+        assert_eq!(g.entry_tasks().count(), 4); // whole first row
+        assert_eq!(g.exit_tasks().count(), 4); // whole last row
+        assert_eq!(max_ready_width(&g), 4);
+        // Interior task has 3 predecessors, border tasks 2.
+        assert_eq!(g.in_degree(crate::TaskId(5)), 3);
+        assert_eq!(g.in_degree(crate::TaskId(4)), 2);
+    }
+
+    #[test]
+    fn fft_sizes_and_degrees() {
+        let g = fft(3);
+        assert_eq!(g.num_tasks(), 4 * 8); // (k+1) 2^k
+        assert_eq!(g.entry_tasks().count(), 8);
+        assert_eq!(g.exit_tasks().count(), 8);
+        // Every non-entry task has exactly 2 predecessors.
+        for t in g.tasks() {
+            let d = g.in_degree(t);
+            assert!(d == 0 || d == 2, "task {t} has in-degree {d}");
+        }
+        assert_eq!(max_ready_width(&g), 8);
+    }
+
+    #[test]
+    fn cholesky_sizes_and_structure() {
+        // V = nb + nb(nb-1) + C(nb, 3).
+        let count = |nb: usize| {
+            let gemm = if nb >= 3 { nb * (nb - 1) * (nb - 2) / 6 } else { 0 };
+            nb + nb * (nb - 1) + gemm
+        };
+        for nb in [1usize, 2, 3, 5, 8] {
+            let g = cholesky(nb);
+            assert_eq!(g.num_tasks(), count(nb), "nb = {nb}");
+            // Single entry (POTRF(0)) and single exit (POTRF(nb-1)).
+            assert_eq!(g.entry_tasks().count(), 1, "nb = {nb}");
+            assert_eq!(g.exit_tasks().count(), 1, "nb = {nb}");
+        }
+        assert_eq!(cholesky(22).num_tasks(), 2024); // paper scale
+    }
+
+    #[test]
+    fn cholesky_kernel_weights() {
+        let g = cholesky(3);
+        // Entry task is POTRF(0) with weight 2; some GEMM (weight 6) exists.
+        let entry = g.entry_tasks().next().unwrap();
+        assert_eq!(g.comp(entry), 2);
+        assert!(g.tasks().any(|t| g.comp(t) == 6));
+        assert!(g.tasks().any(|t| g.comp(t) == 3));
+    }
+
+    #[test]
+    fn chain_and_independent() {
+        assert_eq!(chain(5).num_edges(), 4);
+        assert_eq!(max_antichain(&chain(5)), 1);
+        assert_eq!(independent(7).num_edges(), 0);
+        assert_eq!(max_antichain(&independent(7)), 7);
+    }
+
+    #[test]
+    fn fork_join_shape() {
+        let g = fork_join(4, 2);
+        // 1 + (4 + 1) * 2 tasks.
+        assert_eq!(g.num_tasks(), 11);
+        assert_eq!(g.entry_tasks().count(), 1);
+        assert_eq!(g.exit_tasks().count(), 1);
+        assert_eq!(max_antichain(&g), 4);
+    }
+
+    #[test]
+    fn trees() {
+        let o = out_tree(2, 3);
+        assert_eq!(o.num_tasks(), 15);
+        assert_eq!(o.exit_tasks().count(), 8);
+        let i = in_tree(2, 3);
+        assert_eq!(i.num_tasks(), 15);
+        assert_eq!(i.entry_tasks().count(), 8);
+        assert_eq!(i.exit_tasks().count(), 1);
+    }
+
+    #[test]
+    fn random_layered_is_deterministic_and_connected() {
+        let spec = RandomLayeredSpec::default();
+        let a = random_layered(&spec, 42);
+        let b = random_layered(&spec, 42);
+        assert_eq!(a.num_tasks(), b.num_tasks());
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert_eq!(a.num_tasks(), spec.tasks);
+        // No isolated non-entry task in any layer beyond the first.
+        let entries = a.entry_tasks().count();
+        assert!(entries >= 1);
+        for t in a.tasks() {
+            assert!(a.in_degree(t) > 0 || a.out_degree(t) > 0 || a.num_tasks() == 1 || entries > 0);
+        }
+        let c = random_layered(&spec, 43);
+        assert!(
+            a.num_edges() != c.num_edges() || a.total_comp() == c.total_comp(),
+            "different seeds should usually differ"
+        );
+    }
+
+    #[test]
+    fn random_layered_zero_prob_still_connected() {
+        // With edge_prob 0 every non-first-layer task takes the guaranteed
+        // fallback edge to the previous layer: exactly tasks - first_layer
+        // edges, and no task in layers 2.. is an entry.
+        let spec = RandomLayeredSpec {
+            tasks: 30,
+            layers: 5,
+            edge_prob: 0.0,
+            max_skip: 2,
+        };
+        let g = random_layered(&spec, 9);
+        let entries = g.entry_tasks().count();
+        assert_eq!(g.num_edges(), g.num_tasks() - entries);
+        // Depth matches the layer count.
+        let d = crate::levels::depths(&g);
+        assert_eq!(d.iter().max(), Some(&4));
+    }
+
+    #[test]
+    fn random_dag_edge_prob_extremes() {
+        let empty = random_dag(10, 0.0, 1);
+        assert_eq!(empty.num_edges(), 0);
+        let full = random_dag(10, 1.0, 1);
+        assert_eq!(full.num_edges(), 45);
+        assert_eq!(max_antichain(&full), 1);
+    }
+
+    #[test]
+    fn family_topology_sizes_near_target() {
+        for fam in Family::ALL {
+            let g = fam.topology(2000);
+            let v = g.num_tasks();
+            assert!(
+                (1500..=2500).contains(&v),
+                "{} generated {v} tasks",
+                fam.name()
+            );
+        }
+    }
+
+    #[test]
+    fn family_parse_roundtrip() {
+        for fam in Family::ALL {
+            let parsed: Family = fam.name().to_lowercase().parse().unwrap();
+            assert_eq!(parsed, fam);
+        }
+        assert!("nope".parse::<Family>().is_err());
+    }
+}

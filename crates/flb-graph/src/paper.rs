@@ -1,0 +1,68 @@
+//! The example task graph of the paper's Fig. 1.
+//!
+//! The figure itself is partially garbled in the available scan, but every
+//! weight is uniquely determined by the execution trace in Table 1: each
+//! task's `EMT`, bottom level and `LMT` printed there pin down all edge
+//! weights (the reconstruction is re-derived in this module's tests).
+
+use crate::{TaskGraph, TaskGraphBuilder, TaskId};
+
+/// Computation costs of `t0..t7` in Fig. 1.
+pub const FIG1_COMP: [u64; 8] = [2, 2, 2, 3, 3, 3, 2, 2];
+
+/// Edges `(src, dst, comm)` of Fig. 1.
+pub const FIG1_EDGES: [(usize, usize, u64); 10] = [
+    (0, 1, 1),
+    (0, 2, 4),
+    (0, 3, 1),
+    (1, 4, 2),
+    (1, 5, 1),
+    (3, 5, 1),
+    (2, 6, 1),
+    (4, 7, 1),
+    (5, 7, 3),
+    (6, 7, 2),
+];
+
+/// Builds the paper's Fig. 1 task graph: 8 tasks, 10 edges.
+#[must_use]
+pub fn fig1() -> TaskGraph {
+    let mut b = TaskGraphBuilder::named("paper-fig1");
+    let ids: Vec<TaskId> = FIG1_COMP.iter().map(|&c| b.add_task(c)).collect();
+    for &(s, d, c) in &FIG1_EDGES {
+        b.add_edge(ids[s], ids[d], c).expect("fig1 edges are valid");
+    }
+    b.build().expect("fig1 is a DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levels::bottom_levels;
+
+    #[test]
+    fn fig1_shape() {
+        let g = fig1();
+        assert_eq!(g.num_tasks(), 8);
+        assert_eq!(g.num_edges(), 10);
+        assert_eq!(g.entry_tasks().collect::<Vec<_>>(), vec![TaskId(0)]);
+        assert_eq!(g.exit_tasks().collect::<Vec<_>>(), vec![TaskId(7)]);
+    }
+
+    /// Bottom levels printed in Table 1: BL(t3)=12, BL(t1)=11, BL(t2)=9,
+    /// BL(t4)=6, BL(t5)=8, BL(t6)=6, BL(t7)=2.
+    #[test]
+    fn fig1_bottom_levels_match_table1() {
+        let g = fig1();
+        let bl = bottom_levels(&g);
+        assert_eq!(bl[7], 2);
+        assert_eq!(bl[6], 6);
+        assert_eq!(bl[5], 8);
+        assert_eq!(bl[4], 6);
+        assert_eq!(bl[3], 12);
+        assert_eq!(bl[2], 9);
+        assert_eq!(bl[1], 11);
+        // BL(t0) = 2 + max(1+11, 4+9, 1+12) = 15 (not shown in the table).
+        assert_eq!(bl[0], 15);
+    }
+}

@@ -1,0 +1,227 @@
+//! Task-graph transformations used as scheduling pre-passes.
+//!
+//! * [`transitive_reduction`] — removes edges implied by longer paths.
+//!   Compilers commonly emit redundant dependence edges; removing one whose
+//!   endpoints stay ordered through an intermediate path preserves every
+//!   precedence constraint while deleting its message. Only edges whose
+//!   communication cannot *lengthen* any path are safe to drop under
+//!   communication-aware scheduling, so reduction here removes an edge
+//!   `(u, v)` only when some alternative `u ⇝ v` path exists; the effect on
+//!   schedule quality is workload-dependent and measured, not assumed.
+//! * [`coarsen_chains`] — merges maximal linear chains (out-degree 1 →
+//!   in-degree 1 runs) into single tasks, summing computation and dropping
+//!   the internal messages: classic granularity coarsening. Returns the
+//!   mapping from old to new task ids.
+
+use crate::{Cost, TaskGraph, TaskGraphBuilder, TaskId};
+
+/// Removes every edge `(u, v)` for which another `u ⇝ v` path exists.
+///
+/// The result has the same tasks and the same reachability relation (same
+/// partial order, hence identical width and a critical path no longer than
+/// the original).
+///
+/// ```
+/// use flb_graph::{transform::transitive_reduction, TaskGraphBuilder};
+///
+/// let mut b = TaskGraphBuilder::new();
+/// let (x, y, z) = (b.add_task(1), b.add_task(1), b.add_task(1));
+/// b.add_edge(x, y, 1).unwrap();
+/// b.add_edge(y, z, 1).unwrap();
+/// b.add_edge(x, z, 9).unwrap(); // implied by x -> y -> z
+/// let reduced = transitive_reduction(&b.build().unwrap());
+/// assert_eq!(reduced.num_edges(), 2);
+/// ```
+#[must_use]
+pub fn transitive_reduction(g: &TaskGraph) -> TaskGraph {
+    let v = g.num_tasks();
+    // Longest path (in edges) between adjacent pairs suffices: an edge
+    // (u, w) is redundant iff some successor s != w of u reaches w.
+    // Reachability bitsets, as in width computation.
+    let words = v.div_ceil(64);
+    let mut reach = vec![vec![0u64; words]; v];
+    for &t in g.topological_order().iter().rev() {
+        // reach[t] = union over succs s of ({s} ∪ reach[s]).
+        let mut row = std::mem::take(&mut reach[t.0]);
+        for &(s, _) in g.succs(t) {
+            row[s.0 / 64] |= 1 << (s.0 % 64);
+            for (a, b) in row.iter_mut().zip(&reach[s.0]) {
+                *a |= *b;
+            }
+        }
+        reach[t.0] = row;
+    }
+
+    let mut b = TaskGraphBuilder::named(format!("{}-tr", g.name()));
+    b.reserve(v, g.num_edges());
+    for t in g.tasks() {
+        b.add_task(g.comp(t));
+    }
+    for t in g.tasks() {
+        for &(s, c) in g.succs(t) {
+            // Redundant iff some *other* direct successor of t reaches s.
+            let redundant = g.succs(t).iter().any(|&(mid, _)| {
+                mid != s && (reach[mid.0][s.0 / 64] >> (s.0 % 64)) & 1 == 1
+            });
+            if !redundant {
+                b.add_edge(t, s, c).expect("copying edges of a valid graph");
+            }
+        }
+    }
+    b.build().expect("subgraph of a DAG is a DAG")
+}
+
+/// Result of [`coarsen_chains`].
+#[derive(Clone, Debug)]
+pub struct Coarsening {
+    /// The coarsened graph.
+    pub graph: TaskGraph,
+    /// `new_of[old]` = id of the coarse task containing the old task.
+    pub new_of: Vec<TaskId>,
+}
+
+/// Merges maximal linear chains into single tasks.
+///
+/// A chain link is an edge `(u, v)` with `out_degree(u) == 1` and
+/// `in_degree(v) == 1`: `v` can only ever run right after `u`, so any
+/// scheduler may treat the pair as one task with summed computation and no
+/// internal message. Communication costs of edges entering/leaving the
+/// chain are preserved.
+#[must_use]
+pub fn coarsen_chains(g: &TaskGraph) -> Coarsening {
+    let v = g.num_tasks();
+    // Head of each chain: a task whose single predecessor doesn't chain to
+    // it. Walk chains from heads in topological order.
+    let chains_to = |u: TaskId, s: TaskId| g.out_degree(u) == 1 && g.in_degree(s) == 1;
+    let mut new_of: Vec<Option<TaskId>> = vec![None; v];
+    let mut b = TaskGraphBuilder::named(format!("{}-coarse", g.name()));
+
+    for &t in g.topological_order() {
+        if new_of[t.0].is_some() {
+            continue; // interior of an already-merged chain
+        }
+        // t is a chain head (or a solo task): accumulate the chain.
+        let mut comp: Cost = g.comp(t);
+        let mut members = vec![t];
+        let mut cur = t;
+        while let [(next, _)] = g.succs(cur) {
+            if chains_to(cur, *next) {
+                comp += g.comp(*next);
+                members.push(*next);
+                cur = *next;
+            } else {
+                break;
+            }
+        }
+        let id = b.add_task(comp);
+        for m in members {
+            new_of[m.0] = Some(id);
+        }
+    }
+
+    // Re-add the surviving (cross-chain) edges.
+    let new_of: Vec<TaskId> = new_of.into_iter().map(|x| x.expect("covered")).collect();
+    for t in g.tasks() {
+        for &(s, c) in g.succs(t) {
+            let (a, bb) = (new_of[t.0], new_of[s.0]);
+            if a != bb {
+                b.add_edge(a, bb, c).expect("cross-chain edge");
+            }
+        }
+    }
+    Coarsening {
+        graph: b.build().expect("contraction of chains keeps acyclicity"),
+        new_of,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levels::critical_path;
+    use crate::width::max_antichain;
+    use crate::{gen, paper::fig1};
+
+    #[test]
+    fn reduction_removes_shortcut_edges() {
+        // 0 -> 1 -> 2 plus the redundant shortcut 0 -> 2.
+        let mut b = TaskGraphBuilder::new();
+        let t0 = b.add_task(1);
+        let t1 = b.add_task(1);
+        let t2 = b.add_task(1);
+        b.add_edge(t0, t1, 5).unwrap();
+        b.add_edge(t1, t2, 5).unwrap();
+        b.add_edge(t0, t2, 99).unwrap();
+        let g = b.build().unwrap();
+        let r = transitive_reduction(&g);
+        assert_eq!(r.num_edges(), 2);
+        assert_eq!(r.edge_comm(t0, t2), None);
+        assert_eq!(r.edge_comm(t0, t1), Some(5));
+    }
+
+    #[test]
+    fn reduction_is_idempotent_and_preserves_order() {
+        for g in [fig1(), gen::lu(8), gen::laplace(5), gen::fft(3)] {
+            let r = transitive_reduction(&g);
+            assert!(r.num_edges() <= g.num_edges());
+            assert_eq!(max_antichain(&r), max_antichain(&g), "{}", g.name());
+            let r2 = transitive_reduction(&r);
+            assert_eq!(r2.num_edges(), r.num_edges());
+            // Critical path cannot grow (only edges were removed).
+            assert!(critical_path(&r) <= critical_path(&g));
+        }
+    }
+
+    #[test]
+    fn fig1_is_already_reduced() {
+        let g = fig1();
+        assert_eq!(transitive_reduction(&g).num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn coarsen_merges_pure_chain() {
+        let g = gen::chain(5);
+        let c = coarsen_chains(&g);
+        assert_eq!(c.graph.num_tasks(), 1);
+        assert_eq!(c.graph.num_edges(), 0);
+        assert_eq!(c.graph.comp(TaskId(0)), 5);
+        assert!(c.new_of.iter().all(|&n| n == TaskId(0)));
+    }
+
+    #[test]
+    fn coarsen_preserves_branching_structure() {
+        // Diamond with a 2-chain on one arm:
+        // 0 -> 1 -> 2 -> 3 and 0 -> 4 -> 3; (1,2) is the only chain link.
+        let mut b = TaskGraphBuilder::new();
+        let t0 = b.add_task(1);
+        let t1 = b.add_task(2);
+        let t2 = b.add_task(3);
+        let t3 = b.add_task(1);
+        let t4 = b.add_task(9);
+        b.add_edge(t0, t1, 1).unwrap();
+        b.add_edge(t1, t2, 7).unwrap();
+        b.add_edge(t2, t3, 1).unwrap();
+        b.add_edge(t0, t4, 1).unwrap();
+        b.add_edge(t4, t3, 1).unwrap();
+        let g = b.build().unwrap();
+        let c = coarsen_chains(&g);
+        assert_eq!(c.graph.num_tasks(), 4);
+        assert_eq!(c.graph.num_edges(), 4);
+        // The merged task has comp 2 + 3.
+        assert_eq!(c.new_of[t1.0], c.new_of[t2.0]);
+        assert_eq!(c.graph.comp(c.new_of[t1.0]), 5);
+        // Total computation conserved; internal message (cost 7) dropped.
+        assert_eq!(c.graph.total_comp(), g.total_comp());
+        assert_eq!(c.graph.total_comm(), g.total_comm() - 7);
+    }
+
+    #[test]
+    fn coarsen_keeps_fig1_mostly_intact() {
+        // Fig. 1 has no out-1/in-1 links except none — verify by counting.
+        let g = fig1();
+        let c = coarsen_chains(&g);
+        // t2 -> t6 is a chain link (out(t2)=1, in(t6)=1): 8 -> 7 tasks.
+        assert_eq!(c.graph.num_tasks(), 7);
+        assert_eq!(c.graph.total_comp(), g.total_comp());
+    }
+}

@@ -1,0 +1,102 @@
+//! Makespan lower bounds — no schedule on the given machine can finish
+//! earlier than these, whatever the algorithm.
+
+use flb_graph::levels::critical_path_comp_only;
+use flb_graph::{TaskGraph, Time};
+
+/// The computation-only critical-path bound: even with free communication
+/// and unlimited processors, the longest dependence chain must execute
+/// sequentially.
+#[must_use]
+pub fn critical_path_bound(g: &TaskGraph) -> Time {
+    critical_path_comp_only(g)
+}
+
+/// The load bound: `P` processors cannot do `T_seq` total work faster than
+/// `ceil(T_seq / P)`.
+#[must_use]
+pub fn load_bound(g: &TaskGraph, procs: usize) -> Time {
+    g.total_comp().div_ceil(procs as Time)
+}
+
+/// The combined lower bound: the larger of the critical-path and load
+/// bounds.
+#[must_use]
+pub fn makespan_lower_bound(g: &TaskGraph, procs: usize) -> Time {
+    critical_path_bound(g).max(load_bound(g, procs))
+}
+
+/// Machine-aware lower bound for (possibly) related processors:
+///
+/// * chain bound — the computation-only critical path executed entirely on
+///   the fastest class: `CP_comp · min_slowdown`;
+/// * capacity bound — processor `p` completes work at rate `1/slow[p]`, so
+///   `T ≥ total_comp / Σ_p (1/slow[p])`.
+///
+/// Reduces exactly to [`makespan_lower_bound`] on homogeneous machines.
+#[must_use]
+pub fn makespan_lower_bound_on(g: &TaskGraph, machine: &crate::Machine) -> Time {
+    let chain = critical_path_comp_only(g) * machine.min_slowdown();
+    let capacity: f64 = machine
+        .procs()
+        .map(|p| 1.0 / machine.slowdown(p) as f64)
+        .sum();
+    let load = (g.total_comp() as f64 / capacity).ceil() as Time;
+    chain.max(load)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flb_graph::{gen, paper::fig1};
+
+    #[test]
+    fn fig1_bounds() {
+        let g = fig1();
+        // Computation-only critical path: t0 t3 t5 t7 = 2+3+3+2 = 10.
+        assert_eq!(critical_path_bound(&g), 10);
+        // Total comp 19 over 2 procs -> ceil = 10.
+        assert_eq!(load_bound(&g, 2), 10);
+        assert_eq!(makespan_lower_bound(&g, 2), 10);
+        // The paper's schedule (14) respects it.
+        assert!(14 >= makespan_lower_bound(&g, 2));
+    }
+
+    #[test]
+    fn load_bound_dominates_on_wide_graphs() {
+        let g = gen::independent(10); // unit tasks
+        assert_eq!(makespan_lower_bound(&g, 3), 4); // ceil(10/3)
+        assert_eq!(makespan_lower_bound(&g, 16), 1); // CP bound
+    }
+
+    #[test]
+    fn cp_bound_dominates_on_chains() {
+        let g = gen::chain(7);
+        assert_eq!(makespan_lower_bound(&g, 4), 7);
+    }
+
+    #[test]
+    fn machine_aware_bound_reduces_to_homogeneous() {
+        let g = gen::independent(10);
+        let m = crate::Machine::new(3);
+        assert_eq!(
+            makespan_lower_bound_on(&g, &m),
+            makespan_lower_bound(&g, 3)
+        );
+    }
+
+    #[test]
+    fn machine_aware_bound_on_related_machine() {
+        // 10 unit tasks on slowdowns [1, 2]: capacity 1.5/time unit ->
+        // at least ceil(10 / 1.5) = 7.
+        let g = gen::independent(10);
+        let m = crate::Machine::related(vec![1, 2]);
+        assert_eq!(makespan_lower_bound_on(&g, &m), 7);
+        // A chain of 5 unit tasks is bound by the fastest class: 5 * 1.
+        let c = gen::chain(5);
+        assert_eq!(makespan_lower_bound_on(&c, &m), 5);
+        // With only slow processors the chain bound scales.
+        let slow = crate::Machine::related(vec![3, 3]);
+        assert_eq!(makespan_lower_bound_on(&c, &slow), 15);
+    }
+}

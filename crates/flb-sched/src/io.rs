@@ -1,0 +1,272 @@
+//! Schedule serialisation: a serde-friendly mirror plus a line-oriented
+//! text format for CLI interchange.
+//!
+//! Text format:
+//!
+//! ```text
+//! # comment
+//! procs 4
+//! speeds 1 1 2 4                       (optional: per-proc slowdowns)
+//! s <task> <proc> <start> <finish>    (one line per task, any order)
+//! ```
+
+use crate::{Placement, ProcId, Schedule};
+use flb_graph::Time;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Serde-friendly mirror of [`Schedule`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduleData {
+    /// Per-processor slowdown factors of the target machine (all 1 on the
+    /// paper's homogeneous machines); the length is the processor count.
+    pub slowdowns: Vec<Time>,
+    /// `(proc, start, finish)` per task, indexed by task id.
+    pub placements: Vec<(usize, Time, Time)>,
+}
+
+impl From<&Schedule> for ScheduleData {
+    fn from(s: &Schedule) -> Self {
+        ScheduleData {
+            slowdowns: s
+                .machine()
+                .procs()
+                .map(|p| s.machine().slowdown(p))
+                .collect(),
+            placements: s
+                .placements()
+                .iter()
+                .map(|p| (p.proc.0, p.start, p.finish))
+                .collect(),
+        }
+    }
+}
+
+impl From<ScheduleData> for Schedule {
+    fn from(d: ScheduleData) -> Self {
+        let placements = d
+            .placements
+            .into_iter()
+            .map(|(proc, start, finish)| Placement {
+                proc: ProcId(proc),
+                start,
+                finish,
+            })
+            .collect();
+        Schedule::from_raw_on(crate::Machine::related(d.slowdowns), placements)
+    }
+}
+
+/// Errors from [`parse_text`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScheduleTextError {
+    /// A line could not be parsed (1-based line number).
+    Malformed(usize, String),
+    /// A task id appears twice or is missing.
+    BadCoverage(String),
+}
+
+impl fmt::Display for ScheduleTextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleTextError::Malformed(line, msg) => write!(f, "line {line}: {msg}"),
+            ScheduleTextError::BadCoverage(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleTextError {}
+
+/// Emits the text format.
+#[must_use]
+pub fn to_text(s: &Schedule) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "procs {}", s.num_procs());
+    if !s.machine().is_homogeneous() {
+        let speeds: Vec<String> = s
+            .machine()
+            .procs()
+            .map(|p| s.machine().slowdown(p).to_string())
+            .collect();
+        let _ = writeln!(out, "speeds {}", speeds.join(" "));
+    }
+    for (i, p) in s.placements().iter().enumerate() {
+        let _ = writeln!(out, "s {} {} {} {}", i, p.proc.0, p.start, p.finish);
+    }
+    out
+}
+
+/// Parses the text format. Placement lines may appear in any order but must
+/// cover task ids `0..n` exactly once.
+pub fn parse_text(text: &str) -> Result<Schedule, ScheduleTextError> {
+    let mut procs: usize = 0;
+    let mut speeds: Option<Vec<Time>> = None;
+    let mut entries: Vec<(usize, Placement)> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_ascii_whitespace();
+        match parts.next() {
+            Some("procs") => {
+                procs = parts
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .ok_or_else(|| {
+                        ScheduleTextError::Malformed(lineno, "expected `procs N`".into())
+                    })?;
+            }
+            Some("speeds") => {
+                let parsed: Option<Vec<Time>> =
+                    parts.map(|x| x.parse().ok()).collect();
+                match parsed {
+                    Some(v) if !v.is_empty() && v.iter().all(|&x| x >= 1) => {
+                        speeds = Some(v);
+                    }
+                    _ => {
+                        return Err(ScheduleTextError::Malformed(
+                            lineno,
+                            "expected `speeds <s0> <s1> ...` (all >= 1)".into(),
+                        ))
+                    }
+                }
+            }
+            Some("s") => {
+                let mut num = || -> Option<u64> { parts.next()?.parse().ok() };
+                match (num(), num(), num(), num()) {
+                    (Some(t), Some(p), Some(st), Some(ft)) => entries.push((
+                        t as usize,
+                        Placement {
+                            proc: ProcId(p as usize),
+                            start: st,
+                            finish: ft,
+                        },
+                    )),
+                    _ => {
+                        return Err(ScheduleTextError::Malformed(
+                            lineno,
+                            "expected `s <task> <proc> <start> <finish>`".into(),
+                        ))
+                    }
+                }
+            }
+            Some(other) => {
+                return Err(ScheduleTextError::Malformed(
+                    lineno,
+                    format!("unknown directive {other:?}"),
+                ))
+            }
+            None => unreachable!("non-empty trimmed line"),
+        }
+    }
+
+    let n = entries.len();
+    let mut placements = vec![None; n];
+    for (t, p) in entries {
+        let slot = placements.get_mut(t).ok_or_else(|| {
+            ScheduleTextError::BadCoverage(format!("task id {t} out of range 0..{n}"))
+        })?;
+        if slot.replace(p).is_some() {
+            return Err(ScheduleTextError::BadCoverage(format!(
+                "task id {t} appears twice"
+            )));
+        }
+    }
+    let placements: Vec<Placement> = placements
+        .into_iter()
+        .enumerate()
+        .map(|(t, p)| {
+            p.ok_or_else(|| ScheduleTextError::BadCoverage(format!("task id {t} missing")))
+        })
+        .collect::<Result<_, _>>()?;
+    let machine = match speeds {
+        Some(v) => {
+            if v.len() != procs {
+                return Err(ScheduleTextError::BadCoverage(format!(
+                    "speeds lists {} processors, header declares {procs}",
+                    v.len()
+                )));
+            }
+            crate::Machine::related(v)
+        }
+        None => crate::Machine::new(procs.max(1)),
+    };
+    Ok(Schedule::from_raw_on(machine, placements))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Machine, ScheduleBuilder};
+    use flb_graph::paper::fig1;
+    use flb_graph::TaskId;
+
+    fn table1_schedule() -> Schedule {
+        let g = fig1();
+        let m = Machine::new(2);
+        let mut b = ScheduleBuilder::new(&g, &m);
+        b.place(TaskId(0), ProcId(0), 0);
+        b.place(TaskId(3), ProcId(0), 2);
+        b.place(TaskId(1), ProcId(1), 3);
+        b.place(TaskId(2), ProcId(0), 5);
+        b.place(TaskId(4), ProcId(1), 5);
+        b.place(TaskId(5), ProcId(0), 7);
+        b.place(TaskId(6), ProcId(1), 8);
+        b.place(TaskId(7), ProcId(0), 12);
+        b.build()
+    }
+
+    #[test]
+    fn data_roundtrip() {
+        let s = table1_schedule();
+        let d = ScheduleData::from(&s);
+        let s2: Schedule = d.clone().into();
+        assert_eq!(s2, s);
+        assert_eq!(ScheduleData::from(&s2), d);
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let s = table1_schedule();
+        let text = to_text(&s);
+        let s2 = parse_text(&text).unwrap();
+        assert_eq!(s2, s);
+    }
+
+    #[test]
+    fn text_parses_out_of_order_and_comments() {
+        let s = parse_text("# demo\nprocs 2\ns 1 1 3 5\ns 0 0 0 2\n").unwrap();
+        assert_eq!(s.num_procs(), 2);
+        assert_eq!(s.start(TaskId(0)), 0);
+        assert_eq!(s.start(TaskId(1)), 3);
+    }
+
+    #[test]
+    fn text_errors() {
+        assert!(matches!(
+            parse_text("procs x"),
+            Err(ScheduleTextError::Malformed(1, _))
+        ));
+        assert!(matches!(
+            parse_text("s 0 0 0"),
+            Err(ScheduleTextError::Malformed(1, _))
+        ));
+        assert!(matches!(
+            parse_text("wat"),
+            Err(ScheduleTextError::Malformed(1, _))
+        ));
+        // Duplicate task id.
+        assert!(matches!(
+            parse_text("procs 1\ns 0 0 0 1\ns 0 0 2 3"),
+            Err(ScheduleTextError::BadCoverage(_))
+        ));
+        // Gap in coverage (id 2 of 0..2 present, 0 missing).
+        assert!(matches!(
+            parse_text("procs 1\ns 1 0 0 1\ns 0 0 2 3\ns 5 0 4 5"),
+            Err(ScheduleTextError::BadCoverage(_))
+        ));
+    }
+}

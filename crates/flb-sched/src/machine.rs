@@ -1,0 +1,154 @@
+//! The distributed-memory machine model.
+
+use flb_graph::{Cost, Time};
+use std::fmt;
+
+/// Identifier of a processor: a dense index in `0..machine.num_procs()`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ProcId(pub usize);
+
+impl ProcId {
+    /// The dense index of this processor.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A set of `P` processors in clique topology with contention-free
+/// communication (paper §2).
+///
+/// The paper's machine is **homogeneous** ([`Machine::new`]): a task costs
+/// the same everywhere. As the classic extension (and the setting DLS was
+/// designed for), [`Machine::related`] models *related* (uniformly
+/// heterogeneous) processors: processor `p` has an integer slowdown
+/// `slow[p] ≥ 1` and executes a task of computation cost `c` in
+/// `c · slow[p]` time units. Communication is unaffected by processor
+/// speeds in either model — the clique plus no-contention assumption means
+/// an edge's delay depends only on whether its endpoints share a processor
+/// (0 if so, `comm` otherwise).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Machine {
+    /// Integer slowdown factor per processor (1 = fastest class).
+    slow: Vec<Time>,
+}
+
+impl Machine {
+    /// A homogeneous machine with `procs` processors (the paper's model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `procs == 0`.
+    #[must_use]
+    pub fn new(procs: usize) -> Self {
+        assert!(procs > 0, "a machine needs at least one processor");
+        Machine {
+            slow: vec![1; procs],
+        }
+    }
+
+    /// A related-processors machine: `slowdowns[p]` is how many time units
+    /// one unit of computation takes on processor `p` (all ≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slowdowns` is empty or contains a zero.
+    #[must_use]
+    pub fn related(slowdowns: Vec<Time>) -> Self {
+        assert!(
+            !slowdowns.is_empty(),
+            "a machine needs at least one processor"
+        );
+        assert!(
+            slowdowns.iter().all(|&s| s >= 1),
+            "slowdown factors must be at least 1"
+        );
+        Machine { slow: slowdowns }
+    }
+
+    /// Number of processors `P`.
+    #[must_use]
+    pub fn num_procs(&self) -> usize {
+        self.slow.len()
+    }
+
+    /// Iterator over all processor ids.
+    pub fn procs(&self) -> impl Iterator<Item = ProcId> {
+        (0..self.slow.len()).map(ProcId)
+    }
+
+    /// Execution time of a task with computation cost `comp` on `p`.
+    #[must_use]
+    pub fn exec_time(&self, comp: Cost, p: ProcId) -> Time {
+        comp * self.slow[p.0]
+    }
+
+    /// The slowdown factor of `p` (1 for homogeneous machines).
+    #[must_use]
+    pub fn slowdown(&self, p: ProcId) -> Time {
+        self.slow[p.0]
+    }
+
+    /// Whether every processor runs at the same speed (the paper's model).
+    #[must_use]
+    pub fn is_homogeneous(&self) -> bool {
+        self.slow.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// The smallest slowdown — the fastest processor class. The best
+    /// sequential time of a program is `total_comp · min_slowdown`.
+    #[must_use]
+    pub fn min_slowdown(&self) -> Time {
+        *self.slow.iter().min().expect("non-empty machine")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_basics() {
+        let m = Machine::new(4);
+        assert_eq!(m.num_procs(), 4);
+        assert_eq!(m.procs().collect::<Vec<_>>().len(), 4);
+        assert_eq!(m.procs().next(), Some(ProcId(0)));
+        assert_eq!(format!("{}", ProcId(3)), "p3");
+        assert!(m.is_homogeneous());
+        assert_eq!(m.exec_time(7, ProcId(2)), 7);
+        assert_eq!(m.min_slowdown(), 1);
+    }
+
+    #[test]
+    fn related_machine() {
+        let m = Machine::related(vec![1, 2, 4]);
+        assert_eq!(m.num_procs(), 3);
+        assert!(!m.is_homogeneous());
+        assert_eq!(m.exec_time(5, ProcId(0)), 5);
+        assert_eq!(m.exec_time(5, ProcId(1)), 10);
+        assert_eq!(m.exec_time(5, ProcId(2)), 20);
+        assert_eq!(m.slowdown(ProcId(2)), 4);
+        assert_eq!(m.min_slowdown(), 1);
+        // Uniform related machine is homogeneous even if slower than 1.
+        assert!(Machine::related(vec![3, 3]).is_homogeneous());
+        assert_eq!(Machine::related(vec![3, 3]).min_slowdown(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_procs_panics() {
+        let _ = Machine::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_slowdown_panics() {
+        let _ = Machine::related(vec![1, 0]);
+    }
+}

@@ -1,0 +1,163 @@
+//! Schedule quality metrics used in the paper's evaluation.
+//!
+//! * **speedup** (Fig. 3): sequential time over makespan;
+//! * **NSL** — normalised schedule length (Fig. 4): makespan over the
+//!   makespan of a reference algorithm (MCP in the paper);
+//! * **efficiency**, **utilisation** and idle time as supporting metrics.
+
+use crate::{ProcId, Schedule};
+use flb_graph::{TaskGraph, Time};
+
+/// Speedup `S = T_seq / T_par` where `T_seq` is the best sequential time:
+/// the sum of all computation costs executed on the *fastest* processor
+/// class (on the paper's homogeneous machines this is simply the total
+/// computation).
+///
+/// ```
+/// use flb_sched::{metrics::speedup, Machine, ProcId, ScheduleBuilder};
+/// use flb_graph::{TaskGraphBuilder, TaskId};
+///
+/// let mut b = TaskGraphBuilder::new();
+/// b.add_task(4);
+/// b.add_task(4);
+/// let g = b.build().unwrap();
+/// let mut sb = ScheduleBuilder::new(&g, &Machine::new(2));
+/// sb.place(TaskId(0), ProcId(0), 0);
+/// sb.place(TaskId(1), ProcId(1), 0);
+/// assert_eq!(speedup(&g, &sb.build()), 2.0);
+/// ```
+#[must_use]
+pub fn speedup(g: &TaskGraph, s: &Schedule) -> f64 {
+    let t_seq = g.total_comp() * s.machine().min_slowdown();
+    t_seq as f64 / s.makespan() as f64
+}
+
+/// Normalised schedule length: this schedule's makespan over a reference
+/// makespan (the paper normalises against MCP).
+#[must_use]
+pub fn nsl(s: &Schedule, reference_makespan: Time) -> f64 {
+    s.makespan() as f64 / reference_makespan as f64
+}
+
+/// Efficiency `S / P`.
+#[must_use]
+pub fn efficiency(g: &TaskGraph, s: &Schedule) -> f64 {
+    speedup(g, s) / s.num_procs() as f64
+}
+
+/// Fraction of `[0, makespan)` each processor spends computing.
+#[must_use]
+pub fn utilisation(g: &TaskGraph, s: &Schedule) -> Vec<f64> {
+    let span = s.makespan().max(1) as f64;
+    (0..s.num_procs())
+        .map(|p| {
+            let busy: Time = s
+                .tasks_on(ProcId(p))
+                .iter()
+                .map(|&t| s.machine().exec_time(g.comp(t), ProcId(p)))
+                .sum();
+            busy as f64 / span
+        })
+        .collect()
+}
+
+/// Total idle time summed over processors:
+/// `P · makespan − Σ busy time` (busy time respects per-processor speeds).
+#[must_use]
+pub fn total_idle(g: &TaskGraph, s: &Schedule) -> Time {
+    let busy: Time = g
+        .tasks()
+        .map(|t| s.machine().exec_time(g.comp(t), s.proc(t)))
+        .sum();
+    s.num_procs() as Time * s.makespan() - busy
+}
+
+/// A bundle of the common metrics, convenient for reporting.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Summary {
+    /// Schedule makespan `T_par`.
+    pub makespan: Time,
+    /// Speedup vs the sequential time.
+    pub speedup: f64,
+    /// Efficiency (speedup / P).
+    pub efficiency: f64,
+    /// Summed idle time across processors.
+    pub idle: Time,
+}
+
+/// Computes a [`Summary`] for a schedule.
+#[must_use]
+pub fn summarise(g: &TaskGraph, s: &Schedule) -> Summary {
+    Summary {
+        makespan: s.makespan(),
+        speedup: speedup(g, s),
+        efficiency: efficiency(g, s),
+        idle: total_idle(g, s),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Machine, ScheduleBuilder};
+    use flb_graph::{TaskGraphBuilder, TaskId};
+
+    /// Two independent unit-cost-2 tasks on two processors: perfect split.
+    fn perfect() -> (TaskGraph, Schedule) {
+        let mut b = TaskGraphBuilder::new();
+        b.add_task(2);
+        b.add_task(2);
+        let g = b.build().unwrap();
+        let m = Machine::new(2);
+        let mut sb = ScheduleBuilder::new(&g, &m);
+        sb.place(TaskId(0), ProcId(0), 0);
+        sb.place(TaskId(1), ProcId(1), 0);
+        let s = sb.build();
+        (g, s)
+    }
+
+    #[test]
+    fn perfect_split_metrics() {
+        let (g, s) = perfect();
+        assert_eq!(s.makespan(), 2);
+        assert_eq!(speedup(&g, &s), 2.0);
+        assert_eq!(efficiency(&g, &s), 1.0);
+        assert_eq!(total_idle(&g, &s), 0);
+        assert_eq!(utilisation(&g, &s), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn serial_schedule_metrics() {
+        let mut b = TaskGraphBuilder::new();
+        b.add_task(2);
+        b.add_task(2);
+        let g = b.build().unwrap();
+        let m = Machine::new(2);
+        let mut sb = ScheduleBuilder::new(&g, &m);
+        sb.place(TaskId(0), ProcId(0), 0);
+        sb.place(TaskId(1), ProcId(0), 2);
+        let s = sb.build();
+        assert_eq!(speedup(&g, &s), 1.0);
+        assert_eq!(efficiency(&g, &s), 0.5);
+        assert_eq!(total_idle(&g, &s), 4);
+        assert_eq!(utilisation(&g, &s), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn nsl_relative_to_reference() {
+        let (_, s) = perfect();
+        assert_eq!(nsl(&s, 2), 1.0);
+        assert_eq!(nsl(&s, 4), 0.5);
+        assert_eq!(nsl(&s, 1), 2.0);
+    }
+
+    #[test]
+    fn summary_bundles_consistently() {
+        let (g, s) = perfect();
+        let sum = summarise(&g, &s);
+        assert_eq!(sum.makespan, 2);
+        assert_eq!(sum.speedup, 2.0);
+        assert_eq!(sum.efficiency, 1.0);
+        assert_eq!(sum.idle, 0);
+    }
+}

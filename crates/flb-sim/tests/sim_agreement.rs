@@ -1,0 +1,85 @@
+//! End-to-end agreement between the static schedulers and the simulator.
+//!
+//! For append-style list schedules (FLB, ETF, MCP without insertion, FCP,
+//! DSC-LLB) the simulator must reproduce the static start/finish times
+//! *exactly*; for insertion schedules it may only be equal or earlier.
+
+use flb_baselines::{DscLlb, Etf, Fcp, Mcp, McpTieBreak};
+use flb_core::Flb;
+use flb_graph::costs::CostModel;
+use flb_graph::{gen, TaskGraph};
+use flb_sched::{Machine, Scheduler};
+use flb_sim::simulate;
+use proptest::prelude::*;
+
+fn arb_weighted_graph() -> impl Strategy<Value = TaskGraph> {
+    let topo = prop_oneof![
+        (2usize..12).prop_map(gen::lu),
+        (1usize..6).prop_map(gen::laplace),
+        (1usize..6, 1usize..5).prop_map(|(p, s)| gen::stencil(p, s)),
+        (1u32..4).prop_map(gen::fft),
+        (8usize..36, 2usize..5, any::<u64>()).prop_map(|(v, l, seed)| gen::random_layered(
+            &gen::RandomLayeredSpec { tasks: v, layers: l, edge_prob: 0.35, max_skip: 2 },
+            seed
+        )),
+    ];
+    (topo, prop_oneof![Just(0.2), Just(5.0)], any::<u64>())
+        .prop_map(|(t, ccr, seed)| CostModel::paper_default(ccr).apply(&t, seed))
+}
+
+fn append_schedulers() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(Flb::default()),
+        Box::new(Etf),
+        Box::new(Mcp::default()),
+        Box::new(Fcp),
+        Box::new(DscLlb::default()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn append_schedules_replay_exactly(
+        g in arb_weighted_graph(),
+        procs in 1usize..7,
+    ) {
+        let m = Machine::new(procs);
+        for s in append_schedulers() {
+            let sched = s.schedule(&g, &m);
+            let sim = simulate(&g, &sched).expect("feasible schedule");
+            for t in g.tasks() {
+                prop_assert_eq!(
+                    sim.start[t.0], sched.start(t),
+                    "{}: simulated start of {} diverged", s.name(), t
+                );
+                prop_assert_eq!(sim.finish[t.0], sched.finish(t));
+            }
+            prop_assert_eq!(sim.makespan, sched.makespan());
+            // Message census: every edge is either a message or local.
+            prop_assert_eq!(sim.messages + sim.local_edges, g.num_edges());
+        }
+    }
+
+    #[test]
+    fn insertion_schedules_replay_no_later(
+        g in arb_weighted_graph(),
+        procs in 1usize..7,
+    ) {
+        let m = Machine::new(procs);
+        let sched = Mcp {
+            tie_break: McpTieBreak::TaskId,
+            insertion: true,
+        }
+        .schedule(&g, &m);
+        let sim = simulate(&g, &sched).expect("feasible schedule");
+        for t in g.tasks() {
+            prop_assert!(
+                sim.start[t.0] <= sched.start(t),
+                "simulator started {} later than the static schedule", t
+            );
+        }
+        prop_assert!(sim.makespan <= sched.makespan());
+    }
+}

@@ -1,0 +1,209 @@
+//! Workload suites and summary statistics for the paper's experiments.
+//!
+//! The evaluation methodology of §6: task graphs for LU decomposition, a
+//! Laplace solver and a stencil kernel (plus FFT, discussed in the text),
+//! each sized to about `V = 2000` tasks; per problem, graph granularity is
+//! varied through `CCR ∈ {0.2, 5.0}`; per configuration, five instances
+//! with random execution times and communication delays are generated.
+//!
+//! [`SuiteSpec::paper`] reproduces exactly that suite; [`SuiteSpec::small`]
+//! is a scaled-down variant for tests and quick runs. [`stats`] holds the
+//! summary statistics the harness reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod stats;
+
+use flb_graph::costs::{CostModel, Dist};
+use flb_graph::gen::Family;
+use flb_graph::TaskGraph;
+
+/// One experiment workload: a weighted task-graph instance plus the
+/// parameters that produced it.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Problem family (LU, Laplace, Stencil, FFT).
+    pub family: Family,
+    /// Target communication-to-computation ratio.
+    pub ccr: f64,
+    /// RNG seed of this instance.
+    pub seed: u64,
+    /// The weighted task graph.
+    pub graph: TaskGraph,
+}
+
+impl Workload {
+    /// Short label, e.g. `LU/ccr0.2/s3`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("{}/ccr{}/s{}", self.family.name(), self.ccr, self.seed)
+    }
+}
+
+/// Specification of a workload suite.
+#[derive(Clone, Debug)]
+pub struct SuiteSpec {
+    /// Problem families to include.
+    pub families: Vec<Family>,
+    /// CCR values to sweep.
+    pub ccrs: Vec<f64>,
+    /// Random instances per (family, CCR) configuration.
+    pub instances: usize,
+    /// Approximate number of tasks per graph.
+    pub target_tasks: usize,
+    /// Computation-cost distribution (communication is derived per CCR).
+    pub comp_dist: Dist,
+    /// Base RNG seed; instance `i` of a configuration uses `base + i`,
+    /// offset per family/CCR so no two instances share a stream.
+    pub base_seed: u64,
+}
+
+impl SuiteSpec {
+    /// The paper's suite: LU/Laplace/Stencil (+FFT), `V ≈ 2000`,
+    /// `CCR ∈ {0.2, 5.0}`, 5 instances each.
+    #[must_use]
+    pub fn paper() -> Self {
+        SuiteSpec {
+            families: Family::ALL.to_vec(),
+            ccrs: vec![0.2, 5.0],
+            instances: 5,
+            target_tasks: 2000,
+            comp_dist: Dist::UniformMean(100),
+            base_seed: 1999, // the paper's year; any fixed seed works
+        }
+    }
+
+    /// The three families of Figs. 2 and 4 only (no FFT).
+    #[must_use]
+    pub fn paper_fig4() -> Self {
+        let mut s = Self::paper();
+        s.families = vec![Family::Lu, Family::Stencil, Family::Laplace];
+        s
+    }
+
+    /// A scaled-down suite (~200-task graphs, 2 instances) for tests.
+    #[must_use]
+    pub fn small() -> Self {
+        SuiteSpec {
+            families: Family::ALL.to_vec(),
+            ccrs: vec![0.2, 5.0],
+            instances: 2,
+            target_tasks: 200,
+            comp_dist: Dist::UniformMean(100),
+            base_seed: 7,
+        }
+    }
+
+    /// Generates every workload of the suite. Topologies are built once per
+    /// family and re-weighted per (CCR, instance); fully deterministic in
+    /// `base_seed`.
+    #[must_use]
+    pub fn generate(&self) -> Vec<Workload> {
+        let mut out = Vec::new();
+        for (fi, &family) in self.families.iter().enumerate() {
+            let topology = family.topology(self.target_tasks);
+            for (ci, &ccr) in self.ccrs.iter().enumerate() {
+                let model = CostModel {
+                    comp: self.comp_dist,
+                    ccr,
+                };
+                for i in 0..self.instances {
+                    let seed = self
+                        .base_seed
+                        .wrapping_add((fi as u64) << 32)
+                        .wrapping_add((ci as u64) << 16)
+                        .wrapping_add(i as u64);
+                    out.push(Workload {
+                        family,
+                        ccr,
+                        seed,
+                        graph: model.apply(&topology, seed),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of workloads [`generate`](Self::generate) will produce.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.families.len() * self.ccrs.len() * self.instances
+    }
+
+    /// Whether the suite is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The processor counts of the paper's Figs. 2 and 4.
+pub const PAPER_PROC_COUNTS: [usize; 5] = [2, 4, 8, 16, 32];
+
+/// The processor counts of the paper's Fig. 3 (speedup), including `P = 1`.
+pub const PAPER_SPEEDUP_PROC_COUNTS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_suite_shape() {
+        let spec = SuiteSpec::paper();
+        assert_eq!(spec.len(), 4 * 2 * 5);
+        // Not generating the full 2000-task suite here (slow in debug);
+        // shape and determinism are covered with the small suite.
+    }
+
+    #[test]
+    fn small_suite_generates_deterministically() {
+        let spec = SuiteSpec::small();
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a.len(), spec.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.label(), y.label());
+            assert_eq!(x.graph.total_comp(), y.graph.total_comp());
+            assert_eq!(x.graph.total_comm(), y.graph.total_comm());
+        }
+    }
+
+    #[test]
+    fn suite_hits_target_sizes_and_ccrs() {
+        let spec = SuiteSpec::small();
+        for w in spec.generate() {
+            let v = w.graph.num_tasks();
+            assert!(
+                (spec.target_tasks / 2..=spec.target_tasks * 2).contains(&v),
+                "{}: {v} tasks",
+                w.label()
+            );
+            let measured = w.graph.ccr();
+            assert!(
+                (measured - w.ccr).abs() / w.ccr < 0.25,
+                "{}: measured CCR {measured}",
+                w.label()
+            );
+        }
+    }
+
+    #[test]
+    fn instances_differ_within_configuration() {
+        let spec = SuiteSpec::small();
+        let ws = spec.generate();
+        // First two workloads are the same family+CCR, different seeds.
+        assert_eq!(ws[0].family, ws[1].family);
+        assert_ne!(ws[0].graph.total_comp(), ws[1].graph.total_comp());
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let ws = SuiteSpec::small().generate();
+        let mut labels: Vec<_> = ws.iter().map(Workload::label).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), ws.len());
+    }
+}

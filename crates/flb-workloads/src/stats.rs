@@ -1,0 +1,101 @@
+//! Summary statistics used by the experiment harness.
+
+/// Arithmetic mean; 0 for an empty slice.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation (n−1 denominator); 0 for fewer than 2 points.
+#[must_use]
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Geometric mean; 0 for an empty slice.
+///
+/// NSL ratios are averaged geometrically in the summary blocks so that
+/// "alg A is 1.2× of B" and "B is 1/1.2 of A" aggregate symmetrically.
+#[must_use]
+pub fn geo_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// A five-number summary of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Stats {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Stats {
+    /// Summarises a sample (`n = 0` gives all-zero stats).
+    #[must_use]
+    pub fn from(xs: &[f64]) -> Self {
+        Stats {
+            n: xs.len(),
+            mean: mean(xs),
+            std_dev: std_dev(xs),
+            min: xs.iter().copied().fold(f64::INFINITY, f64::min),
+            max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        // Sample std of this classic set is ~2.138.
+        assert!((std_dev(&xs) - 2.13809).abs() < 1e-4);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(std_dev(&[3.0]), 0.0);
+        assert_eq!(geo_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geo_mean_of_reciprocals_is_reciprocal() {
+        let xs = [1.2, 0.9, 1.5];
+        let inv: Vec<f64> = xs.iter().map(|x| 1.0 / x).collect();
+        assert!((geo_mean(&xs) * geo_mean(&inv) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_summary() {
+        let s = Stats::from(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.n, 3);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.std_dev - 1.0).abs() < 1e-12);
+    }
+}

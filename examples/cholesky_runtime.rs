@@ -1,0 +1,71 @@
+//! Domain scenario: a task-based dense-linear-algebra runtime deciding, at
+//! compile time, where each tile kernel of a blocked Cholesky factorisation
+//! runs — the kind of DAG (POTRF/TRSM/SYRK/GEMM) that systems like
+//! StarPU/PaRSEC schedule dynamically, here mapped statically with FLB and
+//! stress-tested under single-port communication contention.
+//!
+//! Run: `cargo run --release --example cholesky_runtime`
+
+use flb::graph::gen::cholesky;
+use flb::graph::levels::critical_path;
+use flb::graph::width::max_ready_width;
+use flb::prelude::*;
+use flb::sim::{simulate_with, Contention, SimConfig};
+
+fn main() {
+    // 16x16 tile grid: 16 POTRF + 240 TRSM + 240 SYRK + 560 GEMM = 816.
+    let graph = cholesky(16);
+    println!(
+        "Cholesky(16): {} tasks, {} edges, ready-width {}, critical path {}",
+        graph.num_tasks(),
+        graph.num_edges(),
+        max_ready_width(&graph),
+        critical_path(&graph)
+    );
+
+    // How the factorisation scales with the machine under FLB.
+    println!("\n{:<6} {:>10} {:>9} {:>11}", "P", "makespan", "speedup", "efficiency");
+    let mut schedules = Vec::new();
+    for p in [1usize, 2, 4, 8, 16, 32] {
+        let schedule = Flb::default().schedule(&graph, &Machine::new(p));
+        validate(&graph, &schedule).expect("valid");
+        println!(
+            "{:<6} {:>10} {:>9.2} {:>11.2}",
+            p,
+            schedule.makespan(),
+            speedup(&graph, &schedule),
+            efficiency(&graph, &schedule)
+        );
+        schedules.push((p, schedule));
+    }
+
+    // The trailing GEMM-dominated iterations shrink, so speedup saturates —
+    // quantify the message pressure with the contention models.
+    println!(
+        "\n{:<6} {:>12} {:>12} {:>10}",
+        "P", "no-contention", "one-port", "inflation"
+    );
+    for (p, schedule) in &schedules {
+        let free = simulate_with(&graph, schedule, &SimConfig::default())
+            .expect("feasible")
+            .makespan;
+        let port = simulate_with(
+            &graph,
+            schedule,
+            &SimConfig { contention: Contention::OnePort, ..SimConfig::default() },
+        )
+        .expect("feasible")
+        .makespan;
+        println!(
+            "{:<6} {:>12} {:>12} {:>9.2}x",
+            p,
+            free,
+            port,
+            port as f64 / free as f64
+        );
+    }
+    println!("\nAt small P every consumer is co-located with its producer and the");
+    println!("contention-free assumption costs nothing; as P grows the panel");
+    println!("broadcasts serialise on the sender's port and the gap widens — the");
+    println!("regime where the paper's clique model is optimistic.");
+}

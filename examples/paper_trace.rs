@@ -1,0 +1,26 @@
+//! Reproduces the paper's worked example: the Fig. 1 task graph scheduled
+//! by FLB on two processors, printing the execution trace of Table 1.
+//!
+//! Run: `cargo run --example paper_trace`
+
+use flb::core::trace::{render, trace};
+use flb::core::TieBreak;
+use flb::graph::paper::fig1;
+use flb::prelude::*;
+use flb::sched::gantt;
+
+fn main() {
+    let graph = fig1();
+    let machine = Machine::new(2);
+
+    println!("Fig. 1 graph: {} tasks, {} edges", graph.num_tasks(), graph.num_edges());
+
+    let (schedule, rows) = trace(&graph, &machine, TieBreak::BottomLevel);
+    println!("\nTable 1 — FLB execution trace:\n");
+    println!("{}", render(&rows));
+
+    validate(&graph, &schedule).expect("valid");
+    println!("{}", gantt::render(&graph, &schedule, 70));
+    assert_eq!(schedule.makespan(), 14, "the paper's schedule length");
+    println!("makespan = {} (matches the paper)", schedule.makespan());
+}

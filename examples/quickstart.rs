@@ -1,0 +1,46 @@
+//! Quickstart: generate a workload, schedule it with FLB, inspect the
+//! result.
+//!
+//! Run: `cargo run --example quickstart`
+
+use flb::prelude::*;
+use flb::sched::gantt;
+
+fn main() {
+    // 1. Build a workload: an LU-decomposition task graph with ~300 tasks,
+    //    random costs at communication-to-computation ratio 1.0.
+    let topology = Family::Lu.topology(300);
+    let graph = CostModel::paper_default(1.0).apply(&topology, 42);
+    println!(
+        "workload: {} ({} tasks, {} edges, CCR {:.2})",
+        graph.name(),
+        graph.num_tasks(),
+        graph.num_edges(),
+        graph.ccr()
+    );
+
+    // 2. Schedule it on 8 processors with FLB.
+    let machine = Machine::new(8);
+    let schedule = Flb::default().schedule(&graph, &machine);
+
+    // 3. Always validate (precedence + communication + exclusivity).
+    validate(&graph, &schedule).expect("FLB schedules are feasible");
+
+    // 4. Inspect the metrics.
+    let m = summarise(&graph, &schedule);
+    println!("makespan:   {}", m.makespan);
+    println!("speedup:    {:.2}", m.speedup);
+    println!("efficiency: {:.2}", m.efficiency);
+
+    // 5. Replay the schedule on the simulated message-passing machine: the
+    //    simulated times must agree with the static schedule.
+    let sim = simulate(&graph, &schedule).expect("feasible order");
+    assert_eq!(sim.makespan, m.makespan);
+    println!(
+        "simulator agrees: {} messages, comm volume {}",
+        sim.messages, sim.comm_volume
+    );
+
+    // 6. A small Gantt chart of the first processors.
+    println!("\n{}", gantt::render(&graph, &schedule, 100));
+}

@@ -1,0 +1,57 @@
+//! # flb — Fast Load Balancing for distributed-memory machines
+//!
+//! A complete Rust implementation of the FLB compile-time task-scheduling
+//! system of Rădulescu & van Gemund (ICPP 1999), including every substrate
+//! and baseline of the paper's evaluation:
+//!
+//! * the weighted task-DAG model with workload generators ([`graph`]),
+//! * the machine/schedule substrate with validation and metrics ([`sched`]),
+//! * the FLB algorithm itself with tracing and the ETF-equivalence oracle
+//!   ([`core`]),
+//! * the comparison algorithms ETF, MCP, FCP and DSC-LLB ([`baselines`]),
+//! * a discrete-event execution simulator ([`sim`]),
+//! * the paper's workload suites ([`workloads`]).
+//!
+//! The most common types are re-exported at the crate root and in
+//! [`prelude`].
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use flb::prelude::*;
+//!
+//! // A 2000-task LU-decomposition workload at CCR 1.0.
+//! let topology = Family::Lu.topology(2000);
+//! let graph = CostModel::paper_default(1.0).apply(&topology, 42);
+//!
+//! // Schedule it on 8 processors with FLB.
+//! let schedule = Flb::default().schedule(&graph, &Machine::new(8));
+//! assert!(validate(&graph, &schedule).is_ok());
+//! println!("makespan: {}", schedule.makespan());
+//! println!("speedup:  {:.2}", speedup(&graph, &schedule));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use flb_baselines as baselines;
+pub use flb_core as core;
+pub use flb_ds as ds;
+pub use flb_graph as graph;
+pub use flb_sched as sched;
+pub use flb_sim as sim;
+pub use flb_workloads as workloads;
+
+/// One-stop imports for typical use.
+pub mod prelude {
+    pub use flb_baselines::{Dls, DscLlb, Etf, Fcp, Heft, Hlfet, Mcp};
+    pub use flb_core::{Flb, TieBreak};
+    pub use flb_graph::costs::{CostModel, Dist};
+    pub use flb_graph::gen::Family;
+    pub use flb_graph::{TaskGraph, TaskGraphBuilder, TaskId};
+    pub use flb_sched::metrics::{efficiency, nsl, speedup, summarise};
+    pub use flb_sched::validate::validate;
+    pub use flb_sched::{Machine, ProcId, Schedule, Scheduler};
+    pub use flb_sim::simulate;
+    pub use flb_workloads::SuiteSpec;
+}
