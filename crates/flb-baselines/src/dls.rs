@@ -62,8 +62,8 @@ impl Scheduler for Dls {
             for &t in &ready {
                 for p in machine.procs() {
                     let est = builder.est(t, p);
-                    let delta = graph.comp(t) as i128
-                        * (median_slow as i128 - machine.slowdown(p) as i128);
+                    let delta =
+                        graph.comp(t) as i128 * (median_slow as i128 - machine.slowdown(p) as i128);
                     let dl = sl[t.0] as i128 - est as i128 + delta;
                     // Ties: earlier start, then smaller task id, proc id.
                     let cand = (dl, Reverse(est), t, p);
@@ -71,8 +71,10 @@ impl Scheduler for Dls {
                         None => true,
                         // Larger dl wins; then the Reverse(est) makes the
                         // smaller est win; then smaller ids.
-                        Some(b) => (cand.0, cand.1, Reverse(cand.2), Reverse(cand.3))
-                            > (b.0, b.1, Reverse(b.2), Reverse(b.3)),
+                        Some(b) => {
+                            (cand.0, cand.1, Reverse(cand.2), Reverse(cand.3))
+                                > (b.0, b.1, Reverse(b.2), Reverse(b.3))
+                        }
                     };
                     if better {
                         best = Some(cand);

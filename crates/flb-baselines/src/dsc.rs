@@ -177,7 +177,11 @@ mod tests {
         // Message arrivals respected.
         for t in g.tasks() {
             for &(p, c) in g.preds(t) {
-                let delay = if cl.cluster_of[p.0] == cl.cluster_of[t.0] { 0 } else { c };
+                let delay = if cl.cluster_of[p.0] == cl.cluster_of[t.0] {
+                    0
+                } else {
+                    c
+                };
                 assert!(
                     cl.tlevel[t.0] >= cl.tlevel[p.0] + g.comp(p) + delay,
                     "edge {p} -> {t} violated"

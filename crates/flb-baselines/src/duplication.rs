@@ -235,7 +235,13 @@ impl Cpd {
         let arrival = |sched: &DupSchedule, t: TaskId, comm: Time, p: usize| -> Time {
             sched.instances[t.0]
                 .iter()
-                .map(|i| if i.proc.0 == p { i.finish } else { i.finish + comm })
+                .map(|i| {
+                    if i.proc.0 == p {
+                        i.finish
+                    } else {
+                        i.finish + comm
+                    }
+                })
                 .min()
                 .expect("instance exists")
         };
@@ -429,12 +435,7 @@ mod tests {
                 let g = CostModel::paper_default(ccr).apply(&topo, 13);
                 for p in [2usize, 4] {
                     let s = Cpd::new().schedule_dup(&g, &Machine::new(p));
-                    assert_eq!(
-                        validate_dup(&g, &s),
-                        Ok(()),
-                        "{} ccr={ccr} P={p}",
-                        g.name()
-                    );
+                    assert_eq!(validate_dup(&g, &s), Ok(()), "{} ccr={ccr} P={p}", g.name());
                     assert!(s.makespan() >= flb_sched::bounds::critical_path_bound(&g));
                 }
             }
@@ -450,20 +451,36 @@ mod tests {
         let g = b.build().unwrap();
 
         // Missing instance.
-        let s = DupSchedule { machine: Machine::new(1), instances: vec![vec![], vec![]] };
+        let s = DupSchedule {
+            machine: Machine::new(1),
+            instances: vec![vec![], vec![]],
+        };
         assert_eq!(validate_dup(&g, &s), Err(DupError::Unplaced(a)));
 
         // Precedence: c starts before a's data can arrive cross-proc.
         let s = DupSchedule {
             machine: Machine::new(2),
             instances: vec![
-                vec![Placement { proc: ProcId(0), start: 0, finish: 2 }],
-                vec![Placement { proc: ProcId(1), start: 3, finish: 6 }],
+                vec![Placement {
+                    proc: ProcId(0),
+                    start: 0,
+                    finish: 2,
+                }],
+                vec![Placement {
+                    proc: ProcId(1),
+                    start: 3,
+                    finish: 6,
+                }],
             ],
         };
         assert_eq!(
             validate_dup(&g, &s),
-            Err(DupError::Precedence { task: c, pred: a, required: 7, actual: 3 })
+            Err(DupError::Precedence {
+                task: c,
+                pred: a,
+                required: 7,
+                actual: 3
+            })
         );
 
         // A local duplicate of `a` on p1 makes the same start legal.
@@ -471,10 +488,22 @@ mod tests {
             machine: Machine::new(2),
             instances: vec![
                 vec![
-                    Placement { proc: ProcId(0), start: 0, finish: 2 },
-                    Placement { proc: ProcId(1), start: 0, finish: 2 },
+                    Placement {
+                        proc: ProcId(0),
+                        start: 0,
+                        finish: 2,
+                    },
+                    Placement {
+                        proc: ProcId(1),
+                        start: 0,
+                        finish: 2,
+                    },
                 ],
-                vec![Placement { proc: ProcId(1), start: 3, finish: 6 }],
+                vec![Placement {
+                    proc: ProcId(1),
+                    start: 3,
+                    finish: 6,
+                }],
             ],
         };
         assert_eq!(validate_dup(&g, &s), Ok(()));
@@ -483,8 +512,16 @@ mod tests {
         let s = DupSchedule {
             machine: Machine::new(1),
             instances: vec![
-                vec![Placement { proc: ProcId(0), start: 0, finish: 2 }],
-                vec![Placement { proc: ProcId(0), start: 1, finish: 4 }],
+                vec![Placement {
+                    proc: ProcId(0),
+                    start: 0,
+                    finish: 2,
+                }],
+                vec![Placement {
+                    proc: ProcId(0),
+                    start: 1,
+                    finish: 4,
+                }],
             ],
         };
         assert_eq!(validate_dup(&g, &s), Err(DupError::Overlap(ProcId(0))));
@@ -493,8 +530,16 @@ mod tests {
         let s = DupSchedule {
             machine: Machine::new(1),
             instances: vec![
-                vec![Placement { proc: ProcId(0), start: 0, finish: 99 }],
-                vec![Placement { proc: ProcId(0), start: 99, finish: 102 }],
+                vec![Placement {
+                    proc: ProcId(0),
+                    start: 0,
+                    finish: 99,
+                }],
+                vec![Placement {
+                    proc: ProcId(0),
+                    start: 99,
+                    finish: 102,
+                }],
             ],
         };
         assert_eq!(validate_dup(&g, &s), Err(DupError::BadDuration(a)));

@@ -31,10 +31,7 @@ impl Scheduler for Etf {
     fn schedule(&self, graph: &TaskGraph, machine: &Machine) -> Schedule {
         let bl = bottom_levels(graph);
         let mut builder = ScheduleBuilder::new(graph, machine);
-        let mut missing: Vec<usize> = graph
-            .tasks()
-            .map(|t| graph.in_degree(t))
-            .collect();
+        let mut missing: Vec<usize> = graph.tasks().map(|t| graph.in_degree(t)).collect();
         let mut ready: Vec<TaskId> = graph.entry_tasks().collect();
 
         while !ready.is_empty() {

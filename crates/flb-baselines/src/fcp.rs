@@ -31,8 +31,7 @@ impl Scheduler for Fcp {
         let mut missing: Vec<usize> = graph.tasks().map(|t| graph.in_degree(t)).collect();
 
         // Ready queue: largest bottom level first (critical path first).
-        let mut ready: IndexedMinHeap<Reverse<Time>> =
-            IndexedMinHeap::new(graph.num_tasks());
+        let mut ready: IndexedMinHeap<Reverse<Time>> = IndexedMinHeap::new(graph.num_tasks());
         for t in graph.entry_tasks() {
             ready.insert(t.0, Reverse(bl[t.0]));
         }

@@ -84,8 +84,8 @@ impl Scheduler for Heft {
 mod tests {
     use super::*;
     use flb_graph::costs::CostModel;
-    use flb_graph::paper::fig1;
     use flb_graph::gen;
+    use flb_graph::paper::fig1;
     use flb_sched::validate::validate;
 
     #[test]
@@ -149,9 +149,7 @@ mod tests {
             ] {
                 let s = Heft.schedule(&g, &m);
                 assert_eq!(validate(&g, &s), Ok(()), "{} on {m:?}", g.name());
-                assert!(
-                    s.makespan() >= flb_sched::bounds::makespan_lower_bound_on(&g, &m)
-                );
+                assert!(s.makespan() >= flb_sched::bounds::makespan_lower_bound_on(&g, &m));
             }
         }
     }

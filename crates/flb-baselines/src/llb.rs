@@ -83,10 +83,10 @@ pub fn map_clusters(
 
     // A task entering the ready set.
     let enqueue = |t: TaskId,
-                       unmapped: &mut IndexedMinHeap<Time>,
-                       unmapped_by_cluster: &mut Vec<Vec<TaskId>>,
-                       mapped: &mut Vec<IndexedMinHeap<Time>>,
-                       cluster_proc: &[Option<ProcId>]| {
+                   unmapped: &mut IndexedMinHeap<Time>,
+                   unmapped_by_cluster: &mut Vec<Vec<TaskId>>,
+                   mapped: &mut Vec<IndexedMinHeap<Time>>,
+                   cluster_proc: &[Option<ProcId>]| {
         let c = clustering.cluster_of[t.0];
         match cluster_proc[c] {
             Some(q) => mapped[q.0].insert(t.0, priority.key(bl[t.0])),

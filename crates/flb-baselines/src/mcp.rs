@@ -89,8 +89,10 @@ impl Mcp {
                 let keys: Vec<Vec<Time>> = graph
                     .tasks()
                     .map(|t| {
-                        let mut k: Vec<Time> =
-                            descendants(graph, t).into_iter().map(|d| alap[d.0]).collect();
+                        let mut k: Vec<Time> = descendants(graph, t)
+                            .into_iter()
+                            .map(|d| alap[d.0])
+                            .collect();
                         k.sort_unstable();
                         k
                     })

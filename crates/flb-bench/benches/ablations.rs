@@ -32,7 +32,10 @@ fn ablation_flb_tiebreak(c: &mut Criterion) {
     let machine = Machine::new(8);
     let mut group = c.benchmark_group("ablation_flb_tiebreak");
     group.sample_size(10);
-    for (label, tb) in [("bottom_level", TieBreak::BottomLevel), ("fifo", TieBreak::TaskId)] {
+    for (label, tb) in [
+        ("bottom_level", TieBreak::BottomLevel),
+        ("fifo", TieBreak::TaskId),
+    ] {
         let flb = Flb::with_tie_break(tb);
         group.bench_with_input(BenchmarkId::from_parameter(label), &machine, |b, m| {
             b.iter(|| black_box(flb.schedule(&g, m).makespan()));

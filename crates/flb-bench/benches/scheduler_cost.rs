@@ -19,13 +19,9 @@ fn scheduler_cost(c: &mut Criterion) {
     for p in [2usize, 8, 32] {
         let machine = Machine::new(p);
         for (name, s) in named_schedulers() {
-            group.bench_with_input(
-                BenchmarkId::new(name, p),
-                &machine,
-                |b, machine| {
-                    b.iter(|| black_box(s.schedule(black_box(&g), machine).makespan()));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, p), &machine, |b, machine| {
+                b.iter(|| black_box(s.schedule(black_box(&g), machine).makespan()));
+            });
         }
     }
     group.finish();

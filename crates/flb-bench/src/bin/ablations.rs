@@ -97,12 +97,8 @@ fn main() {
     for (wu, we) in suite.iter().zip(&exp_suite) {
         for &p in procs {
             let m = Machine::new(p);
-            uni.push(
-                flb.schedule(&wu.graph, &m).makespan() as f64 / wu.graph.total_comp() as f64,
-            );
-            exp.push(
-                flb.schedule(&we.graph, &m).makespan() as f64 / we.graph.total_comp() as f64,
-            );
+            uni.push(flb.schedule(&wu.graph, &m).makespan() as f64 / wu.graph.total_comp() as f64);
+            exp.push(flb.schedule(&we.graph, &m).makespan() as f64 / we.graph.total_comp() as f64);
         }
     }
     rows.push(vec![
@@ -114,7 +110,11 @@ fn main() {
     println!(
         "{}",
         table(
-            &["id".into(), "ablation".into(), "ratio (variant/baseline)".into()],
+            &[
+                "id".into(),
+                "ablation".into(),
+                "ratio (variant/baseline)".into()
+            ],
             &rows
         )
     );

@@ -82,7 +82,11 @@ fn main() {
 
     println!("X3.2: scheduling time vs P (LU, V ~ 2000)\n");
     let g = CostModel::paper_default(1.0).apply(&Family::Lu.topology(2000), 5);
-    let p_list: &[usize] = if quick { &[2, 8, 32] } else { &[2, 8, 32, 128, 512] };
+    let p_list: &[usize] = if quick {
+        &[2, 8, 32]
+    } else {
+        &[2, 8, 32, 128, 512]
+    };
     let mut rows = Vec::new();
     for &p in p_list {
         let machine = Machine::new(p);
@@ -98,7 +102,10 @@ fn main() {
     }
     println!(
         "{}",
-        table(&["P".into(), "FLB".into(), "MCP".into(), "ETF".into()], &rows)
+        table(
+            &["P".into(), "FLB".into(), "MCP".into(), "ETF".into()],
+            &rows
+        )
     );
 
     println!("X3.3: FLB list operations per task (amortised O(1))\n");
@@ -116,10 +123,7 @@ fn main() {
                 format!("{:.3}", st.list_insertions() as f64 / g.num_tasks() as f64),
                 format!("{:.3}", st.demotions as f64 / g.num_tasks() as f64),
                 st.max_ready.to_string(),
-                format!(
-                    "{:.2}",
-                    st.ep_selections as f64 / g.num_tasks() as f64
-                ),
+                format!("{:.2}", st.ep_selections as f64 / g.num_tasks() as f64),
             ]);
         }
     }
@@ -137,6 +141,8 @@ fn main() {
             &rows
         )
     );
-    println!("insert/task stays O(1) and max ready tracks the graph width, independent of V's growth —");
+    println!(
+        "insert/task stays O(1) and max ready tracks the graph width, independent of V's growth —"
+    );
     println!("the measured basis of the O(V (log W + log P) + E) bound.");
 }

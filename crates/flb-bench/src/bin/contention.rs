@@ -72,5 +72,7 @@ fn main() {
             &rows
         )
     );
-    println!("inflation = one-port makespan / contention-free makespan (1.00 = assumption harmless).");
+    println!(
+        "inflation = one-port makespan / contention-free makespan (1.00 = assumption harmless)."
+    );
 }

@@ -26,10 +26,8 @@ fn main() {
 
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
     let ms = measure_all(&suite, &PAPER_PROC_COUNTS, threads);
-    if flb_bench::csv::maybe_write_csv(&args, || {
-        flb_bench::csv::measurements_csv(&suite, &ms)
-    })
-    .expect("writing --csv file")
+    if flb_bench::csv::maybe_write_csv(&args, || flb_bench::csv::measurements_csv(&suite, &ms))
+        .expect("writing --csv file")
     {
         println!("(raw measurements written to the --csv file)");
     }
@@ -93,7 +91,10 @@ fn main() {
     println!(
         "  FCP ~ FLB at P={p_hi}:             {:.2}x  {}",
         avg("FCP", p_hi) / avg("FLB", p_hi),
-        verdict(avg("FCP", p_hi) < 3.0 * avg("FLB", p_hi) && avg("FLB", p_hi) < 3.0 * avg("FCP", p_hi).max(1e-12))
+        verdict(
+            avg("FCP", p_hi) < 3.0 * avg("FLB", p_hi)
+                && avg("FLB", p_hi) < 3.0 * avg("FCP", p_hi).max(1e-12)
+        )
     );
 }
 

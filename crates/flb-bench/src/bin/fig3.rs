@@ -56,23 +56,25 @@ fn main() {
         // Shape checks per family: speedup is monotone-ish and the regular
         // families scale further than the join-heavy ones at max P.
         let last = series.last().expect("non-empty proc list");
-        let fam_speedup = |f: Family| {
-            spec.families
-                .iter()
-                .position(|&x| x == f)
-                .map(|i| last[i])
-        };
+        let fam_speedup = |f: Family| spec.families.iter().position(|&x| x == f).map(|i| last[i]);
         if let (Some(st), Some(lu)) = (fam_speedup(Family::Stencil), fam_speedup(Family::Lu)) {
             println!(
                 "  Stencil outscales LU at P={}: {:.2} vs {:.2}  {}",
                 PAPER_SPEEDUP_PROC_COUNTS.last().expect("non-empty"),
                 st,
                 lu,
-                if st > lu { "[matches paper]" } else { "[DIVERGES]" }
+                if st > lu {
+                    "[matches paper]"
+                } else {
+                    "[DIVERGES]"
+                }
             );
         }
         for (i, &fam) in spec.families.iter().enumerate() {
-            let up = series.windows(2).filter(|w| w[1][i] >= w[0][i] * 0.95).count();
+            let up = series
+                .windows(2)
+                .filter(|w| w[1][i] >= w[0][i] * 0.95)
+                .count();
             println!(
                 "  {} speedup non-decreasing in {}/{} steps (P=1 value {:.2})",
                 fam.name(),

@@ -31,10 +31,8 @@ fn main() {
 
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
     let ms = measure_all(&suite, &PAPER_PROC_COUNTS, threads);
-    if flb_bench::csv::maybe_write_csv(&args, || {
-        flb_bench::csv::measurements_csv(&suite, &ms)
-    })
-    .expect("writing --csv file")
+    if flb_bench::csv::maybe_write_csv(&args, || flb_bench::csv::measurements_csv(&suite, &ms))
+        .expect("writing --csv file")
     {
         println!("(raw measurements written to the --csv file)");
     }
@@ -106,10 +104,7 @@ fn main() {
             "FLB comparable to FCP (within 10%)",
             (flb / agg("FCP") - 1.0).abs() < 0.10,
         ),
-        (
-            "FLB consistently outperforms DSC-LLB",
-            flb < agg("DSC-LLB"),
-        ),
+        ("FLB consistently outperforms DSC-LLB", flb < agg("DSC-LLB")),
         (
             "DSC-LLB within ~40% of MCP",
             agg("DSC-LLB") / agg("MCP") < 1.45,

@@ -26,20 +26,32 @@ use flb_workloads::stats::geo_mean;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Multiplicative noise on one cost. A genuinely zero cost stays zero —
+/// noise models estimation error on a real cost, not the appearance of
+/// work (or a message) that does not exist; positive costs are clamped to
+/// ≥ 1 so rounding cannot erase them.
+fn noisy(c: Cost, factor: f64) -> Cost {
+    if c == 0 {
+        0
+    } else {
+        ((c as f64 * factor).round() as Cost).max(1)
+    }
+}
+
 /// Returns `g` with every cost multiplied by an i.i.d. factor in
-/// `[1-e, 1+e]` (clamped to ≥ 1).
+/// `[1-e, 1+e]`.
 fn perturb(g: &TaskGraph, error: f64, seed: u64) -> TaskGraph {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut factor = move || 1.0 + rng.random_range(-error..=error);
     let mut b = TaskGraphBuilder::named(format!("{}-noisy", g.name()));
     b.reserve(g.num_tasks(), g.num_edges());
     for t in g.tasks() {
-        b.add_task(((g.comp(t) as f64 * factor()).round() as Cost).max(1));
+        let c = noisy(g.comp(t), factor());
+        b.add_task(c);
     }
     for t in g.tasks() {
         for &(s, c) in g.succs(t) {
-            let noisy = ((c as f64 * factor()).round() as Cost).max(1);
-            b.add_edge(t, s, noisy).expect("same topology");
+            b.add_edge(t, s, noisy(c, factor())).expect("same topology");
         }
     }
     b.build().expect("same topology is a DAG")

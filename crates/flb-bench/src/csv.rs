@@ -59,7 +59,10 @@ mod tests {
         let ms = measure_all(&ws, &[2], 1);
         let csv = measurements_csv(&ws, &ms);
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines[0], "family,ccr,seed,tasks,procs,algorithm,makespan,seconds");
+        assert_eq!(
+            lines[0],
+            "family,ccr,seed,tasks,procs,algorithm,makespan,seconds"
+        );
         assert_eq!(lines.len(), 1 + ms.len());
         assert!(lines[1..].iter().all(|l| l.matches(',').count() == 7));
         assert!(csv.contains(",FLB,"));

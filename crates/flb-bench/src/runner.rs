@@ -51,9 +51,8 @@ pub fn measure_all(workloads: &[Workload], procs: &[usize], threads: usize) -> V
                             let t0 = Instant::now();
                             let sched = s.schedule(&w.graph, &machine);
                             let seconds = t0.elapsed().as_secs_f64();
-                            validate(&w.graph, &sched).unwrap_or_else(|e| {
-                                panic!("{name} invalid on {}: {e}", w.label())
-                            });
+                            validate(&w.graph, &sched)
+                                .unwrap_or_else(|e| panic!("{name} invalid on {}: {e}", w.label()));
                             local.push(Measurement {
                                 workload: wi,
                                 algorithm: name,
@@ -72,17 +71,12 @@ pub fn measure_all(workloads: &[Workload], procs: &[usize], threads: usize) -> V
 
     let mut out = results.into_inner();
     // Deterministic order regardless of thread interleaving.
-    out.sort_by(|a, b| {
-        (a.workload, a.procs, a.algorithm).cmp(&(b.workload, b.procs, b.algorithm))
-    });
+    out.sort_by(|a, b| (a.workload, a.procs, a.algorithm).cmp(&(b.workload, b.procs, b.algorithm)));
     out
 }
 
 /// Measurements filtered by a predicate — small helper for the binaries.
-pub fn filter(
-    ms: &[Measurement],
-    mut pred: impl FnMut(&Measurement) -> bool,
-) -> Vec<&Measurement> {
+pub fn filter(ms: &[Measurement], mut pred: impl FnMut(&Measurement) -> bool) -> Vec<&Measurement> {
     ms.iter().filter(|m| pred(m)).collect()
 }
 

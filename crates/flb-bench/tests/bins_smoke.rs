@@ -108,6 +108,15 @@ fn robustness_quick() {
 }
 
 #[test]
+fn faults_quick() {
+    let out = run_quick(env!("CARGO_BIN_EXE_faults"));
+    assert!(out.contains("One processor fails"));
+    assert!(out.contains("FLB/naive/clair"));
+    assert!(out.contains("Message loss"));
+    assert!(out.contains("Stragglers"));
+}
+
+#[test]
 fn hetero_quick() {
     let out = run_quick(env!("CARGO_BIN_EXE_hetero"));
     assert!(out.contains("uniform (1x)"));

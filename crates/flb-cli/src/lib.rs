@@ -11,6 +11,9 @@
 //!   and tabulate makespans, NSLs and speedups;
 //! * `simulate` — replay a saved schedule on the discrete-event machine,
 //!   optionally under single-port communication contention;
+//! * `faults` — replay a schedule under injected faults (fail-stop
+//!   processor failures, message loss with retry, stragglers) and
+//!   optionally repair it online with warm-restarted FLB;
 //! * `transform` — apply a scheduling pre-pass (transitive reduction or
 //!   chain coarsening) and emit the transformed graph;
 //! * `report` — emit a self-contained HTML report (comparison table + SVG
@@ -62,6 +65,9 @@ USAGE:
                 [--gantt] [--trace] [--simulate] [--save FILE] [--svg FILE] [--trace-csv FILE]
   flb compare   --procs P <graph opts>
   flb simulate  --schedule FILE <graph opts> [--one-port]
+  flb faults    (--schedule FILE | --alg A --procs P) <graph opts>
+                [--fail P@T]... [--loss PROB[:TIMEOUT:RETRIES]] [--straggle T@F]...
+                [--seed S] [--repair [--at T]] [--one-port] [--trace]
   flb transform (--reduce | --coarsen) <graph opts> [--dot]
   flb report    --out FILE.html <graph opts> [--procs P | --speeds ...]
 
@@ -98,6 +104,17 @@ impl<'a> Args<'a> {
             .map(String::as_str)
     }
 
+    /// All occurrences of a repeatable `--key value` flag, in order.
+    fn values(&self, name: &str) -> Vec<&'a str> {
+        self.argv
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| *a == name)
+            .filter_map(|(i, _)| self.argv.get(i + 1))
+            .map(String::as_str)
+            .collect()
+    }
+
     fn parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
         match self.value(name) {
             None => Ok(default),
@@ -114,13 +131,12 @@ fn load_graph(a: &Args<'_>) -> Result<TaskGraph, CliError> {
         return Ok(paper::fig1());
     }
     if let Some(path) = a.value("--input") {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| err(format!("cannot read {path}: {e}")))?;
+        let text =
+            std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
         // `.stg` files use the Standard Task Graph Set format; anything
         // else is this tool's native text format.
         return if path.ends_with(".stg") {
-            flb_graph::stg::parse_stg(&text)
-                .map_err(|e| err(format!("cannot parse {path}: {e}")))
+            flb_graph::stg::parse_stg(&text).map_err(|e| err(format!("cannot parse {path}: {e}")))
         } else {
             parse_text(&text).map_err(|e| err(format!("cannot parse {path}: {e}")))
         };
@@ -166,9 +182,13 @@ fn scheduler_by_name(name: &str) -> Result<Box<dyn Scheduler>, CliError> {
         "dls" => Box::new(flb_baselines::Dls),
         "heft" => Box::new(flb_baselines::Heft),
         "hlfet" => Box::new(flb_baselines::Hlfet),
-        "runtime-bl" => Box::new(flb_sim::RuntimeDispatcher(flb_sim::DispatchPolicy::BottomLevel)),
+        "runtime-bl" => Box::new(flb_sim::RuntimeDispatcher(
+            flb_sim::DispatchPolicy::BottomLevel,
+        )),
         "runtime-fifo" => Box::new(flb_sim::RuntimeDispatcher(flb_sim::DispatchPolicy::Fifo)),
-        "runtime-lpt" => Box::new(flb_sim::RuntimeDispatcher(flb_sim::DispatchPolicy::LongestTask)),
+        "runtime-lpt" => Box::new(flb_sim::RuntimeDispatcher(
+            flb_sim::DispatchPolicy::LongestTask,
+        )),
         other => return Err(err(format!("unknown algorithm {other:?}"))),
     })
 }
@@ -185,6 +205,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "schedule" => cmd_schedule(&a),
         "compare" => cmd_compare(&a),
         "simulate" => cmd_simulate(&a),
+        "faults" => cmd_faults(&a),
         "transform" => cmd_transform(&a),
         "report" => cmd_report(&a),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
@@ -278,10 +299,14 @@ fn cmd_schedule(a: &Args<'_>) -> Result<String, CliError> {
     let _ = writeln!(out, "idle time       {}", m.idle);
 
     if a.flag("--simulate") {
-        let sim = flb_sim::simulate(&g, &schedule)
-            .map_err(|e| err(format!("simulation failed: {e}")))?;
-        let _ = writeln!(out, "sim makespan    {} (replay agrees: {})",
-            sim.makespan, sim.makespan == m.makespan);
+        let sim =
+            flb_sim::simulate(&g, &schedule).map_err(|e| err(format!("simulation failed: {e}")))?;
+        let _ = writeln!(
+            out,
+            "sim makespan    {} (replay agrees: {})",
+            sim.makespan,
+            sim.makespan == m.makespan
+        );
         let _ = writeln!(out, "sim messages    {}", sim.messages);
         let _ = writeln!(out, "sim comm volume {}", sim.comm_volume);
     }
@@ -306,8 +331,8 @@ fn cmd_simulate(a: &Args<'_>) -> Result<String, CliError> {
     let path = a
         .value("--schedule")
         .ok_or_else(|| err("missing --schedule FILE"))?;
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
     let schedule =
         flb_sched::io::parse_text(&text).map_err(|e| err(format!("cannot parse {path}: {e}")))?;
     if schedule.num_tasks() != g.num_tasks() {
@@ -322,8 +347,15 @@ fn cmd_simulate(a: &Args<'_>) -> Result<String, CliError> {
     } else {
         flb_sim::Contention::None
     };
-    let sim = flb_sim::simulate_with(&g, &schedule, &flb_sim::SimConfig { contention, ..Default::default() })
-        .map_err(|e| err(format!("simulation failed: {e}")))?;
+    let sim = flb_sim::simulate_with(
+        &g,
+        &schedule,
+        &flb_sim::SimConfig {
+            contention,
+            ..Default::default()
+        },
+    )
+    .map_err(|e| err(format!("simulation failed: {e}")))?;
     let mut out = String::new();
     let _ = writeln!(out, "contention      {contention:?}");
     let _ = writeln!(out, "sim makespan    {}", sim.makespan);
@@ -331,6 +363,182 @@ fn cmd_simulate(a: &Args<'_>) -> Result<String, CliError> {
     let _ = writeln!(out, "local edges     {}", sim.local_edges);
     let _ = writeln!(out, "comm volume     {}", sim.comm_volume);
     let _ = writeln!(out, "efficiency      {:.3}", sim.efficiency());
+    Ok(out)
+}
+
+/// Parses `"X@Y"` into its two halves.
+fn split_at_sign<'s>(flag: &str, v: &'s str) -> Result<(&'s str, &'s str), CliError> {
+    v.split_once('@')
+        .ok_or_else(|| err(format!("invalid {flag} {v:?}: expected the form X@Y")))
+}
+
+/// `faults`: replay a schedule under an injected fault scenario; with
+/// `--repair`, snapshot the execution at the repair instant and re-plan
+/// the remaining work on the survivors.
+fn cmd_faults(a: &Args<'_>) -> Result<String, CliError> {
+    use flb_core::{clairvoyant_flb, naive_remap, repair_flb};
+    use flb_graph::TaskId;
+    use flb_sched::repair::validate_repaired;
+    use flb_sched::ProcId;
+    use flb_sim::{simulate_faulty, FaultSpec, SimConfig};
+
+    let g = load_graph(a)?;
+    let schedule = if let Some(path) = a.value("--schedule") {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+        flb_sched::io::parse_text(&text).map_err(|e| err(format!("cannot parse {path}: {e}")))?
+    } else {
+        let machine = load_machine(a)?;
+        scheduler_by_name(a.value("--alg").unwrap_or("flb"))?.schedule(&g, &machine)
+    };
+    if schedule.num_tasks() != g.num_tasks() {
+        return Err(err(format!(
+            "schedule covers {} tasks but the graph has {}",
+            schedule.num_tasks(),
+            g.num_tasks()
+        )));
+    }
+
+    // Assemble the fault spec.
+    let seed: u64 = a.parsed("--seed", 1)?;
+    let mut spec = FaultSpec::new(seed);
+    for v in a.values("--fail") {
+        let (p, t) = split_at_sign("--fail", v)?;
+        let p: usize = p
+            .parse()
+            .map_err(|_| err(format!("invalid --fail processor {p:?}")))?;
+        let t: u64 = t
+            .parse()
+            .map_err(|_| err(format!("invalid --fail time {t:?}")))?;
+        if p >= schedule.num_procs() {
+            return Err(err(format!(
+                "--fail p{p}: the machine has {} processors",
+                schedule.num_procs()
+            )));
+        }
+        spec = spec.fail(ProcId(p), t);
+    }
+    if let Some(v) = a.value("--loss") {
+        let mut parts = v.split(':');
+        let prob: f64 = parts
+            .next()
+            .and_then(|x| x.parse().ok())
+            .filter(|p| (0.0..=1.0).contains(p))
+            .ok_or_else(|| {
+                err(format!(
+                    "invalid --loss {v:?}: probability must be in [0,1]"
+                ))
+            })?;
+        let timeout: u64 = match parts.next() {
+            None => 10,
+            Some(x) => x
+                .parse()
+                .map_err(|_| err(format!("invalid --loss timeout in {v:?}")))?,
+        };
+        let retries: u32 = match parts.next() {
+            None => 8,
+            Some(x) => x
+                .parse()
+                .map_err(|_| err(format!("invalid --loss retries in {v:?}")))?,
+        };
+        spec = spec.with_loss(prob, timeout, retries);
+    }
+    for v in a.values("--straggle") {
+        let (t, f) = split_at_sign("--straggle", v)?;
+        let t: usize = t
+            .parse()
+            .map_err(|_| err(format!("invalid --straggle task {t:?}")))?;
+        let f: f64 = f
+            .parse()
+            .map_err(|_| err(format!("invalid --straggle factor {f:?}")))?;
+        if t >= g.num_tasks() || f < 1.0 {
+            return Err(err(format!(
+                "invalid --straggle {v:?}: task in range, factor >= 1"
+            )));
+        }
+        spec = spec.straggle(TaskId(t), f);
+    }
+
+    let contention = if a.flag("--one-port") {
+        flb_sim::Contention::OnePort
+    } else {
+        flb_sim::Contention::None
+    };
+    let cfg = SimConfig {
+        contention,
+        ..Default::default()
+    };
+    let run = simulate_faulty(&g, &schedule, &cfg, &spec);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "fault seed      {seed}");
+    let _ = writeln!(out, "fault events    {}", run.trace.len());
+    let _ = writeln!(out, "proc failures   {}", run.failures());
+    let _ = writeln!(out, "lost attempts   {}", run.lost_attempts());
+    let _ = writeln!(out, "abandoned msgs  {}", run.abandoned_messages());
+    let _ = writeln!(out, "tasks finished  {}/{}", run.completed, g.num_tasks());
+    if run.is_complete() {
+        let _ = writeln!(out, "achieved span   {}", run.makespan);
+        let _ = writeln!(out, "planned span    {}", schedule.makespan());
+    } else {
+        let _ = writeln!(out, "halted at       {}", run.halted_at);
+        for b in run.blocked.iter().take(5) {
+            let _ = writeln!(out, "  blocked: {b}");
+        }
+    }
+    if a.flag("--trace") {
+        let _ = writeln!(out, "\nfault trace:");
+        for ev in &run.trace {
+            let _ = writeln!(out, "  {ev}");
+        }
+    }
+
+    if a.flag("--repair") {
+        if spec.proc_failures.is_empty() && a.value("--at").is_none() {
+            return Err(err(
+                "--repair needs at least one --fail (or an explicit --at T)",
+            ));
+        }
+        let default_at = spec.proc_failures.iter().map(|f| f.at).min().unwrap_or(0);
+        let at: u64 = a.parsed("--at", default_at)?;
+        let exec = run.exec_state_at(&schedule, &spec, at);
+        if !exec.alive.iter().any(|&x| x) {
+            return Err(err(
+                "no processor survives the failures: nothing to repair onto",
+            ));
+        }
+        let machine = schedule.machine();
+        let repaired = repair_flb(&g, machine, &exec, TieBreak::BottomLevel);
+        validate_repaired(&g, &exec, &repaired)
+            .map_err(|e| err(format!("internal error: repaired schedule invalid: {e}")))?;
+        let naive = naive_remap(&g, &schedule, &exec);
+        validate_repaired(&g, &exec, &naive)
+            .map_err(|e| err(format!("internal error: naive remap invalid: {e}")))?;
+        let clair = clairvoyant_flb(&g, machine, &exec.alive, TieBreak::BottomLevel);
+        let _ = writeln!(
+            out,
+            "\nrepair at t={at} ({} committed, {} residual, {} survivors)",
+            exec.num_completed(),
+            g.num_tasks() - exec.num_completed(),
+            exec.surviving_procs().count()
+        );
+        let _ = writeln!(
+            out,
+            "repaired span   {} (warm-restart FLB)",
+            repaired.makespan()
+        );
+        let _ = writeln!(out, "naive remap     {}", naive.makespan());
+        let _ = writeln!(
+            out,
+            "clairvoyant     {} (failure known at t=0)",
+            clair.makespan()
+        );
+        if let Some(path) = a.value("--save") {
+            std::fs::write(path, flb_sched::io::to_text(&repaired))
+                .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+            let _ = writeln!(out, "repaired schedule saved to {path}");
+        }
+    }
     Ok(out)
 }
 
@@ -353,7 +561,9 @@ fn cmd_transform(a: &Args<'_>) -> Result<String, CliError> {
 fn cmd_report(a: &Args<'_>) -> Result<String, CliError> {
     let g = load_graph(a)?;
     let machine = load_machine(a)?;
-    let out_path = a.value("--out").ok_or_else(|| err("missing --out FILE.html"))?;
+    let out_path = a
+        .value("--out")
+        .ok_or_else(|| err("missing --out FILE.html"))?;
 
     let stats = flb_graph::analyze::stats(&g, g.num_tasks() <= 5000);
     let algs = ["MCP", "ETF", "DSC-LLB", "FCP", "FLB", "DLS", "HEFT"];
@@ -433,7 +643,11 @@ fn cmd_compare(a: &Args<'_>) -> Result<String, CliError> {
         g.ccr(),
         procs
     );
-    let _ = writeln!(out, "{:<9} {:>10} {:>8} {:>9}", "algorithm", "makespan", "NSL", "speedup");
+    let _ = writeln!(
+        out,
+        "{:<9} {:>10} {:>8} {:>9}",
+        "algorithm", "makespan", "NSL", "speedup"
+    );
     let mcp_span = Mcp::default().schedule(&g, &machine).makespan();
     for alg in algs {
         let s = scheduler_by_name(alg)?;
@@ -507,7 +721,14 @@ mod tests {
     #[test]
     fn schedule_with_trace_gantt_simulate() {
         let out = run_str(&[
-            "schedule", "--fig1", "--alg", "flb", "--procs", "2", "--trace", "--gantt",
+            "schedule",
+            "--fig1",
+            "--alg",
+            "flb",
+            "--procs",
+            "2",
+            "--trace",
+            "--gantt",
             "--simulate",
         ])
         .unwrap();
@@ -546,10 +767,8 @@ mod tests {
         let sim = run_str(&["simulate", "--fig1", "--schedule", sched_path]).unwrap();
         assert!(sim.contains("sim makespan    14"), "{sim}");
 
-        let port = run_str(&[
-            "simulate", "--fig1", "--schedule", sched_path, "--one-port",
-        ])
-        .unwrap();
+        let port =
+            run_str(&["simulate", "--fig1", "--schedule", sched_path, "--one-port"]).unwrap();
         assert!(port.contains("OnePort"));
         std::fs::remove_file(sched_path).ok();
     }
@@ -583,7 +802,14 @@ mod tests {
 
     #[test]
     fn extended_algorithms_available() {
-        for alg in ["dls", "heft", "hlfet", "runtime-bl", "runtime-fifo", "runtime-lpt"] {
+        for alg in [
+            "dls",
+            "heft",
+            "hlfet",
+            "runtime-bl",
+            "runtime-fifo",
+            "runtime-lpt",
+        ] {
             let out = run_str(&["schedule", "--fig1", "--alg", alg, "--procs", "2"]).unwrap();
             assert!(out.contains("makespan"), "{alg}");
         }
@@ -596,9 +822,16 @@ mod tests {
         let svg_path = dir.join("fig1.svg");
         let csv_path = dir.join("fig1.csv");
         let out = run_str(&[
-            "schedule", "--fig1", "--alg", "flb", "--procs", "2",
-            "--svg", svg_path.to_str().unwrap(),
-            "--trace-csv", csv_path.to_str().unwrap(),
+            "schedule",
+            "--fig1",
+            "--alg",
+            "flb",
+            "--procs",
+            "2",
+            "--svg",
+            svg_path.to_str().unwrap(),
+            "--trace-csv",
+            csv_path.to_str().unwrap(),
         ])
         .unwrap();
         assert!(out.contains("SVG Gantt chart saved"));
@@ -618,7 +851,12 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("report.html");
         let out = run_str(&[
-            "report", "--fig1", "--procs", "2", "--out", path.to_str().unwrap(),
+            "report",
+            "--fig1",
+            "--procs",
+            "2",
+            "--out",
+            path.to_str().unwrap(),
         ])
         .unwrap();
         assert!(out.contains("report written"));
@@ -637,10 +875,7 @@ mod tests {
 
     #[test]
     fn related_machine_via_speeds() {
-        let out = run_str(&[
-            "schedule", "--fig1", "--alg", "dls", "--speeds", "1,3",
-        ])
-        .unwrap();
+        let out = run_str(&["schedule", "--fig1", "--alg", "dls", "--speeds", "1,3"]).unwrap();
         assert!(out.contains("processors      2"), "{out}");
         let cmp = run_str(&["compare", "--fig1", "--speeds", "1,2,4"]).unwrap();
         assert!(cmp.contains("DLS"));
@@ -653,19 +888,70 @@ mod tests {
         let dir = std::env::temp_dir().join("flb-cli-test");
         std::fs::create_dir_all(&dir).unwrap();
         let p = dir.join("bench.stg");
-        let stg = run_str(&[
-            "generate", "--family", "lu", "--tasks", "30", "--stg",
-        ])
-        .unwrap();
+        let stg = run_str(&["generate", "--family", "lu", "--tasks", "30", "--stg"]).unwrap();
         std::fs::write(&p, &stg).unwrap();
         let info = run_str(&["info", "--input", p.to_str().unwrap()]).unwrap();
         assert!(info.contains("tasks (V)"));
         let out = run_str(&[
-            "schedule", "--input", p.to_str().unwrap(), "--alg", "flb", "--procs", "3",
+            "schedule",
+            "--input",
+            p.to_str().unwrap(),
+            "--alg",
+            "flb",
+            "--procs",
+            "3",
         ])
         .unwrap();
         assert!(out.contains("makespan"));
         std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn faults_replay_and_repair() {
+        // Fault-free: identical to the planned schedule.
+        let out = run_str(&["faults", "--fig1", "--procs", "2"]).unwrap();
+        assert!(out.contains("tasks finished  8/8"), "{out}");
+        assert!(out.contains("achieved span   14"), "{out}");
+
+        // p1 fails at 6; online repair must beat or match the naive remap.
+        let out = run_str(&[
+            "faults", "--fig1", "--procs", "2", "--fail", "1@6", "--repair", "--trace",
+        ])
+        .unwrap();
+        assert!(out.contains("proc failures   1"), "{out}");
+        assert!(out.contains("repair at t=6"), "{out}");
+        assert!(out.contains("repaired span"), "{out}");
+        assert!(out.contains("naive remap"), "{out}");
+        assert!(out.contains("clairvoyant"), "{out}");
+        assert!(out.contains("fault trace:"), "{out}");
+
+        // Stragglers and message loss run to completion.
+        let out = run_str(&[
+            "faults",
+            "--fig1",
+            "--procs",
+            "2",
+            "--straggle",
+            "3@2.0",
+            "--loss",
+            "0.2:3:8",
+        ])
+        .unwrap();
+        assert!(out.contains("tasks finished  8/8"), "{out}");
+    }
+
+    #[test]
+    fn faults_flag_validation() {
+        assert!(run_str(&["faults", "--fig1", "--procs", "2", "--fail", "9@1"]).is_err());
+        assert!(run_str(&["faults", "--fig1", "--procs", "2", "--fail", "oops"]).is_err());
+        assert!(run_str(&["faults", "--fig1", "--procs", "2", "--loss", "1.5"]).is_err());
+        assert!(run_str(&["faults", "--fig1", "--procs", "2", "--straggle", "3@0.5"]).is_err());
+        assert!(run_str(&["faults", "--fig1", "--procs", "2", "--repair"]).is_err());
+        // Failing every processor leaves nothing to repair onto.
+        assert!(run_str(&[
+            "faults", "--fig1", "--procs", "2", "--fail", "0@1", "--fail", "1@1", "--repair",
+        ])
+        .is_err());
     }
 
     #[test]

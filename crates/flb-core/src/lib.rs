@@ -45,8 +45,10 @@
 mod run;
 
 pub mod oracle;
+pub mod repair;
 pub mod trace;
 
+pub use repair::{clairvoyant_flb, naive_remap, repair_flb};
 pub use run::{FlbRun, RunStats, Step, TieBreak};
 
 use flb_graph::TaskGraph;

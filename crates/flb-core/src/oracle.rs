@@ -14,10 +14,7 @@ use flb_sched::{ProcId, ScheduleBuilder};
 /// processor id, among the minimisers). Returns `None` when `ready` is
 /// empty.
 #[must_use]
-pub fn min_est(
-    builder: &ScheduleBuilder<'_>,
-    ready: &[TaskId],
-) -> Option<(TaskId, ProcId, Time)> {
+pub fn min_est(builder: &ScheduleBuilder<'_>, ready: &[TaskId]) -> Option<(TaskId, ProcId, Time)> {
     let mut best: Option<(Time, TaskId, ProcId)> = None;
     for &t in ready {
         for p in 0..builder.num_procs() {

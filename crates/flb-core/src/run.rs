@@ -87,6 +87,9 @@ impl RunStats {
 pub struct FlbRun<'g> {
     builder: ScheduleBuilder<'g>,
     tie_break: TieBreak,
+    /// Per processor: eligible to receive tasks. All true on a cold start;
+    /// warm restarts (schedule repair) mask out failed processors.
+    alive: Vec<bool>,
     /// Static bottom levels (tie-break priority).
     bl: Vec<Time>,
     /// Remaining unplaced predecessors per task (readiness countdown).
@@ -125,6 +128,7 @@ impl<'g> FlbRun<'g> {
         let mut run = FlbRun {
             builder: ScheduleBuilder::new(graph, machine),
             tie_break,
+            alive: vec![true; p],
             bl,
             missing_preds: (0..v).map(|i| graph.in_degree(TaskId(i))).collect(),
             lmt: vec![0; v],
@@ -138,13 +142,82 @@ impl<'g> FlbRun<'g> {
             stats: RunStats::default(),
         };
         for t in graph.entry_tasks() {
-            run.non_ep.insert(t.0, run.task_key(0, t));
-            run.stats.non_ep_promotions += 1;
+            run.enqueue_ready(t);
         }
-        run.stats.max_ready = run.non_ep.len();
+        run.stats.max_ready = run.ready_len();
         for q in 0..p {
             run.all_procs.insert(q, 0);
         }
+        run
+    }
+
+    /// Warm restart over a pre-loaded partial schedule — the entry point of
+    /// online repair (see `flb_core::repair`). `builder` may already hold
+    /// placements (e.g. zero-cost pseudo-entries pinned where executed
+    /// outputs materialised) and raised `PRT` floors
+    /// ([`ScheduleBuilder::advance_prt`]); `alive[q] == false` masks
+    /// processor `q` out of every candidate list, so the run never places a
+    /// task on it. Tasks whose unplaced-predecessor count is already zero
+    /// are enqueued immediately; the rest become ready as usual.
+    ///
+    /// With an empty builder and all processors alive this is exactly
+    /// [`FlbRun::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when no processor is alive or `alive.len()` disagrees with
+    /// the machine.
+    #[must_use]
+    pub fn warm(builder: ScheduleBuilder<'g>, tie_break: TieBreak, alive: Vec<bool>) -> Self {
+        let graph = builder.graph();
+        let v = graph.num_tasks();
+        let p = builder.num_procs();
+        assert_eq!(alive.len(), p, "alive mask does not match the machine");
+        assert!(
+            alive.iter().any(|&a| a),
+            "warm restart needs a surviving processor"
+        );
+        let bl = match tie_break {
+            TieBreak::BottomLevel => bottom_levels(graph),
+            TieBreak::TaskId => vec![0; v],
+        };
+        let missing_preds = (0..v)
+            .map(|i| {
+                graph
+                    .preds(TaskId(i))
+                    .iter()
+                    .filter(|&&(q, _)| !builder.is_placed(q))
+                    .count()
+            })
+            .collect();
+        let mut run = FlbRun {
+            builder,
+            tie_break,
+            alive,
+            bl,
+            missing_preds,
+            lmt: vec![0; v],
+            emt_on_ep: vec![0; v],
+            ep: vec![usize::MAX; v],
+            emt_ep: (0..p).map(|_| IndexedMinHeap::new(v)).collect(),
+            lmt_ep: (0..p).map(|_| IndexedMinHeap::new(v)).collect(),
+            non_ep: IndexedMinHeap::new(v),
+            active_procs: IndexedMinHeap::new(p),
+            all_procs: IndexedMinHeap::new(p),
+            stats: RunStats::default(),
+        };
+        for q in 0..p {
+            if run.alive[q] {
+                run.all_procs.insert(q, run.builder.prt(ProcId(q)));
+            }
+        }
+        for i in 0..v {
+            let t = TaskId(i);
+            if !run.builder.is_placed(t) && run.missing_preds[i] == 0 {
+                run.enqueue_ready(t);
+            }
+        }
+        run.stats.max_ready = run.ready_len();
         run
     }
 
@@ -163,6 +236,12 @@ impl<'g> FlbRun<'g> {
     #[must_use]
     pub fn tie_break(&self) -> TieBreak {
         self.tie_break
+    }
+
+    /// Per-processor eligibility mask (all true for cold starts).
+    #[must_use]
+    pub fn alive(&self) -> &[bool] {
+        &self.alive
     }
 
     fn task_key(&self, time: Time, t: TaskId) -> TaskKey {
@@ -245,7 +324,9 @@ impl<'g> FlbRun<'g> {
         // Candidate (a): EP-type task with minimum EST on its enabling
         // processor — the head of the head-of-active-processors' EMT list.
         let ep_pair = self.active_procs.peek().map(|(p, &est)| {
-            let (t, _) = self.emt_ep[p].peek().expect("active processor has EP tasks");
+            let (t, _) = self.emt_ep[p]
+                .peek()
+                .expect("active processor has EP tasks");
             debug_assert_eq!(
                 est,
                 self.emt_on_ep[t].max(self.builder.prt(ProcId(p))),
@@ -347,29 +428,46 @@ impl<'g> FlbRun<'g> {
             if self.missing_preds[s.0] > 0 {
                 continue;
             }
-            // s became ready: compute its LMT, EP and EMT-on-EP once (its
-            // predecessors are all placed and will never move).
-            let lmt = self.builder.lmt(s);
-            let ep = self.builder.ep(s).expect("ready non-entry task has preds");
-            let emt = self.builder.emt(s, ep);
-            self.lmt[s.0] = lmt;
-            self.ep[s.0] = ep.0;
-            self.emt_on_ep[s.0] = emt;
+            self.enqueue_ready(s);
+        }
+        self.stats.max_ready = self.stats.max_ready.max(self.ready_len());
+    }
 
-            if lmt < self.builder.prt(ep) {
+    /// Classifies a ready task as EP / non-EP type and enqueues it — shared
+    /// by the cold start (entry tasks), the warm start, and
+    /// `UpdateReadyTasks`. LMT, EP and EMT-on-EP are computed once: the
+    /// task's predecessors are all placed and will never move. A task whose
+    /// enabling processor has failed goes to the non-EP list — its last
+    /// message comes from a checkpointed output, which no surviving
+    /// processor can overlap away, so the EP condition is unsatisfiable.
+    fn enqueue_ready(&mut self, s: TaskId) {
+        let lmt = self.builder.lmt(s);
+        self.lmt[s.0] = lmt;
+        match self.builder.ep(s) {
+            Some(ep) if self.alive[ep.0] => {
+                let emt = self.builder.emt(s, ep);
+                self.ep[s.0] = ep.0;
+                self.emt_on_ep[s.0] = emt;
+                if lmt < self.builder.prt(ep) {
+                    let key = self.task_key(lmt, s);
+                    self.non_ep.insert(s.0, key);
+                    self.stats.non_ep_promotions += 1;
+                } else {
+                    let emt_key = self.task_key(emt, s);
+                    let lmt_key = self.task_key(lmt, s);
+                    self.emt_ep[ep.0].insert(s.0, emt_key);
+                    self.lmt_ep[ep.0].insert(s.0, lmt_key);
+                    self.update_proc_lists(ep);
+                    self.stats.ep_promotions += 1;
+                }
+            }
+            // Entry task (no predecessors) or dead enabling processor.
+            _ => {
                 let key = self.task_key(lmt, s);
                 self.non_ep.insert(s.0, key);
                 self.stats.non_ep_promotions += 1;
-            } else {
-                let emt_key = self.task_key(emt, s);
-                let lmt_key = self.task_key(lmt, s);
-                self.emt_ep[ep.0].insert(s.0, emt_key);
-                self.lmt_ep[ep.0].insert(s.0, lmt_key);
-                self.update_proc_lists(ep);
-                self.stats.ep_promotions += 1;
             }
         }
-        self.stats.max_ready = self.stats.max_ready.max(self.ready_len());
     }
 
     /// Finishes the run.
@@ -616,9 +714,6 @@ mod tests {
         let mut run = FlbRun::new(&g, &m, TieBreak::BottomLevel);
         assert_eq!(run.ready_tasks(), vec![TaskId(0)]);
         run.step();
-        assert_eq!(
-            run.ready_tasks(),
-            vec![TaskId(1), TaskId(2), TaskId(3)]
-        );
+        assert_eq!(run.ready_tasks(), vec![TaskId(1), TaskId(2), TaskId(3)]);
     }
 }

@@ -53,7 +53,11 @@ pub struct TraceRow {
 
 /// Runs FLB on `graph`/`machine` collecting a [`TraceRow`] per iteration.
 #[must_use]
-pub fn trace(graph: &TaskGraph, machine: &Machine, tie_break: TieBreak) -> (Schedule, Vec<TraceRow>) {
+pub fn trace(
+    graph: &TaskGraph,
+    machine: &Machine,
+    tie_break: TieBreak,
+) -> (Schedule, Vec<TraceRow>) {
     let mut run = FlbRun::new(graph, machine, tie_break);
     let mut rows = Vec::with_capacity(graph.num_tasks());
     loop {
@@ -70,10 +74,7 @@ pub fn trace(graph: &TaskGraph, machine: &Machine, tie_break: TieBreak) -> (Sche
     (run.finish(), rows)
 }
 
-fn snapshot_lists(
-    run: &FlbRun<'_>,
-    machine: &Machine,
-) -> (Vec<Vec<EpEntry>>, Vec<NonEpEntry>) {
+fn snapshot_lists(run: &FlbRun<'_>, machine: &Machine) -> (Vec<Vec<EpEntry>>, Vec<NonEpEntry>) {
     let ep_lists = machine
         .procs()
         .map(|p| {
@@ -103,9 +104,7 @@ fn snapshot_lists(
 #[must_use]
 pub fn render(rows: &[TraceRow]) -> String {
     let procs = rows.first().map_or(0, |r| r.ep_lists.len());
-    let mut cols: Vec<String> = (0..procs)
-        .map(|p| format!("EP tasks on p{p}"))
-        .collect();
+    let mut cols: Vec<String> = (0..procs).map(|p| format!("EP tasks on p{p}")).collect();
     cols.push("non-EP tasks".to_owned());
     cols.push("scheduling".to_owned());
 
@@ -115,10 +114,19 @@ pub fn render(rows: &[TraceRow]) -> String {
         for list in &row.ep_lists {
             let cell = list
                 .iter()
-                .map(|e| format!("t{}[{}; {}/{}]", e.task.0, e.est_on_ep, e.bottom_level, e.lmt))
+                .map(|e| {
+                    format!(
+                        "t{}[{}; {}/{}]",
+                        e.task.0, e.est_on_ep, e.bottom_level, e.lmt
+                    )
+                })
                 .collect::<Vec<_>>()
                 .join(" ");
-            cells.push(if cell.is_empty() { "-".to_owned() } else { cell });
+            cells.push(if cell.is_empty() {
+                "-".to_owned()
+            } else {
+                cell
+            });
         }
         let non_ep = row
             .non_ep
@@ -126,7 +134,11 @@ pub fn render(rows: &[TraceRow]) -> String {
             .map(|e| format!("t{}[{}]", e.task.0, e.lmt))
             .collect::<Vec<_>>()
             .join(" ");
-        cells.push(if non_ep.is_empty() { "-".to_owned() } else { non_ep });
+        cells.push(if non_ep.is_empty() {
+            "-".to_owned()
+        } else {
+            non_ep
+        });
         cells.push(format!(
             "t{} -> p{}, [{} - {}]",
             row.step.task.0, row.step.proc.0, row.step.start, row.step.finish
@@ -207,7 +219,10 @@ mod tests {
             bottom_level: bl,
             lmt,
         };
-        let ne = |t: usize, lmt: Time| NonEpEntry { task: TaskId(t), lmt };
+        let ne = |t: usize, lmt: Time| NonEpEntry {
+            task: TaskId(t),
+            lmt,
+        };
 
         // Row 1: only t0 ready (non-EP); schedule t0 -> p0 [0-2].
         assert!(rows[0].ep_lists[0].is_empty() && rows[0].ep_lists[1].is_empty());
@@ -257,10 +272,7 @@ mod tests {
         assert_eq!(rows[7].ep_lists[0], vec![ep(7, 12, 2, 13)]);
         assert!(rows[7].non_ep.is_empty());
         assert_eq!(rows[7].step.task, TaskId(7));
-        assert_eq!(
-            (rows[7].step.start, rows[7].step.finish),
-            (12, 14)
-        );
+        assert_eq!((rows[7].step.start, rows[7].step.finish), (12, 14));
     }
 
     #[test]
@@ -285,7 +297,10 @@ mod tests {
         let (_, rows) = trace(&g, &m, TieBreak::BottomLevel);
         let csv = to_csv(&rows);
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines[0], "iteration,kind,task,proc,est,bottom_level,lmt,start,finish");
+        assert_eq!(
+            lines[0],
+            "iteration,kind,task,proc,est,bottom_level,lmt,start,finish"
+        );
         // Exactly 8 decision rows, one per task.
         assert_eq!(csv.matches(",decision,").count(), 8);
         // Row 2's EP entries are present with their Table 1 annotations.
@@ -299,6 +314,9 @@ mod tests {
 
     #[test]
     fn render_empty_trace() {
-        assert_eq!(render(&[]), "non-EP tasks  scheduling\n------------------------\n");
+        assert_eq!(
+            render(&[]),
+            "non-EP tasks  scheduling\n------------------------\n"
+        );
     }
 }

@@ -22,7 +22,12 @@ fn arb_weighted_graph() -> impl Strategy<Value = TaskGraph> {
         (1usize..10).prop_map(gen::chain),
         (1usize..10).prop_map(gen::independent),
         (8usize..40, 2usize..5, any::<u64>()).prop_map(|(v, l, seed)| gen::random_layered(
-            &gen::RandomLayeredSpec { tasks: v, layers: l, edge_prob: 0.35, max_skip: 2 },
+            &gen::RandomLayeredSpec {
+                tasks: v,
+                layers: l,
+                edge_prob: 0.35,
+                max_skip: 2
+            },
             seed
         )),
     ];

@@ -17,10 +17,7 @@ impl ModelHeap {
         assert!(self.items.insert(id, key).is_none());
     }
     fn pop(&mut self) -> Option<(usize, u64)> {
-        let (&id, &key) = self
-            .items
-            .iter()
-            .min_by_key(|&(&id, &key)| (key, id))?;
+        let (&id, &key) = self.items.iter().min_by_key(|&(&id, &key)| (key, id))?;
         self.items.remove(&id);
         Some((id, key))
     }

@@ -132,11 +132,7 @@ impl CostModel {
     pub fn apply(&self, topology: &TaskGraph, seed: u64) -> TaskGraph {
         let mut rng = StdRng::seed_from_u64(seed);
         let comm_dist = self.comm_dist();
-        let mut b = TaskGraphBuilder::named(format!(
-            "{}-ccr{}-s{seed}",
-            topology.name(),
-            self.ccr
-        ));
+        let mut b = TaskGraphBuilder::named(format!("{}-ccr{}-s{seed}", topology.name(), self.ccr));
         b.reserve(topology.num_tasks(), topology.num_edges());
         for _ in topology.tasks() {
             b.add_task(self.comp.sample(&mut rng));

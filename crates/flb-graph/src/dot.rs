@@ -8,7 +8,11 @@ use std::fmt::Write as _;
 #[must_use]
 pub fn to_dot(g: &TaskGraph) -> String {
     let mut out = String::new();
-    let name = if g.name().is_empty() { "taskgraph" } else { g.name() };
+    let name = if g.name().is_empty() {
+        "taskgraph"
+    } else {
+        g.name()
+    };
     // DOT identifiers cannot contain '-' unless quoted.
     writeln!(out, "digraph \"{name}\" {{").expect("write to string");
     writeln!(out, "  rankdir=TB;").expect("write to string");

@@ -172,8 +172,7 @@ pub fn cholesky(nb: usize) -> TaskGraph {
     let mut potrf = Vec::with_capacity(nb);
     let mut trsm: Vec<Vec<TaskId>> = Vec::with_capacity(nb);
     let mut syrk: Vec<Vec<TaskId>> = Vec::with_capacity(nb);
-    let mut gemm: Vec<std::collections::BTreeMap<(usize, usize), TaskId>> =
-        Vec::with_capacity(nb);
+    let mut gemm: Vec<std::collections::BTreeMap<(usize, usize), TaskId>> = Vec::with_capacity(nb);
 
     for k in 0..nb {
         let p = b.add_task(2);
@@ -555,7 +554,11 @@ mod tests {
     fn cholesky_sizes_and_structure() {
         // V = nb + nb(nb-1) + C(nb, 3).
         let count = |nb: usize| {
-            let gemm = if nb >= 3 { nb * (nb - 1) * (nb - 2) / 6 } else { 0 };
+            let gemm = if nb >= 3 {
+                nb * (nb - 1) * (nb - 2) / 6
+            } else {
+                0
+            };
             nb + nb * (nb - 1) + gemm
         };
         for nb in [1usize, 2, 3, 5, 8] {

@@ -101,7 +101,10 @@ pub fn parse_stg_with_comm(
         if id != rows.len() {
             return Err(StgError::Malformed(
                 lineno,
-                format!("task ids must be consecutive: expected {}, got {id}", rows.len()),
+                format!(
+                    "task ids must be consecutive: expected {}, got {id}",
+                    rows.len()
+                ),
             ));
         }
         let comp = parse_num(it.next(), "computation cost")?;
@@ -158,7 +161,10 @@ pub fn to_stg(g: &TaskGraph) -> String {
         }
         out.push('\n');
     }
-    let _ = writeln!(out, "# exported by flb; communication costs omitted (STG has none)");
+    let _ = writeln!(
+        out,
+        "# exported by flb; communication costs omitted (STG has none)"
+    );
     out
 }
 
@@ -216,10 +222,7 @@ mod tests {
     #[test]
     fn parse_errors() {
         assert!(matches!(parse_stg(""), Err(StgError::Malformed(0, _))));
-        assert!(matches!(
-            parse_stg("abc"),
-            Err(StgError::Malformed(1, _))
-        ));
+        assert!(matches!(parse_stg("abc"), Err(StgError::Malformed(1, _))));
         // Non-consecutive id.
         assert!(matches!(
             parse_stg("2\n0 1 0\n5 1 0"),
@@ -238,7 +241,10 @@ mod tests {
         // Count mismatch.
         assert!(matches!(
             parse_stg("3\n0 1 0\n1 1 1 0"),
-            Err(StgError::CountMismatch { declared: 3, found: 2 })
+            Err(StgError::CountMismatch {
+                declared: 3,
+                found: 2
+            })
         ));
         // Predecessor id beyond the declared range.
         assert!(matches!(
@@ -253,7 +259,11 @@ mod tests {
     #[test]
     fn error_display() {
         assert_eq!(
-            StgError::CountMismatch { declared: 3, found: 2 }.to_string(),
+            StgError::CountMismatch {
+                declared: 3,
+                found: 2
+            }
+            .to_string(),
             "header declares 3 tasks, file has 2"
         );
     }

@@ -60,9 +60,10 @@ pub fn transitive_reduction(g: &TaskGraph) -> TaskGraph {
     for t in g.tasks() {
         for &(s, c) in g.succs(t) {
             // Redundant iff some *other* direct successor of t reaches s.
-            let redundant = g.succs(t).iter().any(|&(mid, _)| {
-                mid != s && (reach[mid.0][s.0 / 64] >> (s.0 % 64)) & 1 == 1
-            });
+            let redundant = g
+                .succs(t)
+                .iter()
+                .any(|&(mid, _)| mid != s && (reach[mid.0][s.0 / 64] >> (s.0 % 64)) & 1 == 1);
             if !redundant {
                 b.add_edge(t, s, c).expect("copying edges of a valid graph");
             }

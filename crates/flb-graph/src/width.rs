@@ -224,7 +224,19 @@ mod tests {
     #[test]
     fn fork_join_width_is_fanout() {
         // 0 -> {1..=4} -> 5
-        let g = build(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (1, 5), (2, 5), (3, 5), (4, 5)]);
+        let g = build(
+            6,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (1, 5),
+                (2, 5),
+                (3, 5),
+                (4, 5),
+            ],
+        );
         assert_eq!(max_antichain(&g), 4);
         assert_eq!(max_ready_width(&g), 4);
     }

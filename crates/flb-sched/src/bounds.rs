@@ -79,10 +79,7 @@ mod tests {
     fn machine_aware_bound_reduces_to_homogeneous() {
         let g = gen::independent(10);
         let m = crate::Machine::new(3);
-        assert_eq!(
-            makespan_lower_bound_on(&g, &m),
-            makespan_lower_bound(&g, 3)
-        );
+        assert_eq!(makespan_lower_bound_on(&g, &m), makespan_lower_bound(&g, 3));
     }
 
     #[test]

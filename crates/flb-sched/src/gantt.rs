@@ -22,8 +22,7 @@ pub fn render(g: &TaskGraph, s: &Schedule, width: usize) -> String {
         for &t in s.tasks_on(ProcId(p)) {
             let pl = s.placement(t);
             let a = ((pl.start as f64 * scale) as usize).min(width - 1);
-            let b = ((pl.finish as f64 * scale).ceil() as usize)
-                .clamp(a + 1, width);
+            let b = ((pl.finish as f64 * scale).ceil() as usize).clamp(a + 1, width);
             let label = format!("t{}", t.0);
             let cell = &mut row[a..b];
             for c in cell.iter_mut() {

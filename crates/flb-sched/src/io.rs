@@ -112,16 +112,12 @@ pub fn parse_text(text: &str) -> Result<Schedule, ScheduleTextError> {
         let mut parts = line.split_ascii_whitespace();
         match parts.next() {
             Some("procs") => {
-                procs = parts
-                    .next()
-                    .and_then(|x| x.parse().ok())
-                    .ok_or_else(|| {
-                        ScheduleTextError::Malformed(lineno, "expected `procs N`".into())
-                    })?;
+                procs = parts.next().and_then(|x| x.parse().ok()).ok_or_else(|| {
+                    ScheduleTextError::Malformed(lineno, "expected `procs N`".into())
+                })?;
             }
             Some("speeds") => {
-                let parsed: Option<Vec<Time>> =
-                    parts.map(|x| x.parse().ok()).collect();
+                let parsed: Option<Vec<Time>> = parts.map(|x| x.parse().ok()).collect();
                 match parsed {
                     Some(v) if !v.is_empty() && v.iter().all(|&x| x >= 1) => {
                         speeds = Some(v);

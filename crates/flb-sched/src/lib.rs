@@ -27,6 +27,7 @@ pub mod bounds;
 pub mod gantt;
 pub mod io;
 pub mod metrics;
+pub mod repair;
 pub mod validate;
 
 pub use machine::{Machine, ProcId};

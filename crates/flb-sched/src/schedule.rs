@@ -270,8 +270,13 @@ impl<'g> ScheduleBuilder<'g> {
                 (self.ft(p) + c, proc, p)
             })
             // max by arrival; ties -> smallest proc id, then smallest pred id
-            .max_by(|a, b| (a.0, std::cmp::Reverse(a.1), std::cmp::Reverse(a.2))
-                .cmp(&(b.0, std::cmp::Reverse(b.1), std::cmp::Reverse(b.2))))
+            .max_by(|a, b| {
+                (a.0, std::cmp::Reverse(a.1), std::cmp::Reverse(a.2)).cmp(&(
+                    b.0,
+                    std::cmp::Reverse(b.1),
+                    std::cmp::Reverse(b.2),
+                ))
+            })
             .map(|(_, proc, _)| proc)
     }
 
@@ -398,6 +403,17 @@ impl<'g> ScheduleBuilder<'g> {
         self.n_placed += 1;
     }
 
+    /// Raises `PRT(p)` to at least `floor` without placing a task.
+    ///
+    /// Schedule surgery uses this to forbid new work on a processor before
+    /// a given instant — e.g. the repair time of a partially executed
+    /// schedule, or the completion of an in-flight task whose placement is
+    /// not part of the graph being (re)scheduled.
+    pub fn advance_prt(&mut self, p: ProcId, floor: Time) {
+        let prt = &mut self.prt[p.0];
+        *prt = (*prt).max(floor);
+    }
+
     /// Finalises the schedule.
     ///
     /// # Panics
@@ -413,7 +429,11 @@ impl<'g> ScheduleBuilder<'g> {
         );
         Schedule {
             machine: self.machine,
-            placements: self.placed.into_iter().map(|p| p.expect("placed")).collect(),
+            placements: self
+                .placed
+                .into_iter()
+                .map(|p| p.expect("placed"))
+                .collect(),
             proc_tasks: self.proc_tasks,
         }
     }
@@ -587,7 +607,7 @@ mod tests {
         let mut b = ScheduleBuilder::new(&g, &m);
         b.place_insert(TaskId(0), ProcId(0), 2); // busy [2,3)
         b.place_insert(TaskId(1), ProcId(0), 5); // busy [5,10)
-        // Gaps: [0,2) too small for comp 3, [3,5) too small -> append at 10.
+                                                 // Gaps: [0,2) too small for comp 3, [3,5) too small -> append at 10.
         assert_eq!(b.est_insertion(TaskId(2), ProcId(0)), 10);
         // But a 2-unit gap would fit a comp-2 task: t2 has comp 3, so check
         // with EMT pressure instead: ready time 0, first fitting slot 10.

@@ -93,8 +93,10 @@ pub fn validate(g: &TaskGraph, s: &Schedule) -> Result<(), ScheduleError> {
     // neighbours.
     for p in 0..s.num_procs() {
         let p = ProcId(p);
+        // Sort by finish before id so a zero-duration task sharing its
+        // start with a longer one is not misreported as overlapping.
         let mut row: Vec<TaskId> = s.tasks_on(p).to_vec();
-        row.sort_by_key(|&t| (s.start(t), t));
+        row.sort_by_key(|&t| (s.start(t), s.finish(t), t));
         for w in row.windows(2) {
             if s.finish(w[0]) > s.start(w[1]) {
                 return Err(ScheduleError::Overlap(p, w[0], w[1]));
@@ -152,8 +154,16 @@ mod tests {
         let s = Schedule::from_raw(
             1,
             vec![
-                Placement { proc: ProcId(0), start: 0, finish: 2 },
-                Placement { proc: ProcId(0), start: 2, finish: 5 },
+                Placement {
+                    proc: ProcId(0),
+                    start: 0,
+                    finish: 2,
+                },
+                Placement {
+                    proc: ProcId(0),
+                    start: 2,
+                    finish: 5,
+                },
             ],
         );
         assert_eq!(validate(&g, &s), Ok(()));
@@ -165,8 +175,16 @@ mod tests {
         let s = Schedule::from_raw(
             2,
             vec![
-                Placement { proc: ProcId(0), start: 0, finish: 2 },
-                Placement { proc: ProcId(1), start: 3, finish: 6 },
+                Placement {
+                    proc: ProcId(0),
+                    start: 0,
+                    finish: 2,
+                },
+                Placement {
+                    proc: ProcId(1),
+                    start: 3,
+                    finish: 6,
+                },
             ],
         );
         assert_eq!(
@@ -189,8 +207,16 @@ mod tests {
         let s = Schedule::from_raw(
             1,
             vec![
-                Placement { proc: ProcId(0), start: 0, finish: 4 },
-                Placement { proc: ProcId(0), start: 2, finish: 6 },
+                Placement {
+                    proc: ProcId(0),
+                    start: 0,
+                    finish: 4,
+                },
+                Placement {
+                    proc: ProcId(0),
+                    start: 2,
+                    finish: 6,
+                },
             ],
         );
         assert_eq!(
@@ -205,8 +231,16 @@ mod tests {
         let s = Schedule::from_raw(
             2,
             vec![
-                Placement { proc: ProcId(0), start: 0, finish: 99 },
-                Placement { proc: ProcId(1), start: 104, finish: 107 },
+                Placement {
+                    proc: ProcId(0),
+                    start: 0,
+                    finish: 99,
+                },
+                Placement {
+                    proc: ProcId(1),
+                    start: 104,
+                    finish: 107,
+                },
             ],
         );
         assert_eq!(validate(&g, &s), Err(ScheduleError::BadDuration(TaskId(0))));
@@ -218,8 +252,16 @@ mod tests {
         let s = Schedule::from_raw(
             1,
             vec![
-                Placement { proc: ProcId(0), start: 0, finish: 2 },
-                Placement { proc: ProcId(5), start: 7, finish: 10 },
+                Placement {
+                    proc: ProcId(0),
+                    start: 0,
+                    finish: 2,
+                },
+                Placement {
+                    proc: ProcId(5),
+                    start: 7,
+                    finish: 10,
+                },
             ],
         );
         assert_eq!(
@@ -233,11 +275,18 @@ mod tests {
         let g = two_task_graph();
         let s = Schedule::from_raw(
             1,
-            vec![Placement { proc: ProcId(0), start: 0, finish: 2 }],
+            vec![Placement {
+                proc: ProcId(0),
+                start: 0,
+                finish: 2,
+            }],
         );
         assert_eq!(
             validate(&g, &s),
-            Err(ScheduleError::WrongTaskCount { scheduled: 1, expected: 2 })
+            Err(ScheduleError::WrongTaskCount {
+                scheduled: 1,
+                expected: 2
+            })
         );
     }
 
@@ -248,14 +297,46 @@ mod tests {
         // p1: t1[3-5], t4[5-8], t6[8-10]
         let g = fig1();
         let placements = vec![
-            Placement { proc: ProcId(0), start: 0, finish: 2 },
-            Placement { proc: ProcId(1), start: 3, finish: 5 },
-            Placement { proc: ProcId(0), start: 5, finish: 7 },
-            Placement { proc: ProcId(0), start: 2, finish: 5 },
-            Placement { proc: ProcId(1), start: 5, finish: 8 },
-            Placement { proc: ProcId(0), start: 7, finish: 10 },
-            Placement { proc: ProcId(1), start: 8, finish: 10 },
-            Placement { proc: ProcId(0), start: 12, finish: 14 },
+            Placement {
+                proc: ProcId(0),
+                start: 0,
+                finish: 2,
+            },
+            Placement {
+                proc: ProcId(1),
+                start: 3,
+                finish: 5,
+            },
+            Placement {
+                proc: ProcId(0),
+                start: 5,
+                finish: 7,
+            },
+            Placement {
+                proc: ProcId(0),
+                start: 2,
+                finish: 5,
+            },
+            Placement {
+                proc: ProcId(1),
+                start: 5,
+                finish: 8,
+            },
+            Placement {
+                proc: ProcId(0),
+                start: 7,
+                finish: 10,
+            },
+            Placement {
+                proc: ProcId(1),
+                start: 8,
+                finish: 10,
+            },
+            Placement {
+                proc: ProcId(0),
+                start: 12,
+                finish: 14,
+            },
         ];
         let s = Schedule::from_raw(2, placements);
         assert_eq!(validate(&g, &s), Ok(()));
@@ -266,7 +347,10 @@ mod tests {
     fn error_display_strings() {
         let e = ScheduleError::Overlap(ProcId(1), TaskId(2), TaskId(3));
         assert_eq!(e.to_string(), "tasks t2 and t3 overlap on p1");
-        let e = ScheduleError::WrongTaskCount { scheduled: 1, expected: 2 };
+        let e = ScheduleError::WrongTaskCount {
+            scheduled: 1,
+            expected: 2,
+        };
         assert_eq!(e.to_string(), "schedule has 1 tasks, graph has 2");
     }
 }

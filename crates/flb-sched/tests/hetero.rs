@@ -41,8 +41,16 @@ fn validator_checks_hetero_durations() {
     let ok = Schedule::from_raw_on(
         m.clone(),
         vec![
-            Placement { proc: ProcId(1), start: 0, finish: 12 },
-            Placement { proc: ProcId(0), start: 17, finish: 23 },
+            Placement {
+                proc: ProcId(1),
+                start: 0,
+                finish: 12,
+            },
+            Placement {
+                proc: ProcId(0),
+                start: 17,
+                finish: 23,
+            },
         ],
     );
     assert_eq!(validate(&g, &ok), Ok(()));
@@ -50,11 +58,22 @@ fn validator_checks_hetero_durations() {
     let bad = Schedule::from_raw_on(
         m,
         vec![
-            Placement { proc: ProcId(1), start: 0, finish: 4 },
-            Placement { proc: ProcId(0), start: 9, finish: 15 },
+            Placement {
+                proc: ProcId(1),
+                start: 0,
+                finish: 4,
+            },
+            Placement {
+                proc: ProcId(0),
+                start: 9,
+                finish: 15,
+            },
         ],
     );
-    assert_eq!(validate(&g, &bad), Err(ScheduleError::BadDuration(TaskId(0))));
+    assert_eq!(
+        validate(&g, &bad),
+        Err(ScheduleError::BadDuration(TaskId(0)))
+    );
 }
 
 #[test]
@@ -92,8 +111,8 @@ fn est_insertion_respects_speed() {
     b.place_insert(TaskId(0), ProcId(0), 0); // busy [0, 1)
     b.place_insert(TaskId(1), ProcId(0), 9); // busy [9, 10): gap [1, 9)
     assert_eq!(b.est_insertion(TaskId(2), ProcId(0)), 1); // 4 fits in 8
-    // On the slow processor the same task would need 12 units; the only
-    // slot is the end of its (empty) timeline: 0.
+                                                          // On the slow processor the same task would need 12 units; the only
+                                                          // slot is the end of its (empty) timeline: 0.
     assert_eq!(b.est_insertion(TaskId(2), ProcId(1)), 0);
 }
 

@@ -46,11 +46,7 @@ pub enum DispatchPolicy {
 /// time satisfies `FT(pred) + comm` for cross-processor edges), so it can
 /// be compared directly against the compile-time algorithms.
 #[must_use]
-pub fn dynamic_schedule(
-    g: &TaskGraph,
-    machine: &Machine,
-    policy: DispatchPolicy,
-) -> Schedule {
+pub fn dynamic_schedule(g: &TaskGraph, machine: &Machine, policy: DispatchPolicy) -> Schedule {
     let v = g.num_tasks();
     let p = machine.num_procs();
     let bl = flb_graph::levels::bottom_levels(g);

@@ -88,22 +88,166 @@ impl SimResult {
     }
 }
 
+/// Why a blocked task cannot start (part of a stall diagnosis).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockReason {
+    /// An input from a task on another processor never arrived: the
+    /// producer itself never finished. In a fault-free replay this means
+    /// the producer is part of the same wait-for cycle.
+    MissingInput {
+        /// The unfinished producer.
+        pred: TaskId,
+        /// The processor the producer is assigned to (busy or blocked).
+        pred_proc: ProcId,
+    },
+    /// A predecessor is queued *behind* the task on the same processor:
+    /// the per-processor order contradicts the precedence constraints.
+    OrderViolation {
+        /// The mis-ordered predecessor.
+        pred: TaskId,
+    },
+    /// The input can never arrive: the producer was killed by a processor
+    /// failure, is queued on a failed processor, or its message exhausted
+    /// every retransmission (fault-injected runs only).
+    InputLost {
+        /// The lost producer.
+        pred: TaskId,
+    },
+}
+
+impl fmt::Display for BlockReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockReason::MissingInput { pred, pred_proc } => {
+                write!(f, "input from {pred} (on {pred_proc}) missing")
+            }
+            BlockReason::OrderViolation { pred } => {
+                write!(
+                    f,
+                    "predecessor {pred} ordered behind it on the same processor"
+                )
+            }
+            BlockReason::InputLost { pred } => {
+                write!(f, "input from {pred} lost to a fault")
+            }
+        }
+    }
+}
+
+/// One task that could not start when the simulation drained: the head of
+/// a processor's remaining queue, with the reasons it is stuck. Any tasks
+/// queued behind it are transitively blocked (the processor is busy as far
+/// as they are concerned) and summarised by `queued_behind`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockedTask {
+    /// The blocked task.
+    pub task: TaskId,
+    /// The processor whose queue it heads.
+    pub proc: ProcId,
+    /// Every unsatisfied input, classified.
+    pub reasons: Vec<BlockReason>,
+    /// Tasks queued behind it on the same processor (blocked on it holding
+    /// the processor's queue head).
+    pub queued_behind: usize,
+}
+
+impl fmt::Display for BlockedTask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} on {} blocked: ", self.task, self.proc)?;
+        for (i, r) in self.reasons.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        if self.queued_behind > 0 {
+            write!(f, " (+{} queued behind)", self.queued_behind)?;
+        }
+        Ok(())
+    }
+}
+
+/// Diagnoses why execution drained with unfinished tasks: for each live
+/// processor whose queue is non-empty, classify every unsatisfied input of
+/// the queue's head. `input_lost(pred, consumer)` marks inputs that can
+/// never arrive (fault paths); fault-free callers pass `|_, _| false`.
+pub(crate) fn diagnose_stall(
+    g: &TaskGraph,
+    schedule: &Schedule,
+    queues: &[&[TaskId]],
+    next_idx: &[usize],
+    done: &[bool],
+    proc_dead: &[bool],
+    input_lost: &dyn Fn(TaskId, TaskId) -> bool,
+) -> Vec<BlockedTask> {
+    let mut blocked = Vec::new();
+    for (p, q) in queues.iter().enumerate() {
+        if proc_dead[p] {
+            continue;
+        }
+        let Some(&t) = q.get(next_idx[p]) else {
+            continue;
+        };
+        let mut reasons = Vec::new();
+        for &(u, _) in g.preds(t) {
+            // A lost input blocks even when its producer finished (the
+            // message itself was abandoned), so check it before `done`.
+            if input_lost(u, t) {
+                reasons.push(BlockReason::InputLost { pred: u });
+                continue;
+            }
+            if done[u.0] {
+                continue;
+            }
+            if schedule.proc(u).0 == p && q[next_idx[p]..].contains(&u) {
+                reasons.push(BlockReason::OrderViolation { pred: u });
+            } else {
+                reasons.push(BlockReason::MissingInput {
+                    pred: u,
+                    pred_proc: schedule.proc(u),
+                });
+            }
+        }
+        blocked.push(BlockedTask {
+            task: t,
+            proc: ProcId(p),
+            reasons,
+            queued_behind: q.len() - next_idx[p] - 1,
+        });
+    }
+    blocked
+}
+
 /// Simulation failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SimError {
-    /// Execution stalled: the per-processor orders are infeasible (a cycle
-    /// of wait-for dependencies), with this many tasks completed.
+    /// Execution stalled: tasks remain unfinished although every event has
+    /// drained (infeasible per-processor orders, or — in fault-injected
+    /// runs — inputs destroyed by failures).
     Stalled {
         /// Tasks that did complete before the stall.
         completed: usize,
+        /// Per-processor diagnosis: the head of each stuck queue and why
+        /// it cannot start.
+        blocked: Vec<BlockedTask>,
     },
 }
 
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::Stalled { completed } => {
-                write!(f, "simulation stalled after {completed} tasks (infeasible order)")
+            SimError::Stalled { completed, blocked } => {
+                write!(f, "simulation stalled after {completed} tasks")?;
+                if blocked.is_empty() {
+                    write!(f, " (no runnable queue head)")?;
+                }
+                for b in blocked.iter().take(3) {
+                    write!(f, "; {b}")?;
+                }
+                if blocked.len() > 3 {
+                    write!(f, "; …{} more blocked", blocked.len() - 3)?;
+                }
+                Ok(())
             }
         }
     }
@@ -261,7 +405,16 @@ pub fn simulate_with(
     }
 
     if completed != v {
-        return Err(SimError::Stalled { completed });
+        let blocked = diagnose_stall(
+            g,
+            schedule,
+            &queues,
+            &next_idx,
+            &done,
+            &vec![false; procs],
+            &|_, _| false,
+        );
+        return Err(SimError::Stalled { completed, blocked });
     }
 
     let makespan = finish.iter().copied().max().unwrap_or(0);
@@ -330,7 +483,11 @@ mod tests {
         let g = gb.build().unwrap();
         let s = Schedule::from_raw(
             1,
-            vec![Placement { proc: ProcId(0), start: 100, finish: 105 }],
+            vec![Placement {
+                proc: ProcId(0),
+                start: 100,
+                finish: 105,
+            }],
         );
         let r = simulate(&g, &s).unwrap();
         assert_eq!(r.start[0], 0);
@@ -348,12 +505,32 @@ mod tests {
         let s = Schedule::from_raw(
             1,
             vec![
-                Placement { proc: ProcId(0), start: 5, finish: 6 },
-                Placement { proc: ProcId(0), start: 0, finish: 1 },
+                Placement {
+                    proc: ProcId(0),
+                    start: 5,
+                    finish: 6,
+                },
+                Placement {
+                    proc: ProcId(0),
+                    start: 0,
+                    finish: 1,
+                },
             ],
         );
-        assert_eq!(simulate(&g, &s), Err(SimError::Stalled { completed: 0 }));
-        let _ = (a, b);
+        // The diagnosis names the mis-ordered queue head: b heads p0's
+        // queue, its predecessor a sits behind it, nothing else queued.
+        assert_eq!(
+            simulate(&g, &s),
+            Err(SimError::Stalled {
+                completed: 0,
+                blocked: vec![BlockedTask {
+                    task: b,
+                    proc: ProcId(0),
+                    reasons: vec![BlockReason::OrderViolation { pred: a }],
+                    queued_behind: 1,
+                }],
+            })
+        );
     }
 
     #[test]
@@ -365,8 +542,16 @@ mod tests {
         let s = Schedule::from_raw(
             2,
             vec![
-                Placement { proc: ProcId(0), start: 0, finish: 3 },
-                Placement { proc: ProcId(1), start: 0, finish: 3 },
+                Placement {
+                    proc: ProcId(0),
+                    start: 0,
+                    finish: 3,
+                },
+                Placement {
+                    proc: ProcId(1),
+                    start: 0,
+                    finish: 3,
+                },
             ],
         );
         let r = simulate(&g, &s).unwrap();
@@ -389,9 +574,21 @@ mod tests {
         let s = Schedule::from_raw(
             2,
             vec![
-                Placement { proc: ProcId(0), start: 0, finish: 1 },
-                Placement { proc: ProcId(1), start: 11, finish: 12 },
-                Placement { proc: ProcId(1), start: 12, finish: 13 },
+                Placement {
+                    proc: ProcId(0),
+                    start: 0,
+                    finish: 1,
+                },
+                Placement {
+                    proc: ProcId(1),
+                    start: 11,
+                    finish: 12,
+                },
+                Placement {
+                    proc: ProcId(1),
+                    start: 12,
+                    finish: 13,
+                },
             ],
         );
         let free = simulate(&g, &s).unwrap();
@@ -399,7 +596,10 @@ mod tests {
         let port = simulate_with(
             &g,
             &s,
-            &SimConfig { contention: Contention::OnePort, ..SimConfig::default() },
+            &SimConfig {
+                contention: Contention::OnePort,
+                ..SimConfig::default()
+            },
         )
         .unwrap();
         // a's message departs at 1 (arrives 11); b's waits for the port
@@ -415,20 +615,55 @@ mod tests {
         // must carry consistent departure/arrival pairs and costs.
         let g = fig1();
         let placements = vec![
-            Placement { proc: ProcId(0), start: 0, finish: 2 },
-            Placement { proc: ProcId(1), start: 3, finish: 5 },
-            Placement { proc: ProcId(0), start: 5, finish: 7 },
-            Placement { proc: ProcId(0), start: 2, finish: 5 },
-            Placement { proc: ProcId(1), start: 5, finish: 8 },
-            Placement { proc: ProcId(0), start: 7, finish: 10 },
-            Placement { proc: ProcId(1), start: 8, finish: 10 },
-            Placement { proc: ProcId(0), start: 12, finish: 14 },
+            Placement {
+                proc: ProcId(0),
+                start: 0,
+                finish: 2,
+            },
+            Placement {
+                proc: ProcId(1),
+                start: 3,
+                finish: 5,
+            },
+            Placement {
+                proc: ProcId(0),
+                start: 5,
+                finish: 7,
+            },
+            Placement {
+                proc: ProcId(0),
+                start: 2,
+                finish: 5,
+            },
+            Placement {
+                proc: ProcId(1),
+                start: 5,
+                finish: 8,
+            },
+            Placement {
+                proc: ProcId(0),
+                start: 7,
+                finish: 10,
+            },
+            Placement {
+                proc: ProcId(1),
+                start: 8,
+                finish: 10,
+            },
+            Placement {
+                proc: ProcId(0),
+                start: 12,
+                finish: 14,
+            },
         ];
         let s = Schedule::from_raw(2, placements);
         let r = simulate_with(
             &g,
             &s,
-            &SimConfig { log_messages: true, ..SimConfig::default() },
+            &SimConfig {
+                log_messages: true,
+                ..SimConfig::default()
+            },
         )
         .unwrap();
         assert_eq!(r.message_log.len(), r.messages);
@@ -467,8 +702,14 @@ mod tests {
             // Any feasible placement works: round-robin by topological
             // order, timed by a greedy replay under the free model first.
             let order = g.topological_order().to_vec();
-            let mut placements =
-                vec![Placement { proc: ProcId(0), start: 0, finish: 0 }; g.num_tasks()];
+            let mut placements = vec![
+                Placement {
+                    proc: ProcId(0),
+                    start: 0,
+                    finish: 0
+                };
+                g.num_tasks()
+            ];
             // Build a valid-order schedule via the free simulator itself:
             // assign round-robin, order by topological position.
             for (i, &t) in order.iter().enumerate() {
@@ -483,7 +724,10 @@ mod tests {
             let port = simulate_with(
                 &g,
                 &s,
-                &SimConfig { contention: Contention::OnePort, ..SimConfig::default() },
+                &SimConfig {
+                    contention: Contention::OnePort,
+                    ..SimConfig::default()
+                },
             )
             .unwrap();
             assert!(
@@ -507,8 +751,16 @@ mod tests {
         let s = Schedule::from_raw_on(
             m,
             vec![
-                Placement { proc: ProcId(1), start: 0, finish: 12 },
-                Placement { proc: ProcId(0), start: 17, finish: 23 },
+                Placement {
+                    proc: ProcId(1),
+                    start: 0,
+                    finish: 12,
+                },
+                Placement {
+                    proc: ProcId(0),
+                    start: 17,
+                    finish: 23,
+                },
             ],
         );
         let r = simulate(&g, &s).unwrap();
@@ -522,8 +774,103 @@ mod tests {
     #[test]
     fn error_display() {
         assert_eq!(
-            SimError::Stalled { completed: 3 }.to_string(),
-            "simulation stalled after 3 tasks (infeasible order)"
+            SimError::Stalled {
+                completed: 3,
+                blocked: Vec::new()
+            }
+            .to_string(),
+            "simulation stalled after 3 tasks (no runnable queue head)"
+        );
+        let e = SimError::Stalled {
+            completed: 1,
+            blocked: vec![BlockedTask {
+                task: TaskId(4),
+                proc: ProcId(1),
+                reasons: vec![
+                    BlockReason::MissingInput {
+                        pred: TaskId(2),
+                        pred_proc: ProcId(0),
+                    },
+                    BlockReason::InputLost { pred: TaskId(3) },
+                ],
+                queued_behind: 2,
+            }],
+        };
+        assert_eq!(
+            e.to_string(),
+            "simulation stalled after 1 tasks; t4 on p1 blocked: \
+             input from t2 (on p0) missing, input from t3 lost to a fault \
+             (+2 queued behind)"
+        );
+    }
+
+    #[test]
+    fn stall_diagnosis_separates_cycle_members() {
+        // Cross-processor wait-for cycle: a -> b on p1, c -> d on p0, with
+        // p0's queue [a, d] and p1's queue [c, b] and extra edges d -> a?
+        // Simpler: a depends on nothing but is queued behind d on p0, and
+        // d depends on b (on p1) which is queued behind c, and c depends
+        // on a. Each queue head reports a MissingInput on the other proc.
+        let mut gb = TaskGraphBuilder::new();
+        let a = gb.add_task(1); // p0, second in queue
+        let b = gb.add_task(1); // p1, second in queue
+        let c = gb.add_task(1); // p1 head, needs a
+        let d = gb.add_task(1); // p0 head, needs b
+        gb.add_edge(a, c, 1).unwrap();
+        gb.add_edge(b, d, 1).unwrap();
+        gb.add_edge(c, b, 1).unwrap(); // forces b behind c on p1 legally
+        let g = gb.build().unwrap();
+        let s = Schedule::from_raw(
+            2,
+            vec![
+                Placement {
+                    proc: ProcId(0),
+                    start: 1,
+                    finish: 2,
+                }, // a after d
+                Placement {
+                    proc: ProcId(1),
+                    start: 1,
+                    finish: 2,
+                }, // b after c
+                Placement {
+                    proc: ProcId(1),
+                    start: 0,
+                    finish: 1,
+                }, // c head of p1
+                Placement {
+                    proc: ProcId(0),
+                    start: 0,
+                    finish: 1,
+                }, // d head of p0
+            ],
+        );
+        let Err(SimError::Stalled { completed, blocked }) = simulate(&g, &s) else {
+            panic!("expected stall");
+        };
+        assert_eq!(completed, 0);
+        assert_eq!(
+            blocked,
+            vec![
+                BlockedTask {
+                    task: d,
+                    proc: ProcId(0),
+                    reasons: vec![BlockReason::MissingInput {
+                        pred: b,
+                        pred_proc: ProcId(1)
+                    }],
+                    queued_behind: 1,
+                },
+                BlockedTask {
+                    task: c,
+                    proc: ProcId(1),
+                    reasons: vec![BlockReason::MissingInput {
+                        pred: a,
+                        pred_proc: ProcId(0)
+                    }],
+                    queued_behind: 1,
+                },
+            ]
         );
     }
 }

@@ -28,8 +28,14 @@
 mod engine;
 
 pub mod dynamic;
+pub mod faults;
 
 pub use dynamic::{dynamic_schedule, DispatchPolicy, RuntimeDispatcher};
 pub use engine::{
-    simulate, simulate_with, Contention, MessageRecord, SimConfig, SimError, SimResult,
+    simulate, simulate_with, BlockReason, BlockedTask, Contention, MessageRecord, SimConfig,
+    SimError, SimResult,
+};
+pub use faults::{
+    simulate_faulty, FaultEvent, FaultSpec, FaultySimResult, MessageLoss, ProcFailure, Straggler,
+    TaskOutcome,
 };

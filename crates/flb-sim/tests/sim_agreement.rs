@@ -19,7 +19,12 @@ fn arb_weighted_graph() -> impl Strategy<Value = TaskGraph> {
         (1usize..6, 1usize..5).prop_map(|(p, s)| gen::stencil(p, s)),
         (1u32..4).prop_map(gen::fft),
         (8usize..36, 2usize..5, any::<u64>()).prop_map(|(v, l, seed)| gen::random_layered(
-            &gen::RandomLayeredSpec { tasks: v, layers: l, edge_prob: 0.35, max_skip: 2 },
+            &gen::RandomLayeredSpec {
+                tasks: v,
+                layers: l,
+                edge_prob: 0.35,
+                max_skip: 2
+            },
             seed
         )),
     ];

@@ -24,7 +24,10 @@ fn main() {
     );
 
     // How the factorisation scales with the machine under FLB.
-    println!("\n{:<6} {:>10} {:>9} {:>11}", "P", "makespan", "speedup", "efficiency");
+    println!(
+        "\n{:<6} {:>10} {:>9} {:>11}",
+        "P", "makespan", "speedup", "efficiency"
+    );
     let mut schedules = Vec::new();
     for p in [1usize, 2, 4, 8, 16, 32] {
         let schedule = Flb::default().schedule(&graph, &Machine::new(p));
@@ -52,7 +55,10 @@ fn main() {
         let port = simulate_with(
             &graph,
             schedule,
-            &SimConfig { contention: Contention::OnePort, ..SimConfig::default() },
+            &SimConfig {
+                contention: Contention::OnePort,
+                ..SimConfig::default()
+            },
         )
         .expect("feasible")
         .makespan;

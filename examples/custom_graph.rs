@@ -31,14 +31,24 @@ fn main() {
     b.add_edge(merge, encode, 16).unwrap();
     let graph = b.build().expect("pipeline is a DAG");
 
-    println!("graph: {} tasks, {} edges", graph.num_tasks(), graph.num_edges());
+    println!(
+        "graph: {} tasks, {} edges",
+        graph.num_tasks(),
+        graph.num_edges()
+    );
     println!("width: {} (4 tiles in flight)", max_antichain(&graph));
     println!("critical path: {}", critical_path(&graph));
     let bl = bottom_levels(&graph);
-    println!("bottom level of load: {} (drives FLB's tie-breaks)", bl[load.index()]);
+    println!(
+        "bottom level of load: {} (drives FLB's tie-breaks)",
+        bl[load.index()]
+    );
 
     // How many processors does this pipeline actually need?
-    println!("\n{:<6} {:>10} {:>9} {:>11}", "P", "makespan", "speedup", "efficiency");
+    println!(
+        "\n{:<6} {:>10} {:>9} {:>11}",
+        "P", "makespan", "speedup", "efficiency"
+    );
     for p in 1..=6 {
         let schedule = Flb::default().schedule(&graph, &Machine::new(p));
         validate(&graph, &schedule).expect("valid");

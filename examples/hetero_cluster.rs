@@ -25,7 +25,10 @@ fn main() {
     // 2 fast cores + 4 cores running at a quarter speed.
     let cluster = Machine::related(vec![1, 1, 4, 4, 4, 4]);
     let bound = makespan_lower_bound_on(&graph, &cluster);
-    println!("machine: slowdowns {:?}, lower bound {bound}", [1, 1, 4, 4, 4, 4]);
+    println!(
+        "machine: slowdowns {:?}, lower bound {bound}",
+        [1, 1, 4, 4, 4, 4]
+    );
 
     let algorithms: Vec<Box<dyn Scheduler>> = vec![
         Box::new(Flb::default()),

@@ -13,7 +13,11 @@ fn main() {
     let graph = fig1();
     let machine = Machine::new(2);
 
-    println!("Fig. 1 graph: {} tasks, {} edges", graph.num_tasks(), graph.num_edges());
+    println!(
+        "Fig. 1 graph: {} tasks, {} edges",
+        graph.num_tasks(),
+        graph.num_edges()
+    );
 
     let (schedule, rows) = trace(&graph, &machine, TieBreak::BottomLevel);
     println!("\nTable 1 — FLB execution trace:\n");

@@ -1,0 +1,169 @@
+//! Cross-crate properties of the fault-injection and repair pipeline:
+//! determinism, exact fault-free parity, and end-to-end validity of every
+//! repaired schedule.
+
+use flb::core::{clairvoyant_flb, naive_remap, repair_flb, Flb, TieBreak};
+use flb::graph::costs::CostModel;
+use flb::graph::{gen, TaskGraph};
+use flb::sched::repair::validate_repaired;
+use flb::sched::{Machine, ProcId, Scheduler};
+use flb::sim::{simulate_faulty, simulate_with, Contention, FaultSpec, SimConfig};
+use proptest::prelude::*;
+
+fn arb_weighted_graph() -> impl Strategy<Value = TaskGraph> {
+    let topo = prop_oneof![
+        (2usize..10).prop_map(gen::lu),
+        (1usize..5).prop_map(gen::laplace),
+        (1usize..5, 1usize..4).prop_map(|(p, s)| gen::stencil(p, s)),
+        (8usize..30, 2usize..5, any::<u64>()).prop_map(|(v, l, seed)| gen::random_layered(
+            &gen::RandomLayeredSpec {
+                tasks: v,
+                layers: l,
+                edge_prob: 0.35,
+                max_skip: 2
+            },
+            seed
+        )),
+    ];
+    (
+        topo,
+        prop_oneof![Just(0.2), Just(1.0), Just(5.0)],
+        any::<u64>(),
+    )
+        .prop_map(|(t, ccr, seed)| CostModel::paper_default(ccr).apply(&t, seed))
+}
+
+/// A fault spec exercising all three fault classes at once. The victim is
+/// never p0 (a survivor always remains) and the straggler index wraps into
+/// the task range.
+fn build_spec(
+    (seed, victim, at, loss, slow, factor): (u64, usize, u64, f64, usize, f64),
+    num_tasks: usize,
+    procs: usize,
+) -> FaultSpec {
+    let victim = 1 + victim % (procs - 1).max(1);
+    let mut spec = FaultSpec::new(seed)
+        .fail(ProcId(victim.min(procs - 1)), at)
+        .straggle(flb::graph::TaskId(slow % num_tasks), factor);
+    if loss > 0.0 {
+        spec = spec.with_loss(loss, 7, 12);
+    }
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Same seed, same spec: the faulty run is bit-for-bit reproducible.
+    #[test]
+    fn faulty_runs_are_deterministic(
+        g in arb_weighted_graph(),
+        procs in 2usize..6,
+    ) {
+        let m = Machine::new(procs);
+        let s = Flb::default().schedule(&g, &m);
+        let cfg = SimConfig::default();
+        let specs: Vec<FaultSpec> = (0..3)
+            .map(|k| {
+                FaultSpec::new(41 + k)
+                    .fail(ProcId(1), 40 * k)
+                    .with_loss(0.2, 5, 10)
+                    .straggle(flb::graph::TaskId(0), 2.0)
+            })
+            .collect();
+        for spec in &specs {
+            let a = simulate_faulty(&g, &s, &cfg, spec);
+            let b = simulate_faulty(&g, &s, &cfg, spec);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// An empty fault spec reproduces the fault-free simulator exactly —
+    /// same times, same message census, same result shape — under both
+    /// contention models.
+    #[test]
+    fn empty_spec_is_bit_identical_to_fault_free(
+        g in arb_weighted_graph(),
+        procs in 1usize..6,
+    ) {
+        let m = Machine::new(procs);
+        let s = Flb::default().schedule(&g, &m);
+        for contention in [Contention::None, Contention::OnePort] {
+            let cfg = SimConfig { contention, ..Default::default() };
+            let base = simulate_with(&g, &s, &cfg);
+            let faulty = simulate_faulty(&g, &s, &cfg, &FaultSpec::default());
+            prop_assert_eq!(faulty.into_sim_result(), base);
+        }
+    }
+
+    /// Whatever the fault scenario, both repair strategies produce
+    /// schedules that pass the independent repaired-schedule validator.
+    #[test]
+    fn repaired_schedules_always_validate(
+        g in arb_weighted_graph(),
+        procs in 2usize..6,
+        raw in (
+            any::<u64>(),
+            0usize..8,
+            0u64..500,
+            prop_oneof![Just(0.0), Just(0.05), Just(0.3)],
+            any::<usize>(),
+            prop_oneof![Just(1.0), Just(1.5), Just(3.0)],
+        ),
+    ) {
+        let spec = build_spec(raw, g.num_tasks(), procs);
+        let m = Machine::new(procs);
+        let s = Flb::default().schedule(&g, &m);
+        let run = simulate_faulty(&g, &s, &SimConfig::default(), &spec);
+        let at = spec.proc_failures.iter().map(|f| f.at).min().unwrap_or(0);
+        let exec = run.exec_state_at(&s, &spec, at);
+        prop_assert!(exec.alive.iter().any(|&a| a));
+
+        let repaired = repair_flb(&g, &m, &exec, TieBreak::BottomLevel);
+        prop_assert_eq!(validate_repaired(&g, &exec, &repaired), Ok(()));
+
+        let naive = naive_remap(&g, &s, &exec);
+        prop_assert_eq!(validate_repaired(&g, &exec, &naive), Ok(()));
+    }
+
+    /// With every processor alive and nothing executed, repair degenerates
+    /// to the ordinary cold-start FLB schedule.
+    #[test]
+    fn fresh_repair_on_full_machine_is_cold_flb(
+        g in arb_weighted_graph(),
+        procs in 1usize..6,
+    ) {
+        let m = Machine::new(procs);
+        let cold = Flb::default().schedule(&g, &m);
+        let clair = clairvoyant_flb(&g, &m, &vec![true; procs], TieBreak::BottomLevel);
+        prop_assert_eq!(cold.placements(), clair.placements());
+    }
+}
+
+/// Non-property regression: repairing after a failure always yields a
+/// schedule whose residual work avoids the dead processor and starts
+/// after the repair instant (spot-check the invariants the validator
+/// enforces, through the public API only).
+#[test]
+fn repair_respects_survivors_end_to_end() {
+    let topo = gen::lu(8);
+    let g = CostModel::paper_default(1.0).apply(&topo, 7);
+    let m = Machine::new(4);
+    let s = Flb::default().schedule(&g, &m);
+    let at = s.makespan() / 3;
+    let spec = FaultSpec::new(9).fail(ProcId(2), at);
+    let run = simulate_faulty(&g, &s, &SimConfig::default(), &spec);
+    let exec = run.exec_state_at(&s, &spec, at);
+    let repaired = repair_flb(&g, &m, &exec, TieBreak::BottomLevel);
+    assert_eq!(validate_repaired(&g, &exec, &repaired), Ok(()));
+    for t in g.tasks() {
+        if !exec.completed[t.0] {
+            assert_ne!(
+                repaired.proc(t),
+                ProcId(2),
+                "{t} placed on the dead processor"
+            );
+            assert!(repaired.start(t) >= at);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Offline vendored stub of the `criterion` 0.5 API surface this workspace
+//! uses.
+//!
+//! The build container has no access to crates.io; this stub keeps the
+//! bench targets compiling and gives a rough single-shot timing per
+//! benchmark instead of criterion's statistical analysis. Each registered
+//! benchmark runs its routine a small fixed number of iterations and prints
+//! the mean wall-clock time.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Iterations per measured routine (the stub's stand-in for criterion's
+/// adaptive sampling).
+const ITERS: u32 = 3;
+
+/// The benchmark context handed to registered functions.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup { _c: self }
+    }
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub ignores sampling hints.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, &mut f);
+        self
+    }
+
+    /// Runs one parameterised benchmark.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.0, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one(id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { nanos: 0, runs: 0 };
+    f(&mut b);
+    let mean = if b.runs == 0 {
+        0
+    } else {
+        b.nanos / u128::from(b.runs)
+    };
+    println!("  {id}: {mean} ns/iter ({} iters)", b.runs);
+}
+
+/// Identifier of a parameterised benchmark.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    #[must_use]
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// Identifier from the parameter alone.
+    #[must_use]
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Times closures handed to it by a benchmark routine.
+pub struct Bencher {
+    nanos: u128,
+    runs: u32,
+}
+
+impl Bencher {
+    /// Measures `routine` over a fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..ITERS {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.nanos += t0.elapsed().as_nanos();
+            self.runs += 1;
+        }
+    }
+}
+
+/// Registers benchmark functions under a group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running the registered groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,54 @@
+//! Offline vendored stub of the `crossbeam` scoped-thread API this
+//! workspace uses, implemented over `std::thread::scope` (std ≥ 1.63).
+
+use std::thread;
+
+/// A scope handle mirroring `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope (unused by
+    /// this workspace, kept for signature compatibility).
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || {
+            let scope = Scope { inner };
+            f(&scope)
+        })
+    }
+}
+
+/// Runs `f` with a thread scope; all spawned threads are joined before this
+/// returns. `Err` carries the panic payload of a panicked thread (matching
+/// crossbeam's signature; `std::thread::scope` itself propagates panics, so
+/// in practice this returns `Ok`).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_share_borrows() {
+        let data = [1u64, 2, 3, 4];
+        let total = std::sync::atomic::AtomicU64::new(0);
+        super::scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    total.fetch_add(chunk.iter().sum(), std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(total.into_inner(), 10);
+    }
+}

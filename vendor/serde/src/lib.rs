@@ -1,0 +1,13 @@
+//! Offline vendored stub of `serde`: marker traits plus no-op derive
+//! macros (via the sibling `serde_derive` stub). The workspace only tags
+//! types with `#[derive(Serialize, Deserialize)]`; nothing serialises at
+//! runtime, so empty traits are sufficient to keep those types compiling.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

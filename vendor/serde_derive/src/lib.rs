@@ -1,0 +1,16 @@
+//! Offline vendored stub of `serde_derive`: the derives expand to nothing.
+//! Types tagged `#[derive(Serialize, Deserialize)]` compile, but gain no
+//! trait impls — fine for this workspace, which never serialises at
+//! runtime through serde.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
