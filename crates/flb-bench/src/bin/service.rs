@@ -1,0 +1,173 @@
+//! Experiment X11 (extension): scheduler-as-a-service throughput.
+//!
+//! FLB's `O(V (log W + log P) + E)` cost makes *online* scheduling viable;
+//! this harness measures the serving substrate built on that claim
+//! (`flb-service`). A daemon is started in-process on an ephemeral loopback
+//! port and driven closed-loop — each client submits, waits, resubmits —
+//! while we sweep:
+//!
+//! 1. **client count** — throughput and p50/p99 latency as concurrent
+//!    clients grow (workers fixed), on a cache-defeating workload where
+//!    every request is a distinct graph;
+//! 2. **workload skew** — a fixed client count drawing from graph pools of
+//!    shrinking size: the smaller the pool, the higher the fingerprint
+//!    cache hit rate and the higher the served throughput.
+//!
+//! Run: `cargo run -p flb-bench --release --bin service [--quick]`
+
+use flb_bench::report::table;
+use flb_core::AlgorithmId;
+use flb_graph::costs::CostModel;
+use flb_graph::gen::Family;
+use flb_graph::TaskGraph;
+use flb_sched::Machine;
+use flb_service::{serve, Client, Endpoint, ServiceConfig, Submission};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+/// One closed-loop run: `clients` threads each submit round-robin from
+/// `pool`, `per_client` requests each. Returns (wall seconds, ok count).
+fn drive(
+    endpoint: &Endpoint,
+    pool: &Arc<Vec<TaskGraph>>,
+    clients: usize,
+    per_client: usize,
+) -> (f64, u64) {
+    let ok = Arc::new(AtomicU64::new(0));
+    let t0 = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|c| {
+            let endpoint = endpoint.clone();
+            let pool = Arc::clone(pool);
+            let ok = Arc::clone(&ok);
+            thread::spawn(move || {
+                let mut client = Client::connect(&endpoint).expect("connect");
+                for i in 0..per_client {
+                    let g = &pool[(c + i * clients) % pool.len()];
+                    let sub = client
+                        .schedule_with_retry(AlgorithmId::Flb, g, &Machine::new(8), 0, 50)
+                        .expect("submit");
+                    if matches!(sub, Submission::Done(_)) {
+                        ok.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    (t0.elapsed().as_secs_f64(), ok.load(Ordering::Relaxed))
+}
+
+fn lu_pool(n: usize, tasks: usize, seed0: u64) -> Arc<Vec<TaskGraph>> {
+    Arc::new(
+        (0..n)
+            .map(|i| {
+                CostModel::paper_default(1.0).apply(&Family::Lu.topology(tasks), seed0 + i as u64)
+            })
+            .collect(),
+    )
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let tasks = if quick { 300 } else { 1000 };
+    let per_client = if quick { 20 } else { 50 };
+    let client_counts: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4, 8] };
+
+    println!("X11.1: closed-loop service throughput vs clients");
+    println!("(LU {tasks}-task graphs, all distinct — every request misses the cache)\n");
+    let mut rows = Vec::new();
+    for &clients in client_counts {
+        let handle = serve(
+            &Endpoint::parse("127.0.0.1:0"),
+            ServiceConfig {
+                workers: 4,
+                queue_capacity: 64,
+                ..ServiceConfig::default()
+            },
+        )
+        .expect("bind");
+        let endpoint = handle.endpoint();
+        // Distinct graph per request: pool as large as the request count.
+        let pool = lu_pool(clients * per_client, tasks, 1);
+        let (secs, ok) = drive(&endpoint, &pool, clients, per_client);
+        let mut probe = Client::connect(&endpoint).unwrap();
+        let stats = probe.stats().unwrap();
+        rows.push(vec![
+            clients.to_string(),
+            ok.to_string(),
+            format!("{:.0}", ok as f64 / secs),
+            format!("{}", stats.p50_us),
+            format!("{}", stats.p99_us),
+            format!("{:.3}", stats.hit_rate()),
+        ]);
+        probe.shutdown().unwrap();
+        handle.join();
+    }
+    println!(
+        "{}",
+        table(
+            &[
+                "clients".into(),
+                "ok".into(),
+                "req/s".into(),
+                "p50 us".into(),
+                "p99 us".into(),
+                "hit rate".into(),
+            ],
+            &rows
+        )
+    );
+
+    println!("X11.2: cache effect — fixed 4 clients, shrinking graph pool");
+    println!("(repeats grow as the pool shrinks; hits are served without scheduling)\n");
+    let pool_sizes: &[usize] = if quick { &[16, 1] } else { &[64, 16, 4, 1] };
+    let mut rows = Vec::new();
+    for &pool_size in pool_sizes {
+        let handle = serve(
+            &Endpoint::parse("127.0.0.1:0"),
+            ServiceConfig {
+                workers: 4,
+                queue_capacity: 64,
+                cache_capacity: 256,
+                ..ServiceConfig::default()
+            },
+        )
+        .expect("bind");
+        let endpoint = handle.endpoint();
+        let pool = lu_pool(pool_size, tasks, 100);
+        let (secs, ok) = drive(&endpoint, &pool, 4, per_client);
+        let mut probe = Client::connect(&endpoint).unwrap();
+        let stats = probe.stats().unwrap();
+        rows.push(vec![
+            pool_size.to_string(),
+            format!("{:.0}", ok as f64 / secs),
+            stats.cache_hits.to_string(),
+            stats.scheduler_invocations.to_string(),
+            format!("{:.3}", stats.hit_rate()),
+            format!("{}", stats.p50_us),
+        ]);
+        probe.shutdown().unwrap();
+        handle.join();
+    }
+    println!(
+        "{}",
+        table(
+            &[
+                "pool".into(),
+                "req/s".into(),
+                "hits".into(),
+                "invocations".into(),
+                "hit rate".into(),
+                "p50 us".into(),
+            ],
+            &rows
+        )
+    );
+    println!("A pool of 1 serves almost entirely from cache: the daemon's throughput ceiling");
+    println!("becomes the wire + fingerprint cost, not the scheduler itself.");
+}

@@ -17,7 +17,11 @@
 //! * `transform` — apply a scheduling pre-pass (transitive reduction or
 //!   chain coarsening) and emit the transformed graph;
 //! * `report` — emit a self-contained HTML report (comparison table + SVG
-//!   Gantt charts).
+//!   Gantt charts);
+//! * `serve` — run the scheduling daemon (`flb-service`) on a TCP or
+//!   Unix-domain endpoint until a client sends `shutdown`;
+//! * `submit` — send a schedule request (or `--ping`/`--stats`/
+//!   `--shutdown`) to a running daemon.
 //!
 //! The heavy lifting lives in library functions returning `Result<String>`
 //! so the whole surface is unit-testable; `main` only forwards `std::env`
@@ -70,6 +74,13 @@ USAGE:
                 [--seed S] [--repair [--at T]] [--one-port] [--trace]
   flb transform (--reduce | --coarsen) <graph opts> [--dot]
   flb report    --out FILE.html <graph opts> [--procs P | --speeds ...]
+  flb serve     [--listen ADDR] [--workers N] [--queue N] [--cache N]
+  flb submit    [--listen ADDR] <graph opts> [--alg A] [--procs P | --speeds ...]
+                [--deadline-ms T] [--repeat N] [--retries N] [--check]
+                [--save FILE] | --ping | --stats | --shutdown
+
+SERVICE OPTIONS: --listen takes `HOST:PORT` (default 127.0.0.1:7171) or
+  `unix:/path/to.sock` for a Unix-domain socket.
 
 MACHINE OPTIONS (schedule/compare): --procs P for the paper's homogeneous
   machine, or --speeds 1,1,2,4 for related processors (integer slowdowns).
@@ -208,6 +219,8 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "faults" => cmd_faults(&a),
         "transform" => cmd_transform(&a),
         "report" => cmd_report(&a),
+        "serve" => cmd_serve(&a),
+        "submit" => cmd_submit(&a),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
@@ -629,6 +642,121 @@ fn cmd_report(a: &Args<'_>) -> Result<String, CliError> {
     Ok(format!("report written to {out_path}\n"))
 }
 
+/// Parses `--listen` into a service endpoint (default loopback TCP).
+fn load_endpoint(a: &Args<'_>) -> flb_service::Endpoint {
+    flb_service::Endpoint::parse(a.value("--listen").unwrap_or("127.0.0.1:7171"))
+}
+
+/// `serve`: run the scheduling daemon until a client sends `shutdown`.
+///
+/// The "listening on ..." line is printed (and flushed) *before* the
+/// command blocks, so wrappers can wait for readiness by reading stdout.
+fn cmd_serve(a: &Args<'_>) -> Result<String, CliError> {
+    let endpoint = load_endpoint(a);
+    let defaults = flb_service::ServiceConfig::default();
+    let cfg = flb_service::ServiceConfig {
+        workers: a.parsed("--workers", defaults.workers)?,
+        queue_capacity: a.parsed("--queue", defaults.queue_capacity)?,
+        cache_capacity: a.parsed("--cache", defaults.cache_capacity)?,
+        ..defaults
+    };
+    let workers = cfg.workers;
+    let handle =
+        flb_service::serve(&endpoint, cfg).map_err(|e| err(format!("cannot serve: {e}")))?;
+    println!("listening on {} ({} workers)", handle.endpoint(), workers);
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    handle.join();
+    Ok("service stopped\n".to_owned())
+}
+
+/// `submit`: one client interaction with a running daemon.
+fn cmd_submit(a: &Args<'_>) -> Result<String, CliError> {
+    let endpoint = load_endpoint(a);
+    let mut client = flb_service::Client::connect(&endpoint)
+        .map_err(|e| err(format!("cannot connect to {endpoint}: {e}")))?;
+    fn fail(what: &'static str) -> impl Fn(std::io::Error) -> CliError {
+        move |e| err(format!("{what} failed: {e}"))
+    }
+
+    if a.flag("--ping") {
+        client.ping().map_err(fail("ping"))?;
+        return Ok("pong\n".to_owned());
+    }
+    if a.flag("--stats") {
+        return Ok(client.stats().map_err(fail("stats"))?.render());
+    }
+    if a.flag("--shutdown") {
+        client.shutdown().map_err(fail("shutdown"))?;
+        return Ok("service shutting down\n".to_owned());
+    }
+
+    let g = load_graph(a)?;
+    let machine = load_machine(a)?;
+    let alg: flb_core::AlgorithmId = a
+        .value("--alg")
+        .unwrap_or("flb")
+        .parse()
+        .map_err(|e| err(format!("{e}")))?;
+    let deadline_ms: u64 = a.parsed("--deadline-ms", 0)?;
+    let repeat: usize = a.parsed("--repeat", 1)?;
+    let retries: u32 = a.parsed("--retries", 10)?;
+
+    let mut out = String::new();
+    let mut last = None;
+    for round in 0..repeat.max(1) {
+        let submission = client
+            .schedule_with_retry(alg, &g, &machine, deadline_ms, retries)
+            .map_err(fail("submit"))?;
+        match submission {
+            flb_service::Submission::Done(reply) => {
+                let _ = writeln!(
+                    out,
+                    "round {round}: makespan {} ({} us, cached: {})",
+                    reply.schedule.makespan(),
+                    reply.micros,
+                    reply.cached
+                );
+                last = Some(reply.schedule);
+            }
+            flb_service::Submission::Busy { retry_after_ms } => {
+                return Err(err(format!(
+                    "service busy (retry after {retry_after_ms} ms); giving up after {retries} retries"
+                )));
+            }
+            flb_service::Submission::Expired => {
+                return Err(err(format!(
+                    "deadline of {deadline_ms} ms expired in queue"
+                )));
+            }
+        }
+    }
+    let schedule = last.expect("repeat >= 1 round always runs");
+
+    if a.flag("--check") {
+        let local = flb_core::schedule_request(&flb_core::ScheduleRequest::new(
+            alg,
+            g.clone(),
+            machine.clone(),
+        ));
+        if local != schedule {
+            return Err(err(format!(
+                "daemon schedule differs from local {alg} run (makespans {} vs {})",
+                schedule.makespan(),
+                local.makespan()
+            )));
+        }
+        validate(&g, &schedule).map_err(|e| err(format!("daemon schedule invalid: {e}")))?;
+        let _ = writeln!(out, "check: daemon schedule identical to local run");
+    }
+    if let Some(path) = a.value("--save") {
+        std::fs::write(path, flb_sched::io::to_text(&schedule))
+            .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        let _ = writeln!(out, "schedule saved to {path}");
+    }
+    Ok(out)
+}
+
 fn cmd_compare(a: &Args<'_>) -> Result<String, CliError> {
     let g = load_graph(a)?;
     let machine = load_machine(a)?;
@@ -959,6 +1087,66 @@ mod tests {
         let out = run_str(&["info", "--fig1", "--profile"]).unwrap();
         assert!(out.contains("parallelism profile"));
         assert!(out.contains("[1, 3, 3, 1]"));
+    }
+
+    #[test]
+    fn serve_and_submit_over_unix_socket() {
+        let sock = std::env::temp_dir().join(format!("flb-cli-serve-{}.sock", std::process::id()));
+        let listen = format!("unix:{}", sock.display());
+
+        let server = {
+            let listen = listen.clone();
+            std::thread::spawn(move || run_str(&["serve", "--listen", &listen, "--workers", "2"]))
+        };
+        // Wait for the daemon to come up.
+        let mut ready = false;
+        for _ in 0..200 {
+            if run_str(&["submit", "--listen", &listen, "--ping"]).is_ok() {
+                ready = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert!(ready, "daemon never became reachable on {listen}");
+
+        // First submission computes; the resubmission must hit the cache,
+        // and --check verifies bit-identity with a local run.
+        let submit = |extra: &[&str]| {
+            let mut argv = vec![
+                "submit", "--listen", &listen, "--fig1", "--alg", "flb", "--procs", "2",
+            ];
+            argv.extend_from_slice(extra);
+            run_str(&argv)
+        };
+        let first = submit(&["--check"]).unwrap();
+        assert!(first.contains("makespan 14"), "{first}");
+        assert!(first.contains("cached: false"), "{first}");
+        assert!(first.contains("identical to local run"), "{first}");
+        let second = submit(&["--repeat", "2"]).unwrap();
+        assert!(second.contains("cached: true"), "{second}");
+
+        let stats = run_str(&["submit", "--listen", &listen, "--stats"]).unwrap();
+        assert!(stats.contains("hit rate"), "{stats}");
+
+        assert!(run_str(&["submit", "--listen", &listen, "--fig1", "--alg", "nope"]).is_err());
+
+        let bye = run_str(&["submit", "--listen", &listen, "--shutdown"]).unwrap();
+        assert!(bye.contains("shutting down"));
+        let served = server.join().unwrap().unwrap();
+        assert!(served.contains("service stopped"));
+        assert!(!sock.exists());
+    }
+
+    #[test]
+    fn submit_without_daemon_errors() {
+        // Nothing listens on this socket: connection must fail cleanly.
+        let r = run_str(&[
+            "submit",
+            "--listen",
+            "unix:/definitely/missing.sock",
+            "--ping",
+        ]);
+        assert!(r.is_err());
     }
 
     #[test]

@@ -1,0 +1,228 @@
+//! Process-level tests of the `flb` binary: exit codes, stderr hygiene
+//! (one-line errors, never a panic/backtrace), and the serve/submit pair
+//! driven exactly as a shell script would drive it.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, Command, Output, Stdio};
+
+fn flb(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_flb"))
+        .args(args)
+        .output()
+        .expect("spawn flb")
+}
+
+/// Asserts a clean failure: exit code 1, a single `error:` line on
+/// stderr, and no panic or backtrace.
+fn assert_clean_error(args: &[&str]) -> String {
+    let out = flb(args);
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert_eq!(out.status.code(), Some(1), "{args:?}: {stderr}");
+    assert_eq!(
+        stderr.trim_end().lines().count(),
+        1,
+        "{args:?}: expected a one-line error, got:\n{stderr}"
+    );
+    assert!(stderr.starts_with("error: "), "{args:?}: {stderr}");
+    for needle in ["panicked", "backtrace", "RUST_BACKTRACE"] {
+        assert!(!stderr.contains(needle), "{args:?}: {stderr}");
+    }
+    assert!(
+        out.stdout.is_empty(),
+        "{args:?}: errors must not print to stdout"
+    );
+    stderr
+}
+
+#[test]
+fn success_exits_zero() {
+    let out = flb(&["schedule", "--fig1", "--alg", "flb", "--procs", "2"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("makespan        14"));
+}
+
+#[test]
+fn malformed_inputs_fail_cleanly() {
+    let dir = std::env::temp_dir().join(format!("flb-cli-proc-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // A graph file that is not a graph.
+    let bad_graph = dir.join("bad.tg");
+    std::fs::write(&bad_graph, "this is not a task graph\n").unwrap();
+    let bad_graph = bad_graph.to_str().unwrap();
+    assert_clean_error(&["info", "--input", bad_graph]);
+    assert_clean_error(&["schedule", "--input", bad_graph, "--alg", "flb"]);
+
+    // A schedule file whose placements name an undeclared processor used
+    // to panic deep inside the simulator; it must now fail cleanly.
+    let bad_sched = dir.join("bad.sched");
+    std::fs::write(&bad_sched, "procs 2\ns 0 0 0 1\ns 1 9 3 5\n").unwrap();
+    let stderr = assert_clean_error(&[
+        "simulate",
+        "--fig1",
+        "--schedule",
+        bad_sched.to_str().unwrap(),
+    ]);
+    assert!(stderr.contains("cannot parse"), "{stderr}");
+    assert_clean_error(&[
+        "faults",
+        "--fig1",
+        "--schedule",
+        bad_sched.to_str().unwrap(),
+    ]);
+
+    // Missing files and bad flags.
+    assert_clean_error(&["info", "--input", "/definitely/missing.tg"]);
+    assert_clean_error(&["schedule", "--fig1", "--alg", "nope"]);
+
+    // An unknown command gets the usage text appended — still exit 1, an
+    // `error:` lead line, and no panic.
+    let out = flb(&["frobnicate"]);
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr.starts_with("error: unknown command"), "{stderr}");
+    assert!(stderr.contains("USAGE"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+struct ServerProc {
+    child: Child,
+    listen: String,
+    // Keeps the daemon's stdout pipe open until the process exits.
+    stdout: BufReader<std::process::ChildStdout>,
+}
+
+/// Starts `flb serve` on an ephemeral loopback port and reads the
+/// "listening on ..." line to learn the resolved endpoint.
+fn start_server(extra: &[&str]) -> ServerProc {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_flb"))
+        .args(["serve", "--listen", "127.0.0.1:0"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn flb serve");
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("read listening line");
+    let listen = line
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected serve banner: {line:?}"))
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .to_owned();
+    ServerProc {
+        child,
+        listen,
+        stdout,
+    }
+}
+
+impl ServerProc {
+    /// Waits for exit and returns (status code, remaining stdout).
+    fn wait(mut self) -> (Option<i32>, String) {
+        let status = self.child.wait().expect("server exit");
+        let mut rest = String::new();
+        std::io::Read::read_to_string(&mut self.stdout, &mut rest).ok();
+        (status.code(), rest)
+    }
+}
+
+#[test]
+fn serve_submit_shutdown_over_tcp() {
+    let server = start_server(&["--workers", "2"]);
+    let listen = server.listen.clone();
+
+    let out = flb(&["submit", "--listen", &listen, "--ping"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    // Submit, verifying against a local run; resubmit and expect a hit.
+    let args = [
+        "submit", "--listen", &listen, "--family", "lu", "--tasks", "100", "--alg", "flb",
+        "--procs", "4", "--check",
+    ];
+    let first = flb(&args);
+    let text = String::from_utf8_lossy(&first.stdout).into_owned();
+    assert_eq!(first.status.code(), Some(0), "{first:?}");
+    assert!(text.contains("cached: false"), "{text}");
+    assert!(text.contains("identical to local run"), "{text}");
+
+    let second = flb(&args);
+    let text = String::from_utf8_lossy(&second.stdout).into_owned();
+    assert!(text.contains("cached: true"), "{text}");
+
+    let stats = flb(&["submit", "--listen", &listen, "--stats"]);
+    let text = String::from_utf8_lossy(&stats.stdout).into_owned();
+    assert!(text.contains("cache hits      1"), "{text}");
+
+    let bye = flb(&["submit", "--listen", &listen, "--shutdown"]);
+    assert_eq!(bye.status.code(), Some(0));
+    let (code, rest) = server.wait();
+    assert_eq!(code, Some(0));
+    assert!(rest.contains("service stopped"), "{rest}");
+}
+
+#[test]
+fn submit_save_roundtrips_through_simulate() {
+    let server = start_server(&[]);
+    let listen = server.listen.clone();
+    let dir = std::env::temp_dir().join(format!("flb-submit-save-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("served.sched");
+    let path = path.to_str().unwrap();
+
+    let out = flb(&[
+        "submit", "--listen", &listen, "--fig1", "--alg", "flb", "--procs", "2", "--save", path,
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    let sim = flb(&["simulate", "--fig1", "--schedule", path]);
+    assert_eq!(sim.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&sim.stdout).contains("sim makespan    14"));
+
+    flb(&["submit", "--listen", &listen, "--shutdown"]);
+    server.wait();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn submit_to_dead_endpoint_fails_cleanly() {
+    // A bound-then-dropped listener yields a port nobody listens on.
+    let port = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().port()
+    };
+    let listen = format!("127.0.0.1:{port}");
+    let stderr = assert_clean_error(&["submit", "--listen", &listen, "--ping"]);
+    assert!(stderr.contains("cannot connect"), "{stderr}");
+}
+
+#[test]
+fn stdin_is_not_consumed_by_serve() {
+    // `flb serve` must not read stdin (shell scripts background it with
+    // stdin attached); write into it and confirm the daemon still works.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_flb"))
+        .args(["serve", "--listen", "127.0.0.1:0"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.take().unwrap().write_all(b"ignored\n").unwrap();
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    stdout.read_line(&mut line).unwrap();
+    let listen = line
+        .strip_prefix("listening on ")
+        .unwrap()
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .to_owned();
+    let out = flb(&["submit", "--listen", &listen, "--ping"]);
+    assert_eq!(out.status.code(), Some(0));
+    flb(&["submit", "--listen", &listen, "--shutdown"]);
+    child.wait().unwrap();
+    drop(stdout);
+}

@@ -46,9 +46,11 @@ mod run;
 
 pub mod oracle;
 pub mod repair;
+pub mod request;
 pub mod trace;
 
 pub use repair::{clairvoyant_flb, naive_remap, repair_flb};
+pub use request::{schedule_request, AlgorithmId, ScheduleRequest};
 pub use run::{FlbRun, RunStats, Step, TieBreak};
 
 use flb_graph::TaskGraph;

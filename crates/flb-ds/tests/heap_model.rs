@@ -100,6 +100,87 @@ proptest! {
     }
 
     #[test]
+    fn decrease_key_interleaving_matches_model(
+        seeds in proptest::collection::vec((0usize..16, 1_000u64..1_000_000), 1..40),
+        decreases in proptest::collection::vec((0usize..16, 0u64..1_000), 1..120),
+        pops_between in 0usize..4,
+    ) {
+        // FLB's hot path is decrease-key (a task's start time only ever
+        // improves as predecessors finish), so hammer exactly that:
+        // insert a working set, then interleave monotone key decreases
+        // with occasional pops, checking against the BTreeMap model at
+        // every step.
+        let universe = 16;
+        let mut heap = IndexedMinHeap::new(universe);
+        let mut model = ModelHeap::default();
+        for (id, k) in seeds {
+            if !heap.contains(id) {
+                heap.insert(id, k);
+                model.insert(id, k);
+            }
+        }
+        for (i, (id, dec)) in decreases.into_iter().enumerate() {
+            if let Some(&cur) = heap.key(id) {
+                let next = cur.saturating_sub(dec);
+                heap.update(id, next);
+                model.update(id, next);
+                prop_assert!(heap.key(id) == Some(&next));
+            }
+            if i % (pops_between + 1) == pops_between {
+                prop_assert_eq!(heap.pop(), model.pop());
+            }
+            prop_assert!(heap.check_invariants());
+            prop_assert_eq!(heap.peek().map(|(id, k)| (id, *k)), model.peek());
+        }
+        loop {
+            let (a, b) = (heap.pop(), model.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn tuple_keys_match_model(
+        ops in proptest::collection::vec(
+            (0usize..12, 0u64..50, 0u64..50, any::<bool>()), 1..150),
+    ) {
+        // The scheduler orders processors by composite keys (ready time,
+        // then a tie-break); mirror that shape with (u64, Reverse<u64>)
+        // keys so ordering exercises both lexicographic directions.
+        use std::cmp::Reverse;
+        let universe = 12;
+        let mut heap: IndexedMinHeap<(u64, Reverse<u64>)> = IndexedMinHeap::new(universe);
+        let mut model: BTreeMap<usize, (u64, Reverse<u64>)> = BTreeMap::new();
+        let model_min = |m: &BTreeMap<usize, (u64, Reverse<u64>)>| {
+            m.iter()
+                .min_by_key(|&(&id, &key)| (key, id))
+                .map(|(&id, &key)| (id, key))
+        };
+        for (id, a, b, pop) in ops {
+            let key = (a, Reverse(b));
+            if heap.contains(id) {
+                heap.update(id, key);
+                *model.get_mut(&id).unwrap() = key;
+            } else {
+                heap.insert(id, key);
+                model.insert(id, key);
+            }
+            if pop {
+                let got = heap.pop();
+                let want = model_min(&model);
+                if let Some((id, _)) = want {
+                    model.remove(&id);
+                }
+                prop_assert_eq!(got, want);
+            }
+            prop_assert!(heap.check_invariants());
+            prop_assert_eq!(heap.peek().map(|(id, k)| (id, *k)), model_min(&model));
+        }
+    }
+
+    #[test]
     fn into_sorted_vec_is_sorted(keys in proptest::collection::vec(any::<u64>(), 0..64)) {
         let mut heap = IndexedMinHeap::new(keys.len());
         for (id, &k) in keys.iter().enumerate() {

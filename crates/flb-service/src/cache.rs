@@ -1,0 +1,246 @@
+//! A sharded LRU cache keyed by 64-bit fingerprints.
+//!
+//! Each shard is an independent LRU under its own mutex, so concurrent
+//! lookups on different shards never contend. Within a shard, recency is
+//! an intrusive doubly-linked list threaded through a slot arena — `get`,
+//! `insert` and eviction are all `O(1)`.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+struct Slot<V> {
+    key: u64,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// One LRU shard: fingerprint → value with least-recently-used eviction.
+struct Shard<V> {
+    map: HashMap<u64, usize>,
+    slots: Vec<Slot<V>>,
+    free: Vec<usize>,
+    /// Most recently used slot index, or `NIL` when empty.
+    head: usize,
+    /// Least recently used slot index, or `NIL` when empty.
+    tail: usize,
+    capacity: usize,
+}
+
+impl<V: Clone> Shard<V> {
+    fn new(capacity: usize) -> Self {
+        Shard {
+            map: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        match self.head {
+            NIL => self.tail = i,
+            h => self.slots[h].prev = i,
+        }
+        self.head = i;
+    }
+
+    fn get(&mut self, key: u64) -> Option<V> {
+        let &i = self.map.get(&key)?;
+        self.unlink(i);
+        self.push_front(i);
+        Some(self.slots[i].value.clone())
+    }
+
+    fn insert(&mut self, key: u64, value: V) {
+        if let Some(&i) = self.map.get(&key) {
+            self.slots[i].value = value;
+            self.unlink(i);
+            self.push_front(i);
+            return;
+        }
+        if self.map.len() == self.capacity {
+            let victim = self.tail;
+            self.unlink(victim);
+            self.map.remove(&self.slots[victim].key);
+            self.free.push(victim);
+        }
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Slot {
+                    key,
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                };
+                i
+            }
+            None => {
+                self.slots.push(Slot {
+                    key,
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+    }
+}
+
+/// A sharded, mutex-per-shard LRU map from fingerprint to value.
+pub struct ShardedLru<V> {
+    shards: Vec<Mutex<Shard<V>>>,
+    /// `shards.len() - 1`; the shard count is a power of two so shard
+    /// selection is a mask over the (already well-mixed) fingerprint.
+    mask: u64,
+}
+
+impl<V: Clone> ShardedLru<V> {
+    /// A cache of roughly `capacity` entries split over `shards` shards
+    /// (both rounded up to at least 1; the shard count rounds up to a
+    /// power of two).
+    #[must_use]
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        let per_shard = capacity.max(1).div_ceil(shards);
+        ShardedLru {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Shard::new(per_shard)))
+                .collect(),
+            mask: shards as u64 - 1,
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<Shard<V>> {
+        &self.shards[(key & self.mask) as usize]
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    #[must_use]
+    pub fn get(&self, key: u64) -> Option<V> {
+        self.shard(key).lock().get(key)
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least recently used
+    /// entry of its shard when that shard is full.
+    pub fn insert(&self, key: u64, value: V) {
+        self.shard(key).lock().insert(key, value);
+    }
+
+    /// Total entries currently cached, across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// Whether the cache holds nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total capacity across all shards.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.shards.len() * self.shards[0].lock().capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss() {
+        let c: ShardedLru<String> = ShardedLru::new(8, 2);
+        assert_eq!(c.get(1), None);
+        c.insert(1, "one".into());
+        assert_eq!(c.get(1), Some("one".into()));
+        assert_eq!(c.len(), 1);
+        c.insert(1, "uno".into());
+        assert_eq!(c.get(1), Some("uno".into()));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_per_shard() {
+        // One shard, capacity 2: classic LRU behaviour.
+        let c: ShardedLru<u32> = ShardedLru::new(2, 1);
+        c.insert(10, 1);
+        c.insert(20, 2);
+        assert_eq!(c.get(10), Some(1)); // 20 is now the LRU entry
+        c.insert(30, 3);
+        assert_eq!(c.get(20), None);
+        assert_eq!(c.get(10), Some(1));
+        assert_eq!(c.get(30), Some(3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn eviction_recycles_slots() {
+        let c: ShardedLru<u64> = ShardedLru::new(2, 1);
+        for k in 0..100 {
+            c.insert(k, k);
+        }
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(99), Some(99));
+        assert_eq!(c.get(98), Some(98));
+        assert_eq!(c.get(0), None);
+    }
+
+    #[test]
+    fn shards_partition_the_keyspace() {
+        let c: ShardedLru<u64> = ShardedLru::new(64, 8);
+        assert_eq!(c.capacity(), 64);
+        for k in 0..64 {
+            c.insert(k, k * 7);
+        }
+        for k in 0..64 {
+            assert_eq!(c.get(k), Some(k * 7), "key {k}");
+        }
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        use std::sync::Arc;
+        let c: Arc<ShardedLru<u64>> = Arc::new(ShardedLru::new(128, 8));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    let k = (t * 1000 + i) % 200;
+                    c.insert(k, k);
+                    if let Some(v) = c.get(k) {
+                        assert_eq!(v, k);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(c.len() <= c.capacity());
+    }
+}

@@ -1,0 +1,176 @@
+//! A small blocking client for the service protocol.
+
+use crate::metrics::StatsSnapshot;
+use crate::proto::{read_response, write_request, Request, Response};
+use crate::server::Endpoint;
+use flb_core::{AlgorithmId, ScheduleRequest};
+use flb_graph::TaskGraph;
+use flb_sched::{Machine, Schedule};
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+enum Conn {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// Outcome of one `schedule` submission.
+#[derive(Clone, Debug)]
+pub enum Submission {
+    /// The service answered with a schedule.
+    Done(ScheduleReply),
+    /// Backpressure: the queue was full; retry after the hint.
+    Busy {
+        /// Suggested backoff in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request's deadline expired while it was queued.
+    Expired,
+}
+
+/// A served schedule plus its serving metadata.
+#[derive(Clone, Debug)]
+pub struct ScheduleReply {
+    /// The schedule.
+    pub schedule: Schedule,
+    /// Whether the fingerprint cache answered it.
+    pub cached: bool,
+    /// Server-side service time in microseconds.
+    pub micros: u64,
+}
+
+/// A blocking protocol client over one connection.
+pub struct Client {
+    conn: Conn,
+}
+
+fn unexpected(what: &str, resp: &Response) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected response to {what}: {resp:?}"),
+    )
+}
+
+impl Client {
+    /// Connects to a daemon.
+    pub fn connect(endpoint: &Endpoint) -> io::Result<Client> {
+        let conn = match endpoint {
+            Endpoint::Tcp(addr) => {
+                let stream = TcpStream::connect(addr)?;
+                stream.set_nodelay(true)?;
+                Conn::Tcp(stream)
+            }
+            Endpoint::Unix(path) => Conn::Unix(UnixStream::connect(path)?),
+        };
+        Ok(Client { conn })
+    }
+
+    fn round_trip(&mut self, req: &Request) -> io::Result<Response> {
+        write_request(&mut self.conn, req)?;
+        match read_response(&mut self.conn)? {
+            Response::Error(msg) => Err(io::Error::other(format!("service error: {msg}"))),
+            resp => Ok(resp),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> io::Result<()> {
+        match self.round_trip(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            resp => Err(unexpected("ping", &resp)),
+        }
+    }
+
+    /// Submits one schedule request (`deadline_ms == 0` means none).
+    pub fn schedule(
+        &mut self,
+        algorithm: AlgorithmId,
+        graph: TaskGraph,
+        machine: Machine,
+        deadline_ms: u64,
+    ) -> io::Result<Submission> {
+        let req = Request::Schedule {
+            request: Box::new(ScheduleRequest::new(algorithm, graph, machine)),
+            deadline_ms,
+        };
+        match self.round_trip(&req)? {
+            Response::Schedule {
+                cached,
+                micros,
+                schedule,
+            } => Ok(Submission::Done(ScheduleReply {
+                schedule,
+                cached,
+                micros,
+            })),
+            Response::Busy { retry_after_ms } => Ok(Submission::Busy { retry_after_ms }),
+            Response::Expired => Ok(Submission::Expired),
+            Response::ShuttingDown => Err(io::Error::other("service is shutting down")),
+            resp => Err(unexpected("schedule", &resp)),
+        }
+    }
+
+    /// Submits with bounded busy-retry: sleeps the server's hint between
+    /// attempts, up to `max_retries` extra attempts.
+    pub fn schedule_with_retry(
+        &mut self,
+        algorithm: AlgorithmId,
+        graph: &TaskGraph,
+        machine: &Machine,
+        deadline_ms: u64,
+        max_retries: u32,
+    ) -> io::Result<Submission> {
+        for _ in 0..max_retries {
+            match self.schedule(algorithm, graph.clone(), machine.clone(), deadline_ms)? {
+                Submission::Busy { retry_after_ms } => {
+                    std::thread::sleep(Duration::from_millis(retry_after_ms.clamp(1, 1_000)));
+                }
+                done => return Ok(done),
+            }
+        }
+        self.schedule(algorithm, graph.clone(), machine.clone(), deadline_ms)
+    }
+
+    /// Fetches the live counters.
+    pub fn stats(&mut self) -> io::Result<StatsSnapshot> {
+        match self.round_trip(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            resp => Err(unexpected("stats", &resp)),
+        }
+    }
+
+    /// Asks the daemon to stop.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        match self.round_trip(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            resp => Err(unexpected("shutdown", &resp)),
+        }
+    }
+}

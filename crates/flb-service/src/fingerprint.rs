@@ -1,0 +1,138 @@
+//! Canonical request fingerprints.
+//!
+//! A schedule request is cacheable because [`flb_core::schedule_request`]
+//! is deterministic: equal (algorithm, graph, machine) triples yield equal
+//! schedules. The fingerprint is a 64-bit FNV-1a hash over a canonical
+//! serialisation of exactly those inputs — graph topology and weights,
+//! per-processor slowdowns, and the algorithm code. The graph *name* is
+//! deliberately excluded: two identically-shaped workloads with different
+//! labels are the same scheduling problem.
+
+use flb_core::AlgorithmId;
+use flb_graph::TaskGraph;
+use flb_sched::Machine;
+
+/// 64-bit FNV-1a, the classic offset/prime pair.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Feeds a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The accumulated hash.
+    #[must_use]
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Hash of a graph's structure and weights (name excluded).
+///
+/// Tasks are visited in id order and successor lists in stored order —
+/// both deterministic properties of a built [`TaskGraph`] — so equal
+/// graphs always hash equally.
+#[must_use]
+pub fn graph_fingerprint(g: &TaskGraph) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(g.num_tasks() as u64);
+    h.write_u64(g.num_edges() as u64);
+    for t in g.tasks() {
+        h.write_u64(g.comp(t));
+        for &(s, c) in g.succs(t) {
+            h.write_u64(s.0 as u64);
+            h.write_u64(c);
+        }
+    }
+    h.finish()
+}
+
+/// Cache key of a full request: graph, machine, and algorithm.
+#[must_use]
+pub fn request_fingerprint(alg: AlgorithmId, g: &TaskGraph, m: &Machine) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(graph_fingerprint(g));
+    h.write_u64(m.num_procs() as u64);
+    for p in m.procs() {
+        h.write_u64(m.slowdown(p));
+    }
+    h.write(&[alg.code()]);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flb_graph::paper::fig1;
+    use flb_graph::{TaskGraphBuilder, TaskId};
+
+    fn chain(weights: &[u64]) -> TaskGraph {
+        let mut b = TaskGraphBuilder::new();
+        for &w in weights {
+            b.add_task(w);
+        }
+        for i in 1..weights.len() {
+            b.add_edge(TaskId(i - 1), TaskId(i), 1).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn equal_graphs_hash_equal_names_ignored() {
+        let a = fig1();
+        let b = fig1();
+        assert_eq!(graph_fingerprint(&a), graph_fingerprint(&b));
+
+        let mut named = TaskGraphBuilder::named("something-else");
+        for t in a.tasks() {
+            named.add_task(a.comp(t));
+        }
+        for t in a.tasks() {
+            for &(s, c) in a.succs(t) {
+                named.add_edge(t, s, c).unwrap();
+            }
+        }
+        let named = named.build().unwrap();
+        assert_eq!(graph_fingerprint(&a), graph_fingerprint(&named));
+    }
+
+    #[test]
+    fn weights_topology_machine_and_algorithm_all_matter() {
+        let g1 = chain(&[1, 2, 3]);
+        let g2 = chain(&[1, 2, 4]); // different weight
+        let g3 = chain(&[1, 2]); // different topology
+        assert_ne!(graph_fingerprint(&g1), graph_fingerprint(&g2));
+        assert_ne!(graph_fingerprint(&g1), graph_fingerprint(&g3));
+
+        let m2 = Machine::new(2);
+        let m4 = Machine::new(4);
+        let het = Machine::related(vec![1, 2]);
+        let base = request_fingerprint(AlgorithmId::Flb, &g1, &m2);
+        assert_ne!(base, request_fingerprint(AlgorithmId::Flb, &g1, &m4));
+        assert_ne!(base, request_fingerprint(AlgorithmId::Flb, &g1, &het));
+        assert_ne!(base, request_fingerprint(AlgorithmId::Etf, &g1, &m2));
+        assert_eq!(base, request_fingerprint(AlgorithmId::Flb, &g1, &m2));
+    }
+}

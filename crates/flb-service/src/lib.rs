@@ -1,0 +1,48 @@
+//! Scheduling as a service: a concurrent daemon serving FLB-quality
+//! schedules on demand.
+//!
+//! FLB's `O(V (log W + log P) + E)` complexity makes ETF-quality schedules
+//! cheap enough to compute *online*; this crate turns that into a serving
+//! substrate. A daemon ([`serve`]) accepts schedule requests — task graph +
+//! machine + algorithm — over a length-prefixed protocol ([`proto`]) on a
+//! TCP or Unix-domain socket, dispatches them to a fixed worker pool behind
+//! a bounded queue (full queue ⇒ a `busy` backpressure response, never a
+//! hang), and answers repeated workloads from a sharded LRU cache
+//! ([`cache`]) keyed by a canonical graph fingerprint ([`fingerprint`]).
+//! Live counters ([`metrics`]) — request totals, hit rate, p50/p99 latency,
+//! queue depth, per-algorithm counts — are served by a `stats` request.
+//!
+//! Everything is `std`-only: no external network or async dependencies.
+//!
+//! ```no_run
+//! use flb_service::{serve, Client, Endpoint, ServiceConfig, Submission};
+//! use flb_core::AlgorithmId;
+//! use flb_graph::paper::fig1;
+//! use flb_sched::Machine;
+//!
+//! let handle = serve(&Endpoint::parse("127.0.0.1:0"), ServiceConfig::default()).unwrap();
+//! let mut client = Client::connect(&handle.endpoint()).unwrap();
+//! match client.schedule(AlgorithmId::Flb, fig1(), Machine::new(2), 0).unwrap() {
+//!     Submission::Done(reply) => assert_eq!(reply.schedule.makespan(), 14),
+//!     other => panic!("{other:?}"),
+//! }
+//! client.shutdown().unwrap();
+//! handle.join();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod fingerprint;
+pub mod metrics;
+pub mod proto;
+pub mod server;
+
+pub use cache::ShardedLru;
+pub use client::{Client, ScheduleReply, Submission};
+pub use fingerprint::{graph_fingerprint, request_fingerprint};
+pub use metrics::{Metrics, StatsSnapshot};
+pub use proto::{Request, Response};
+pub use server::{serve, Endpoint, ServiceConfig, ServiceHandle};

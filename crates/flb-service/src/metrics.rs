@@ -1,0 +1,249 @@
+//! Live service counters: lock-free atomics updated on every request,
+//! snapshotted on demand by the `stats` protocol request.
+
+use flb_core::AlgorithmId;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const N_ALGS: usize = AlgorithmId::ALL.len();
+
+/// Power-of-two latency histogram: bucket `i` counts samples whose
+/// microsecond latency has `i` significant bits, i.e. lies in
+/// `[2^(i-1), 2^i)`. 64 buckets cover every `u64`, and quantiles are read
+/// back as the upper bound of the containing bucket — a ≤ 2× systematic
+/// overestimate, which is plenty for p50/p99 service dashboards.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; 64],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    fn bucket(micros: u64) -> usize {
+        (64 - micros.leading_zeros() as usize).min(63)
+    }
+
+    /// Records one sample.
+    pub fn record(&self, micros: u64) {
+        self.buckets[Self::bucket(micros)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) in microseconds, as the upper bound
+    /// of the bucket holding that sample; 0 when no samples were recorded.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total as f64 * q).ceil() as u64).clamp(1, total);
+        let mut seen = 0;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// All live counters of a running service.
+#[derive(Default)]
+pub struct Metrics {
+    /// Protocol requests of any kind.
+    pub requests: AtomicU64,
+    /// Schedule requests specifically.
+    pub schedule_requests: AtomicU64,
+    /// Schedule requests answered from the fingerprint cache.
+    pub cache_hits: AtomicU64,
+    /// Schedule requests that missed the cache and were enqueued.
+    pub cache_misses: AtomicU64,
+    /// Actual scheduler invocations by the worker pool.
+    pub scheduler_invocations: AtomicU64,
+    /// Requests rejected with a backpressure (busy) response.
+    pub rejected: AtomicU64,
+    /// Requests whose deadline expired while queued.
+    pub expired: AtomicU64,
+    /// Requests answered with a protocol error.
+    pub errors: AtomicU64,
+    /// Schedule requests per algorithm, indexed by wire code.
+    pub per_algorithm: [AtomicU64; N_ALGS],
+    /// End-to-end latency of answered schedule requests.
+    pub latency: LatencyHistogram,
+}
+
+impl Metrics {
+    /// Bumps a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one schedule request for `alg`.
+    pub fn count_algorithm(&self, alg: AlgorithmId) {
+        Self::bump(&self.per_algorithm[alg.code() as usize]);
+    }
+
+    /// A consistent point-in-time copy of every counter. `queue_depth`,
+    /// `workers` and `cache_entries` are gauges owned by the server and
+    /// passed in.
+    #[must_use]
+    pub fn snapshot(&self, queue_depth: u64, workers: u64, cache_entries: u64) -> StatsSnapshot {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        StatsSnapshot {
+            requests: get(&self.requests),
+            schedule_requests: get(&self.schedule_requests),
+            cache_hits: get(&self.cache_hits),
+            cache_misses: get(&self.cache_misses),
+            scheduler_invocations: get(&self.scheduler_invocations),
+            rejected: get(&self.rejected),
+            expired: get(&self.expired),
+            errors: get(&self.errors),
+            queue_depth,
+            workers,
+            cache_entries,
+            p50_us: self.latency.quantile(0.50),
+            p99_us: self.latency.quantile(0.99),
+            per_algorithm: AlgorithmId::ALL
+                .into_iter()
+                .map(|a| (a, get(&self.per_algorithm[a.code() as usize])))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of the service counters, as carried by the
+/// `stats` response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Protocol requests of any kind.
+    pub requests: u64,
+    /// Schedule requests specifically.
+    pub schedule_requests: u64,
+    /// Schedule requests answered from the fingerprint cache.
+    pub cache_hits: u64,
+    /// Schedule requests that missed the cache.
+    pub cache_misses: u64,
+    /// Actual scheduler invocations by the worker pool.
+    pub scheduler_invocations: u64,
+    /// Requests rejected with a backpressure response.
+    pub rejected: u64,
+    /// Requests whose deadline expired while queued.
+    pub expired: u64,
+    /// Requests answered with a protocol error.
+    pub errors: u64,
+    /// Jobs waiting in the queue at snapshot time.
+    pub queue_depth: u64,
+    /// Size of the worker pool.
+    pub workers: u64,
+    /// Entries in the schedule cache at snapshot time.
+    pub cache_entries: u64,
+    /// Approximate median schedule-request latency (µs).
+    pub p50_us: u64,
+    /// Approximate 99th-percentile schedule-request latency (µs).
+    pub p99_us: u64,
+    /// Schedule requests per algorithm.
+    pub per_algorithm: Vec<(AlgorithmId, u64)>,
+}
+
+impl StatsSnapshot {
+    /// Cache hit rate over answered schedule lookups, in `0.0..=1.0`.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let looked_up = self.cache_hits + self.cache_misses;
+        if looked_up == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / looked_up as f64
+        }
+    }
+
+    /// Renders the snapshot as the CLI's aligned key/value block.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "requests        {}", self.requests);
+        let _ = writeln!(out, "schedule reqs   {}", self.schedule_requests);
+        let _ = writeln!(out, "cache hits      {}", self.cache_hits);
+        let _ = writeln!(out, "cache misses    {}", self.cache_misses);
+        let _ = writeln!(out, "hit rate        {:.3}", self.hit_rate());
+        let _ = writeln!(out, "invocations     {}", self.scheduler_invocations);
+        let _ = writeln!(out, "rejected (busy) {}", self.rejected);
+        let _ = writeln!(out, "expired         {}", self.expired);
+        let _ = writeln!(out, "errors          {}", self.errors);
+        let _ = writeln!(out, "queue depth     {}", self.queue_depth);
+        let _ = writeln!(out, "workers         {}", self.workers);
+        let _ = writeln!(out, "cache entries   {}", self.cache_entries);
+        let _ = writeln!(out, "latency p50     {} us", self.p50_us);
+        let _ = writeln!(out, "latency p99     {} us", self.p99_us);
+        for (alg, n) in &self.per_algorithm {
+            if *n > 0 {
+                let _ = writeln!(out, "  {:<13} {n}", alg.name());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile(0.5), 0);
+        for _ in 0..99 {
+            h.record(100); // bucket [64, 128) -> reported as 128
+        }
+        h.record(10_000); // bucket [8192, 16384) -> reported as 16384
+        assert_eq!(h.quantile(0.50), 128);
+        assert_eq!(h.quantile(0.99), 128);
+        assert_eq!(h.quantile(1.0), 16_384);
+        // The reported value is within 2x above the true sample.
+        assert!(h.quantile(0.5) >= 100 && h.quantile(0.5) < 200);
+    }
+
+    #[test]
+    fn zero_latency_lands_in_bucket_zero() {
+        let h = LatencyHistogram::default();
+        h.record(0);
+        assert_eq!(h.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn snapshot_copies_counters() {
+        let m = Metrics::default();
+        Metrics::bump(&m.requests);
+        Metrics::bump(&m.requests);
+        Metrics::bump(&m.cache_hits);
+        m.count_algorithm(AlgorithmId::Etf);
+        let s = m.snapshot(3, 4, 5);
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.queue_depth, 3);
+        assert_eq!(s.workers, 4);
+        assert_eq!(s.cache_entries, 5);
+        assert_eq!(
+            s.per_algorithm
+                .iter()
+                .find(|(a, _)| *a == AlgorithmId::Etf)
+                .unwrap()
+                .1,
+            1
+        );
+        assert_eq!(s.hit_rate(), 1.0);
+        assert!(s.render().contains("cache hits      1"));
+    }
+}

@@ -1,0 +1,481 @@
+//! The length-prefixed request/response protocol.
+//!
+//! Every message is one frame:
+//!
+//! ```text
+//! magic  u32 LE  = 0x464C_4231  ("FLB1")
+//! length u32 LE  (payload bytes, <= MAX_FRAME)
+//! payload        kind byte + body, encoded with flb_sched::io::wire
+//! ```
+//!
+//! Requests: `schedule` (algorithm + deadline + machine + graph),
+//! `stats`, `ping`, `shutdown`. Responses: `schedule` (cached flag +
+//! service time + schedule), `busy` (backpressure, with a retry hint),
+//! `stats`, `error`, `pong`, `shutting-down`. The codec is symmetric and
+//! pure, so both ends round-trip through the same functions.
+
+use crate::metrics::StatsSnapshot;
+use flb_core::{AlgorithmId, ScheduleRequest};
+use flb_sched::io::wire::{self, Reader, WireError, Writer};
+use flb_sched::Schedule;
+use std::io::{self, Read, Write};
+
+/// Frame magic: `"FLB1"`.
+pub const MAGIC: u32 = 0x464C_4231;
+
+/// Largest accepted payload (64 MiB) — bounds allocation on corrupt or
+/// hostile length prefixes.
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// A request frame.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Schedule a graph; `deadline_ms == 0` means no deadline.
+    Schedule {
+        /// What/where/how to schedule (boxed: it dwarfs every other
+        /// variant, and `Request` values move through queues).
+        request: Box<ScheduleRequest>,
+        /// Give up when not finished within this budget (0 = none).
+        deadline_ms: u64,
+    },
+    /// Return a [`StatsSnapshot`].
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Stop the daemon.
+    Shutdown,
+}
+
+/// A response frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// The schedule, where it came from, and how long it took.
+    Schedule {
+        /// Whether the fingerprint cache answered it.
+        cached: bool,
+        /// End-to-end service time in microseconds.
+        micros: u64,
+        /// The schedule itself.
+        schedule: Schedule,
+    },
+    /// The queue is full; retry after the hinted delay.
+    Busy {
+        /// Suggested client backoff in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request's deadline expired while it was queued.
+    Expired,
+    /// Live counters.
+    Stats(StatsSnapshot),
+    /// The request could not be served; human-readable reason.
+    Error(String),
+    /// Liveness answer.
+    Pong,
+    /// Shutdown acknowledged; the daemon is stopping.
+    ShuttingDown,
+}
+
+const REQ_SCHEDULE: u8 = 1;
+const REQ_STATS: u8 = 2;
+const REQ_PING: u8 = 3;
+const REQ_SHUTDOWN: u8 = 4;
+
+const RESP_SCHEDULE: u8 = 1;
+const RESP_BUSY: u8 = 2;
+const RESP_EXPIRED: u8 = 3;
+const RESP_STATS: u8 = 4;
+const RESP_ERROR: u8 = 5;
+const RESP_PONG: u8 = 6;
+const RESP_SHUTTING_DOWN: u8 = 7;
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Encodes a request payload (kind byte + body).
+#[must_use]
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut w = Writer::new();
+    match req {
+        Request::Schedule {
+            request,
+            deadline_ms,
+        } => {
+            w.put_u8(REQ_SCHEDULE);
+            w.put_u8(request.algorithm.code());
+            w.put_u64(*deadline_ms);
+            wire::put_machine(&mut w, &request.machine);
+            wire::put_graph(&mut w, &request.graph);
+        }
+        Request::Stats => w.put_u8(REQ_STATS),
+        Request::Ping => w.put_u8(REQ_PING),
+        Request::Shutdown => w.put_u8(REQ_SHUTDOWN),
+    }
+    w.into_bytes()
+}
+
+/// Decodes a request payload.
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    let mut r = Reader::new(payload);
+    let req = match r.u8()? {
+        REQ_SCHEDULE => {
+            let code = r.u8()?;
+            let algorithm = AlgorithmId::from_code(code)
+                .ok_or_else(|| WireError::Malformed(format!("unknown algorithm code {code}")))?;
+            let deadline_ms = r.u64()?;
+            let machine = wire::get_machine(&mut r)?;
+            let graph = wire::get_graph(&mut r)?;
+            Request::Schedule {
+                request: Box::new(ScheduleRequest::new(algorithm, graph, machine)),
+                deadline_ms,
+            }
+        }
+        REQ_STATS => Request::Stats,
+        REQ_PING => Request::Ping,
+        REQ_SHUTDOWN => Request::Shutdown,
+        other => {
+            return Err(WireError::Malformed(format!(
+                "unknown request kind {other}"
+            )))
+        }
+    };
+    if r.remaining() != 0 {
+        return Err(WireError::Malformed(format!(
+            "{} trailing bytes after request",
+            r.remaining()
+        )));
+    }
+    Ok(req)
+}
+
+fn put_stats(w: &mut Writer, s: &StatsSnapshot) {
+    for v in [
+        s.requests,
+        s.schedule_requests,
+        s.cache_hits,
+        s.cache_misses,
+        s.scheduler_invocations,
+        s.rejected,
+        s.expired,
+        s.errors,
+        s.queue_depth,
+        s.workers,
+        s.cache_entries,
+        s.p50_us,
+        s.p99_us,
+    ] {
+        w.put_u64(v);
+    }
+    w.put_u32(s.per_algorithm.len() as u32);
+    for (alg, n) in &s.per_algorithm {
+        w.put_u8(alg.code());
+        w.put_u64(*n);
+    }
+}
+
+fn get_stats(r: &mut Reader<'_>) -> Result<StatsSnapshot, WireError> {
+    let mut vals = [0u64; 13];
+    for v in &mut vals {
+        *v = r.u64()?;
+    }
+    let n = r.len("algorithm counter", 9)?;
+    let mut per_algorithm = Vec::with_capacity(n);
+    for _ in 0..n {
+        let code = r.u8()?;
+        let alg = AlgorithmId::from_code(code)
+            .ok_or_else(|| WireError::Malformed(format!("unknown algorithm code {code}")))?;
+        per_algorithm.push((alg, r.u64()?));
+    }
+    let [requests, schedule_requests, cache_hits, cache_misses, scheduler_invocations, rejected, expired, errors, queue_depth, workers, cache_entries, p50_us, p99_us] =
+        vals;
+    Ok(StatsSnapshot {
+        requests,
+        schedule_requests,
+        cache_hits,
+        cache_misses,
+        scheduler_invocations,
+        rejected,
+        expired,
+        errors,
+        queue_depth,
+        workers,
+        cache_entries,
+        p50_us,
+        p99_us,
+        per_algorithm,
+    })
+}
+
+/// Encodes a response payload (kind byte + body).
+#[must_use]
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut w = Writer::new();
+    match resp {
+        Response::Schedule {
+            cached,
+            micros,
+            schedule,
+        } => {
+            w.put_u8(RESP_SCHEDULE);
+            w.put_u8(u8::from(*cached));
+            w.put_u64(*micros);
+            wire::put_schedule(&mut w, schedule);
+        }
+        Response::Busy { retry_after_ms } => {
+            w.put_u8(RESP_BUSY);
+            w.put_u64(*retry_after_ms);
+        }
+        Response::Expired => w.put_u8(RESP_EXPIRED),
+        Response::Stats(s) => {
+            w.put_u8(RESP_STATS);
+            put_stats(&mut w, s);
+        }
+        Response::Error(msg) => {
+            w.put_u8(RESP_ERROR);
+            w.put_str(msg);
+        }
+        Response::Pong => w.put_u8(RESP_PONG),
+        Response::ShuttingDown => w.put_u8(RESP_SHUTTING_DOWN),
+    }
+    w.into_bytes()
+}
+
+/// Decodes a response payload.
+pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+    let mut r = Reader::new(payload);
+    let resp = match r.u8()? {
+        RESP_SCHEDULE => {
+            let cached = r.u8()? != 0;
+            let micros = r.u64()?;
+            let schedule = wire::get_schedule(&mut r)?;
+            Response::Schedule {
+                cached,
+                micros,
+                schedule,
+            }
+        }
+        RESP_BUSY => Response::Busy {
+            retry_after_ms: r.u64()?,
+        },
+        RESP_EXPIRED => Response::Expired,
+        RESP_STATS => Response::Stats(get_stats(&mut r)?),
+        RESP_ERROR => Response::Error(r.str()?),
+        RESP_PONG => Response::Pong,
+        RESP_SHUTTING_DOWN => Response::ShuttingDown,
+        other => {
+            return Err(WireError::Malformed(format!(
+                "unknown response kind {other}"
+            )))
+        }
+    };
+    if r.remaining() != 0 {
+        return Err(WireError::Malformed(format!(
+            "{} trailing bytes after response",
+            r.remaining()
+        )));
+    }
+    Ok(resp)
+}
+
+/// Writes one frame (magic, length, payload) and flushes.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME as usize {
+        return Err(invalid(format!(
+            "frame of {} bytes too large",
+            payload.len()
+        )));
+    }
+    w.write_all(&MAGIC.to_le_bytes())?;
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame's payload; `Ok(None)` on clean end-of-stream (the peer
+/// closed between frames).
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut head = [0u8; 8];
+    match r.read(&mut head)? {
+        0 => return Ok(None),
+        mut n => {
+            while n < head.len() {
+                let m = r.read(&mut head[n..])?;
+                if m == 0 {
+                    return Err(invalid("EOF inside frame header"));
+                }
+                n += m;
+            }
+        }
+    }
+    let magic = u32::from_le_bytes(head[0..4].try_into().expect("4 bytes"));
+    if magic != MAGIC {
+        return Err(invalid(format!("bad frame magic {magic:#010x}")));
+    }
+    let len = u32::from_le_bytes(head[4..8].try_into().expect("4 bytes"));
+    if len > MAX_FRAME {
+        return Err(invalid(format!("frame of {len} bytes exceeds MAX_FRAME")));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Writes a request as one frame.
+pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
+    write_frame(w, &encode_request(req))
+}
+
+/// Reads a request frame; `Ok(None)` on clean end-of-stream.
+pub fn read_request(r: &mut impl Read) -> io::Result<Option<Request>> {
+    match read_frame(r)? {
+        None => Ok(None),
+        Some(payload) => decode_request(&payload)
+            .map(Some)
+            .map_err(|e| invalid(e.to_string())),
+    }
+}
+
+/// Writes a response as one frame.
+pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
+    write_frame(w, &encode_response(resp))
+}
+
+/// Reads a response frame; errors on end-of-stream (a response is always
+/// owed once a request was sent).
+pub fn read_response(r: &mut impl Read) -> io::Result<Response> {
+    match read_frame(r)? {
+        None => Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed while awaiting a response",
+        )),
+        Some(payload) => decode_response(&payload).map_err(|e| invalid(e.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flb_core::AlgorithmId;
+    use flb_graph::paper::fig1;
+    use flb_sched::{Machine, Scheduler};
+
+    fn sample_schedule() -> Schedule {
+        flb_core::Flb::default().schedule(&fig1(), &Machine::new(2))
+    }
+
+    #[test]
+    fn request_payloads_roundtrip() {
+        let reqs = [
+            Request::Schedule {
+                request: Box::new(ScheduleRequest::new(
+                    AlgorithmId::Heft,
+                    fig1(),
+                    Machine::related(vec![1, 2]),
+                )),
+                deadline_ms: 250,
+            },
+            Request::Stats,
+            Request::Ping,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let bytes = encode_request(&req);
+            let back = decode_request(&bytes).unwrap();
+            match (&req, &back) {
+                (
+                    Request::Schedule {
+                        request: a,
+                        deadline_ms: da,
+                    },
+                    Request::Schedule {
+                        request: b,
+                        deadline_ms: db,
+                    },
+                ) => {
+                    assert_eq!(a.algorithm, b.algorithm);
+                    assert_eq!(a.machine, b.machine);
+                    assert_eq!(a.graph.num_tasks(), b.graph.num_tasks());
+                    assert_eq!(da, db);
+                }
+                (Request::Stats, Request::Stats)
+                | (Request::Ping, Request::Ping)
+                | (Request::Shutdown, Request::Shutdown) => {}
+                other => panic!("mismatched roundtrip: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn response_payloads_roundtrip() {
+        let stats = StatsSnapshot {
+            requests: 10,
+            schedule_requests: 8,
+            cache_hits: 3,
+            cache_misses: 5,
+            scheduler_invocations: 5,
+            rejected: 1,
+            expired: 0,
+            errors: 1,
+            queue_depth: 2,
+            workers: 4,
+            cache_entries: 5,
+            p50_us: 128,
+            p99_us: 4096,
+            per_algorithm: vec![(AlgorithmId::Flb, 6), (AlgorithmId::Etf, 2)],
+        };
+        let resps = [
+            Response::Schedule {
+                cached: true,
+                micros: 42,
+                schedule: sample_schedule(),
+            },
+            Response::Busy { retry_after_ms: 50 },
+            Response::Expired,
+            Response::Stats(stats),
+            Response::Error("boom".into()),
+            Response::Pong,
+            Response::ShuttingDown,
+        ];
+        for resp in resps {
+            let bytes = encode_response(&resp);
+            assert_eq!(decode_response(&bytes).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_byte_pipe() {
+        let mut buf = Vec::new();
+        write_request(&mut buf, &Request::Ping).unwrap();
+        write_request(&mut buf, &Request::Stats).unwrap();
+        let mut r = &buf[..];
+        assert!(matches!(read_request(&mut r).unwrap(), Some(Request::Ping)));
+        assert!(matches!(
+            read_request(&mut r).unwrap(),
+            Some(Request::Stats)
+        ));
+        assert!(read_request(&mut r).unwrap().is_none()); // clean EOF
+    }
+
+    #[test]
+    fn frame_reader_rejects_garbage() {
+        // Wrong magic.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        assert!(read_frame(&mut &buf[..]).is_err());
+        // Oversized length.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC.to_le_bytes());
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        assert!(read_frame(&mut &buf[..]).is_err());
+        // EOF mid-header.
+        let buf = MAGIC.to_le_bytes();
+        assert!(read_frame(&mut &buf[..3]).is_err());
+        // Unknown request kind.
+        assert!(decode_request(&[99]).is_err());
+        // Trailing junk.
+        let mut bytes = encode_request(&Request::Ping);
+        bytes.push(0);
+        assert!(decode_request(&bytes).is_err());
+    }
+}

@@ -1,0 +1,468 @@
+//! The daemon: listener, per-connection protocol loops, and the bounded
+//! worker pool behind the fingerprint cache.
+//!
+//! Request flow for `schedule`:
+//!
+//! 1. the connection thread fingerprints the request and probes the
+//!    cache — a hit is answered immediately, bypassing the queue (this is
+//!    the "repeated workloads skip scheduling entirely" path, and it keeps
+//!    working even while the queue is saturated);
+//! 2. a miss is pushed onto the bounded queue; when the queue is full the
+//!    client gets a `busy` response with a retry hint instead of blocking
+//!    the daemon (backpressure, never a hang);
+//! 3. a worker pops the job, drops it with an `expired` response if its
+//!    deadline passed while it queued, otherwise runs the scheduler,
+//!    populates the cache and hands the schedule back to the connection
+//!    thread.
+//!
+//! Two concurrent misses on the same fingerprint may both run the
+//! scheduler; the algorithms are deterministic, so both compute the same
+//! schedule and the second cache insert is a no-op refresh. That trade
+//! keeps the hot path free of per-fingerprint locks.
+
+use crate::cache::ShardedLru;
+use crate::fingerprint::request_fingerprint;
+use crate::metrics::Metrics;
+use crate::proto::{read_request, write_response, Request, Response};
+use flb_core::{schedule_request, ScheduleRequest};
+use flb_sched::Schedule;
+use std::collections::VecDeque;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of a service instance.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Scheduler worker threads.
+    pub workers: usize,
+    /// Bounded queue capacity; a full queue answers `busy`.
+    pub queue_capacity: usize,
+    /// Total schedule-cache entries (split across shards).
+    pub cache_capacity: usize,
+    /// Cache shard count (rounded up to a power of two).
+    pub cache_shards: usize,
+    /// Backoff hint attached to `busy` responses, in milliseconds.
+    pub retry_after_ms: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: thread::available_parallelism().map_or(2, |n| n.get().min(8)),
+            queue_capacity: 64,
+            cache_capacity: 512,
+            cache_shards: 8,
+            retry_after_ms: 25,
+        }
+    }
+}
+
+/// Where the daemon listens.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A TCP address, e.g. `127.0.0.1:7171`.
+    Tcp(String),
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+}
+
+impl Endpoint {
+    /// Parses an endpoint string: `unix:PATH` selects a Unix socket,
+    /// anything else is a TCP `host:port`.
+    #[must_use]
+    pub fn parse(s: &str) -> Endpoint {
+        match s.strip_prefix("unix:") {
+            Some(path) => Endpoint::Unix(PathBuf::from(path)),
+            None => Endpoint::Tcp(s.to_owned()),
+        }
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => f.write_str(addr),
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
+
+/// What a worker sends back to the waiting connection thread.
+enum WorkerReply {
+    Done {
+        schedule: Arc<Schedule>,
+        micros: u64,
+    },
+    Expired,
+}
+
+/// One queued scheduling job.
+struct Job {
+    request: Box<ScheduleRequest>,
+    fingerprint: u64,
+    accepted_at: Instant,
+    deadline: Option<Duration>,
+    reply: mpsc::Sender<WorkerReply>,
+}
+
+/// State shared by the listener, connections and workers.
+struct Shared {
+    cfg: ServiceConfig,
+    /// The resolved endpoint (actual port for TCP binds of port 0); used
+    /// to nudge the blocking accept loop awake on shutdown.
+    endpoint: Endpoint,
+    cache: ShardedLru<Arc<Schedule>>,
+    metrics: Metrics,
+    queue: Mutex<VecDeque<Job>>,
+    job_ready: Condvar,
+    shutdown: AtomicBool,
+    open_connections: AtomicU64,
+}
+
+impl Shared {
+    /// Enqueues a job, or hands it back when the queue is full or the
+    /// service is shutting down.
+    fn try_enqueue(&self, job: Job) -> Result<(), Job> {
+        if self.shutdown.load(Ordering::SeqCst) {
+            return Err(job);
+        }
+        let mut q = self.queue.lock().expect("queue lock");
+        if q.len() >= self.cfg.queue_capacity {
+            return Err(job);
+        }
+        q.push_back(job);
+        drop(q);
+        self.job_ready.notify_one();
+        Ok(())
+    }
+
+    fn queue_depth(&self) -> u64 {
+        self.queue.lock().expect("queue lock").len() as u64
+    }
+}
+
+/// Worker loop: pop, check deadline, schedule, cache, reply.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                q = shared.job_ready.wait(q).expect("queue lock");
+            }
+        };
+        let waited = job.accepted_at.elapsed();
+        if job.deadline.is_some_and(|d| waited > d) {
+            Metrics::bump(&shared.metrics.expired);
+            let _ = job.reply.send(WorkerReply::Expired);
+            continue;
+        }
+        Metrics::bump(&shared.metrics.scheduler_invocations);
+        let schedule = Arc::new(schedule_request(&job.request));
+        shared.cache.insert(job.fingerprint, Arc::clone(&schedule));
+        let micros = job.accepted_at.elapsed().as_micros() as u64;
+        shared.metrics.latency.record(micros);
+        // The client may have hung up while waiting; that is its problem.
+        let _ = job.reply.send(WorkerReply::Done { schedule, micros });
+    }
+}
+
+/// Serves one schedule request end-to-end, returning the response.
+fn serve_schedule(shared: &Shared, request: Box<ScheduleRequest>, deadline_ms: u64) -> Response {
+    let t0 = Instant::now();
+    Metrics::bump(&shared.metrics.schedule_requests);
+    shared.metrics.count_algorithm(request.algorithm);
+
+    let fp = request_fingerprint(request.algorithm, &request.graph, &request.machine);
+    if let Some(schedule) = shared.cache.get(fp) {
+        Metrics::bump(&shared.metrics.cache_hits);
+        let micros = t0.elapsed().as_micros() as u64;
+        shared.metrics.latency.record(micros);
+        return Response::Schedule {
+            cached: true,
+            micros,
+            schedule: (*schedule).clone(),
+        };
+    }
+    Metrics::bump(&shared.metrics.cache_misses);
+
+    let (tx, rx) = mpsc::channel();
+    let job = Job {
+        request,
+        fingerprint: fp,
+        accepted_at: t0,
+        deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
+        reply: tx,
+    };
+    if shared.try_enqueue(job).is_err() {
+        Metrics::bump(&shared.metrics.rejected);
+        return Response::Busy {
+            retry_after_ms: shared.cfg.retry_after_ms,
+        };
+    }
+    match rx.recv() {
+        Ok(WorkerReply::Done { schedule, micros }) => Response::Schedule {
+            cached: false,
+            micros,
+            schedule: (*schedule).clone(),
+        },
+        Ok(WorkerReply::Expired) => Response::Expired,
+        // All workers gone: shutdown raced the request.
+        Err(_) => Response::ShuttingDown,
+    }
+}
+
+/// Protocol loop for one accepted connection.
+fn connection_loop(shared: &Arc<Shared>, stream: &mut (impl io::Read + io::Write)) {
+    loop {
+        let request = match read_request(stream) {
+            Ok(Some(req)) => req,
+            Ok(None) => return, // clean disconnect
+            Err(e) => {
+                Metrics::bump(&shared.metrics.errors);
+                let _ = write_response(stream, &Response::Error(e.to_string()));
+                return;
+            }
+        };
+        Metrics::bump(&shared.metrics.requests);
+        let response = match request {
+            Request::Ping => Response::Pong,
+            Request::Stats => Response::Stats(shared.metrics.snapshot(
+                shared.queue_depth(),
+                shared.cfg.workers as u64,
+                shared.cache.len() as u64,
+            )),
+            Request::Shutdown => {
+                // Answer the client *before* tearing the daemon down: once
+                // the flag is set, the accept loop and workers exit and the
+                // process may finish before a late write reaches the wire.
+                let _ = write_response(stream, &Response::ShuttingDown);
+                shared.shutdown.store(true, Ordering::SeqCst);
+                shared.job_ready.notify_all();
+                nudge_accept_loop(&shared.endpoint);
+                return;
+            }
+            Request::Schedule {
+                request,
+                deadline_ms,
+            } => serve_schedule(shared, request, deadline_ms),
+        };
+        if write_response(stream, &response).is_err() {
+            return; // client went away mid-reply
+        }
+    }
+}
+
+/// Generalises over the two listener flavours.
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener, PathBuf),
+}
+
+/// A running service instance.
+///
+/// Dropping the handle does *not* stop the daemon; call
+/// [`shutdown`](Self::shutdown) (or send a protocol `shutdown` request)
+/// and then [`join`](Self::join).
+pub struct ServiceHandle {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServiceHandle {
+    /// The endpoint the daemon is reachable on. For TCP binds this
+    /// carries the *actual* port (useful after binding port 0).
+    #[must_use]
+    pub fn endpoint(&self) -> Endpoint {
+        self.shared.endpoint.clone()
+    }
+
+    /// Requests shutdown from within the process.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.job_ready.notify_all();
+        nudge_accept_loop(&self.shared.endpoint);
+    }
+
+    /// Waits until the daemon has stopped (after a [`shutdown`] call or a
+    /// protocol `shutdown` request) and joins its threads.
+    ///
+    /// [`shutdown`]: Self::shutdown
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // Connection threads are detached; give in-flight responses a
+        // bounded grace period to flush before the caller exits.
+        for _ in 0..200 {
+            if self.shared.open_connections.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Whether shutdown has been requested.
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Connections currently open (a gauge, for diagnostics).
+    #[must_use]
+    pub fn open_connections(&self) -> u64 {
+        self.shared.open_connections.load(Ordering::SeqCst)
+    }
+}
+
+/// Pokes the (blocking) accept loop so it observes the shutdown flag.
+fn nudge_accept_loop(endpoint: &Endpoint) {
+    match endpoint {
+        Endpoint::Tcp(addr) => {
+            let _ = TcpStream::connect(addr);
+        }
+        Endpoint::Unix(path) => {
+            let _ = UnixStream::connect(path);
+        }
+    }
+}
+
+fn spawn_connection<S>(shared: &Arc<Shared>, mut stream: S)
+where
+    S: io::Read + io::Write + Send + 'static,
+{
+    let shared = Arc::clone(shared);
+    shared.open_connections.fetch_add(1, Ordering::SeqCst);
+    thread::spawn(move || {
+        connection_loop(&shared, &mut stream);
+        shared.open_connections.fetch_sub(1, Ordering::SeqCst);
+    });
+}
+
+/// Binds the endpoint and starts the daemon: one accept thread, the
+/// worker pool, and a thread per accepted connection.
+pub fn serve(endpoint: &Endpoint, cfg: ServiceConfig) -> io::Result<ServiceHandle> {
+    let cfg = ServiceConfig {
+        workers: cfg.workers.max(1),
+        queue_capacity: cfg.queue_capacity.max(1),
+        ..cfg
+    };
+    let listener = match endpoint {
+        Endpoint::Tcp(addr) => Listener::Tcp(TcpListener::bind(addr)?),
+        Endpoint::Unix(path) => {
+            // A stale socket file from a crashed daemon would fail the
+            // bind; remove it (connect errors distinguish stale from live
+            // in any richer deployment, which this reproduction skips).
+            let _ = std::fs::remove_file(path);
+            Listener::Unix(UnixListener::bind(path)?, path.clone())
+        }
+    };
+    let resolved = match &listener {
+        Listener::Tcp(l) => Endpoint::Tcp(l.local_addr()?.to_string()),
+        Listener::Unix(_, path) => Endpoint::Unix(path.clone()),
+    };
+
+    let shared = Arc::new(Shared {
+        endpoint: resolved,
+        cache: ShardedLru::new(cfg.cache_capacity, cfg.cache_shards),
+        metrics: Metrics::default(),
+        queue: Mutex::new(VecDeque::new()),
+        job_ready: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        open_connections: AtomicU64::new(0),
+        cfg,
+    });
+
+    let workers = (0..shared.cfg.workers)
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || worker_loop(&shared))
+        })
+        .collect();
+
+    let accept = {
+        let shared = Arc::clone(&shared);
+        thread::spawn(move || {
+            match listener {
+                Listener::Tcp(listener) => {
+                    for stream in listener.incoming() {
+                        if shared.shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        match stream {
+                            Ok(s) => {
+                                let _ = s.set_nodelay(true);
+                                spawn_connection(&shared, s);
+                            }
+                            Err(_) => continue,
+                        }
+                    }
+                }
+                Listener::Unix(listener, path) => {
+                    for stream in listener.incoming() {
+                        if shared.shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        match stream {
+                            Ok(s) => spawn_connection(&shared, s),
+                            Err(_) => continue,
+                        }
+                    }
+                    let _ = std::fs::remove_file(path);
+                }
+            }
+            // Wake every worker so they observe the flag and exit.
+            shared.shutdown.store(true, Ordering::SeqCst);
+            shared.job_ready.notify_all();
+        })
+    };
+
+    Ok(ServiceHandle {
+        shared,
+        accept: Some(accept),
+        workers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_parse_and_display() {
+        assert_eq!(
+            Endpoint::parse("127.0.0.1:7171"),
+            Endpoint::Tcp("127.0.0.1:7171".into())
+        );
+        assert_eq!(
+            Endpoint::parse("unix:/tmp/flb.sock"),
+            Endpoint::Unix(PathBuf::from("/tmp/flb.sock"))
+        );
+        assert_eq!(Endpoint::parse("unix:/a b").to_string(), "unix:/a b");
+        assert_eq!(Endpoint::parse("[::1]:80").to_string(), "[::1]:80");
+    }
+
+    #[test]
+    fn config_default_is_sane() {
+        let cfg = ServiceConfig::default();
+        assert!(cfg.workers >= 1);
+        assert!(cfg.queue_capacity >= 1);
+        assert!(cfg.cache_capacity >= 1);
+    }
+}

@@ -10,7 +10,8 @@
 //!   ([`core`]),
 //! * the comparison algorithms ETF, MCP, FCP and DSC-LLB ([`baselines`]),
 //! * a discrete-event execution simulator ([`sim`]),
-//! * the paper's workload suites ([`workloads`]).
+//! * the paper's workload suites ([`workloads`]),
+//! * a scheduler-as-a-service daemon with fingerprint caching ([`service`]).
 //!
 //! The most common types are re-exported at the crate root and in
 //! [`prelude`].
@@ -39,12 +40,14 @@ pub use flb_core as core;
 pub use flb_ds as ds;
 pub use flb_graph as graph;
 pub use flb_sched as sched;
+pub use flb_service as service;
 pub use flb_sim as sim;
 pub use flb_workloads as workloads;
 
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use flb_baselines::{Dls, DscLlb, Etf, Fcp, Heft, Hlfet, Mcp};
+    pub use flb_core::{schedule_request, AlgorithmId, ScheduleRequest};
     pub use flb_core::{Flb, TieBreak};
     pub use flb_graph::costs::{CostModel, Dist};
     pub use flb_graph::gen::Family;
@@ -52,6 +55,7 @@ pub mod prelude {
     pub use flb_sched::metrics::{efficiency, nsl, speedup, summarise};
     pub use flb_sched::validate::validate;
     pub use flb_sched::{Machine, ProcId, Schedule, Scheduler};
+    pub use flb_service::{serve, Client, Endpoint, ServiceConfig, Submission};
     pub use flb_sim::simulate;
     pub use flb_workloads::SuiteSpec;
 }

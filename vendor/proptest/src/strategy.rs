@@ -18,6 +18,15 @@ pub trait Strategy {
         Map { inner: self, f }
     }
 
+    /// Maps each generated value to a *strategy* and draws from it —
+    /// the dependent-generation combinator (`prop_flat_map` upstream).
+    fn prop_flat_map<U: Strategy, F: Fn(Self::Value) -> U>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
     /// Type-erases the strategy (used by [`crate::prop_oneof!`]).
     fn boxed(self) -> BoxedStrategy<Self::Value>
     where
@@ -92,6 +101,19 @@ impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
     type Value = U;
     fn generate(&self, rng: &mut TestRng) -> U {
         (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// [`Strategy::prop_flat_map`] adaptor.
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Strategy, F: Fn(S::Value) -> U> Strategy for FlatMap<S, F> {
+    type Value = U::Value;
+    fn generate(&self, rng: &mut TestRng) -> U::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
     }
 }
 
@@ -205,6 +227,12 @@ impl SampleRange<usize> for core::ops::Range<usize> {
 impl SampleRange<usize> for core::ops::RangeInclusive<usize> {
     fn bounds(&self) -> (usize, usize) {
         (*self.start(), *self.end())
+    }
+}
+
+impl SampleRange<usize> for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
     }
 }
 
