@@ -18,6 +18,10 @@
 //!   chain coarsening) and emit the transformed graph;
 //! * `report` — emit a self-contained HTML report (comparison table + SVG
 //!   Gantt charts);
+//! * `fuzz` — run the seeded conformance fuzzer (`flb-conformance`):
+//!   random instances through the differential and metamorphic check
+//!   suite, shrinking any failure to a minimal replayable `.flb`
+//!   counterexample; `--replay` re-checks saved counterexamples;
 //! * `serve` — run the scheduling daemon (`flb-service`) on a TCP or
 //!   Unix-domain endpoint until a client sends `shutdown`;
 //! * `submit` — send a schedule request (or `--ping`/`--stats`/
@@ -73,6 +77,8 @@ USAGE:
                 [--fail P@T]... [--loss PROB[:TIMEOUT:RETRIES]] [--straggle T@F]...
                 [--seed S] [--repair [--at T]] [--one-port] [--trace]
   flb transform (--reduce | --coarsen) <graph opts> [--dot]
+  flb fuzz      [--seed S] [--cases N] [--max-tasks N] [--max-procs P]
+                [--corpus DIR] | --replay FILE|DIR
   flb report    --out FILE.html <graph opts> [--procs P | --speeds ...]
   flb serve     [--listen ADDR] [--workers N] [--queue N] [--cache N]
   flb submit    [--listen ADDR] <graph opts> [--alg A] [--procs P | --speeds ...]
@@ -218,6 +224,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "simulate" => cmd_simulate(&a),
         "faults" => cmd_faults(&a),
         "transform" => cmd_transform(&a),
+        "fuzz" => cmd_fuzz(&a),
         "report" => cmd_report(&a),
         "serve" => cmd_serve(&a),
         "submit" => cmd_submit(&a),
@@ -553,6 +560,86 @@ fn cmd_faults(a: &Args<'_>) -> Result<String, CliError> {
         }
     }
     Ok(out)
+}
+
+/// `fuzz`: seeded conformance fuzzing of every registered scheduler, with
+/// shrinking of failures to minimal `.flb` counterexamples; `--replay`
+/// instead re-runs the full check suite over saved counterexamples.
+fn cmd_fuzz(a: &Args<'_>) -> Result<String, CliError> {
+    use flb_conformance::corpus::{self, Counterexample};
+    use flb_conformance::fuzz::{fuzz, FuzzConfig};
+
+    if let Some(path) = a.value("--replay") {
+        let p = std::path::Path::new(path);
+        let replayed = if p.is_dir() {
+            corpus::replay_dir(p).map_err(|e| err(format!("cannot replay {path}: {e}")))?
+        } else {
+            let ce =
+                Counterexample::load(p).map_err(|e| err(format!("cannot load {path}: {e}")))?;
+            vec![(p.to_path_buf(), ce.replay())]
+        };
+        if replayed.is_empty() {
+            return Err(err(format!("no .flb counterexamples under {path}")));
+        }
+        let mut out = String::new();
+        let mut failing = 0usize;
+        for (file, violations) in &replayed {
+            if violations.is_empty() {
+                let _ = writeln!(out, "ok    {}", file.display());
+            } else {
+                failing += 1;
+                let _ = writeln!(out, "FAIL  {}", file.display());
+                for v in violations {
+                    let _ = writeln!(out, "      {v}");
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "replayed {} file(s), {failing} failing",
+            replayed.len()
+        );
+        return if failing == 0 { Ok(out) } else { Err(err(out)) };
+    }
+
+    let defaults = FuzzConfig::default();
+    let cfg = FuzzConfig {
+        seed: a.parsed("--seed", defaults.seed)?,
+        cases: a.parsed("--cases", defaults.cases)?,
+        max_tasks: a.parsed("--max-tasks", defaults.max_tasks)?,
+        max_procs: a.parsed("--max-procs", defaults.max_procs)?,
+        corpus_dir: a.value("--corpus").map(std::path::PathBuf::from),
+    };
+    if cfg.cases == 0 {
+        return Err(err("--cases must be at least 1"));
+    }
+    if cfg.max_tasks < 2 || cfg.max_procs < 1 {
+        return Err(err("--max-tasks must be >= 2 and --max-procs >= 1"));
+    }
+
+    let outcome = fuzz(&cfg);
+    let mut out = String::new();
+    let _ = writeln!(out, "seed            {}", cfg.seed);
+    let _ = writeln!(out, "cases           {}", outcome.cases);
+    let _ = writeln!(out, "violations      {}", outcome.violations.len());
+    if outcome.violations.is_empty() {
+        return Ok(out);
+    }
+    for ce in &outcome.counterexamples {
+        let _ = writeln!(
+            out,
+            "counterexample  [{}] {}: {} tasks, {} proc(s) — {}",
+            ce.check,
+            ce.scheduler,
+            ce.instance.graph.num_tasks(),
+            ce.instance.machine.num_procs(),
+            ce.detail
+        );
+    }
+    for path in &outcome.saved {
+        let _ = writeln!(out, "saved           {}", path.display());
+    }
+    Err(err(out))
 }
 
 fn cmd_transform(a: &Args<'_>) -> Result<String, CliError> {
@@ -1080,6 +1167,50 @@ mod tests {
             "faults", "--fig1", "--procs", "2", "--fail", "0@1", "--fail", "1@1", "--repair",
         ])
         .is_err());
+    }
+
+    #[test]
+    fn fuzz_smoke_is_clean_and_deterministic() {
+        let out = run_str(&[
+            "fuzz",
+            "--seed",
+            "42",
+            "--cases",
+            "10",
+            "--max-tasks",
+            "16",
+            "--max-procs",
+            "4",
+        ])
+        .unwrap();
+        assert!(out.contains("cases           10"), "{out}");
+        assert!(out.contains("violations      0"), "{out}");
+    }
+
+    #[test]
+    fn fuzz_replays_the_committed_corpus() {
+        let corpus = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/corpus");
+        let out = run_str(&["fuzz", "--replay", corpus]).unwrap();
+        assert!(out.contains("0 failing"), "{out}");
+        assert!(out.contains("ok    "), "{out}");
+
+        // Replaying a single file also works.
+        let file = std::fs::read_dir(corpus)
+            .unwrap()
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|x| x == "flb"))
+            .expect("committed corpus has .flb files");
+        let out = run_str(&["fuzz", "--replay", file.to_str().unwrap()]).unwrap();
+        assert!(out.contains("replayed 1 file(s), 0 failing"), "{out}");
+    }
+
+    #[test]
+    fn fuzz_flag_validation() {
+        assert!(run_str(&["fuzz", "--cases", "0"]).is_err());
+        assert!(run_str(&["fuzz", "--max-tasks", "1"]).is_err());
+        assert!(run_str(&["fuzz", "--seed", "abc"]).is_err());
+        assert!(run_str(&["fuzz", "--replay", "/definitely/missing.flb"]).is_err());
     }
 
     #[test]

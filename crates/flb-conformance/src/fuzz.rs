@@ -1,0 +1,188 @@
+//! The seeded conformance fuzzer behind `flb fuzz`.
+//!
+//! Each case draws a random instance — topology family, cost model, and
+//! machine all varied — and runs the full check suite. Any violation is
+//! handed to the [shrinker](crate::shrink), and the minimised
+//! counterexample is recorded (and written to the corpus directory when
+//! one is configured) as a replayable `.flb` file. Everything is
+//! deterministic per seed.
+
+use crate::corpus::Counterexample;
+use crate::shrink::shrink;
+use crate::{run_check, run_suite_seeded, Instance, Violation};
+use flb_graph::costs::CostModel;
+use flb_graph::gen::{self, RandomLayeredSpec};
+use flb_sched::Machine;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::path::PathBuf;
+
+/// Fuzzer configuration.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// Master seed; every case derives deterministically from it.
+    pub seed: u64,
+    /// Number of random instances to generate and check.
+    pub cases: usize,
+    /// Upper bound on tasks per generated graph.
+    pub max_tasks: usize,
+    /// Upper bound on processors per generated machine.
+    pub max_procs: usize,
+    /// Where to write shrunk counterexamples (`None` = keep in memory).
+    pub corpus_dir: Option<PathBuf>,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seed: 42,
+            cases: 100,
+            max_tasks: 40,
+            max_procs: 8,
+            corpus_dir: None,
+        }
+    }
+}
+
+/// What a fuzzing run found.
+#[derive(Debug, Default)]
+pub struct FuzzOutcome {
+    /// Cases executed.
+    pub cases: usize,
+    /// Every violation observed, pre-shrinking, in discovery order.
+    pub violations: Vec<Violation>,
+    /// Shrunk counterexamples, one per violating case.
+    pub counterexamples: Vec<Counterexample>,
+    /// Paths written into the corpus directory.
+    pub saved: Vec<PathBuf>,
+}
+
+/// Draws one random instance: a topology family, a cost model, and a
+/// machine, all from `rng`.
+#[must_use]
+pub fn random_instance(rng: &mut StdRng, max_tasks: usize, max_procs: usize) -> Instance {
+    let max_tasks = max_tasks.max(2);
+    let topo_seed = rng.next_u64();
+    let topology = match rng.random_range(0..10u32) {
+        0 => {
+            let layers = rng.random_range(2..=6usize);
+            let tasks = rng.random_range(layers..=max_tasks.max(layers));
+            gen::random_layered(
+                &RandomLayeredSpec {
+                    tasks,
+                    layers,
+                    edge_prob: rng.random_range(0.1..=0.6),
+                    max_skip: rng.random_range(1..=3usize),
+                },
+                topo_seed,
+            )
+        }
+        1 => gen::random_dag(
+            rng.random_range(2..=max_tasks),
+            rng.random_range(0.05..=0.4),
+            topo_seed,
+        ),
+        2 => gen::lu(rng.random_range(2..=6usize)),
+        3 => gen::laplace(rng.random_range(2..=5usize)),
+        4 => gen::stencil(rng.random_range(2..=5usize), rng.random_range(2..=4usize)),
+        5 => gen::fft(rng.random_range(1..=3u32)),
+        6 => gen::chain(rng.random_range(2..=max_tasks)),
+        7 => gen::fork_join(rng.random_range(2..=6usize), rng.random_range(1..=3usize)),
+        8 => gen::out_tree(rng.random_range(2..=3usize), rng.random_range(1..=3u32)),
+        _ => gen::independent(rng.random_range(2..=max_tasks.min(12))),
+    };
+    // Paper-style cost assignment across the CCR range of the experiments.
+    let ccr = [0.1, 0.5, 1.0, 2.0, 10.0][rng.random_range(0..5usize)];
+    let graph = CostModel::paper_default(ccr).apply(&topology, rng.next_u64());
+
+    let procs = rng.random_range(1..=max_procs.max(1));
+    let machine = if rng.random_bool(0.25) {
+        Machine::related((0..procs).map(|_| rng.random_range(1..=4u64)).collect())
+    } else {
+        Machine::new(procs)
+    };
+    Instance::new(graph, machine)
+}
+
+/// Runs `cfg.cases` random instances through the full suite, shrinking
+/// every failure.
+#[must_use]
+pub fn fuzz(cfg: &FuzzConfig) -> FuzzOutcome {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out = FuzzOutcome::default();
+    for _ in 0..cfg.cases {
+        let case_seed = rng.next_u64();
+        let inst = random_instance(&mut rng, cfg.max_tasks, cfg.max_procs);
+        let violations = run_suite_seeded(&inst, case_seed);
+        out.cases += 1;
+        if violations.is_empty() {
+            continue;
+        }
+        let first = violations[0].clone();
+        out.violations.extend(violations);
+        // Minimise against the specific check that tripped.
+        let check = first.check.clone();
+        let shrunk = shrink(&inst, &mut |i| {
+            run_check(i, &check, case_seed).into_iter().next()
+        });
+        let ce = match shrunk {
+            Some(r) => Counterexample::from_violation(&r.instance, &r.violation),
+            // A flaky reproduction still deserves a corpus entry at full size.
+            None => Counterexample::from_violation(&inst, &first),
+        };
+        if let Some(dir) = &cfg.corpus_dir {
+            if let Ok(path) = ce.save(dir) {
+                out.saved.push(path);
+            }
+        }
+        out.counterexamples.push(ce);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_instances_are_seed_deterministic() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..20 {
+            let x = random_instance(&mut a, 30, 6);
+            let y = random_instance(&mut b, 30, 6);
+            assert_eq!(x.graph.num_tasks(), y.graph.num_tasks());
+            assert_eq!(x.graph.num_edges(), y.graph.num_edges());
+            assert_eq!(x.machine, y.machine);
+            assert_eq!(x.graph.total_comp(), y.graph.total_comp());
+        }
+    }
+
+    #[test]
+    fn random_instances_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let inst = random_instance(&mut rng, 25, 5);
+            assert!(inst.graph.num_tasks() >= 1);
+            assert!(inst.machine.num_procs() >= 1);
+            assert!(inst.machine.num_procs() <= 5);
+        }
+    }
+
+    #[test]
+    fn small_fuzz_run_is_clean() {
+        let outcome = fuzz(&FuzzConfig {
+            seed: 7,
+            cases: 8,
+            max_tasks: 16,
+            max_procs: 4,
+            corpus_dir: None,
+        });
+        assert_eq!(outcome.cases, 8);
+        assert!(
+            outcome.violations.is_empty(),
+            "unexpected violations: {:?}",
+            outcome.violations
+        );
+    }
+}

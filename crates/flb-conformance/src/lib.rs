@@ -1,0 +1,193 @@
+//! Conformance harness: differential and metamorphic testing for every
+//! scheduler in the workspace, with a counterexample shrinker.
+//!
+//! The repository's central claim is the paper's Theorem 3: FLB's two-pair
+//! comparison always selects the globally earliest-starting ready
+//! task–processor pair, matching ETF's exhaustive scan. This crate turns
+//! that claim — and everything around it — into mechanical, seed-replayable
+//! checks that survive aggressive refactoring:
+//!
+//! * [`registry`] — the ten schedulers under test, each tagged with how
+//!   faithfully the discrete-event simulator must replay its output;
+//! * [`differential`] — oracles comparing two independent computations of
+//!   the same quantity: schedule validity ([`flb_sched::validate`]),
+//!   step-level FLB vs the brute-force [`flb_core::oracle::min_est`] scan,
+//!   simulated vs statically predicted makespan, and a generic greedy
+//!   min-EST harness for externally supplied (possibly broken) schedulers;
+//! * [`metamorphic`] — instance transformations whose effect on the output
+//!   is known exactly: task relabeling, uniform cost scaling,
+//!   transitive-edge insertion/reduction, and series/parallel/replicate
+//!   composition algebra;
+//! * [`shrink`] — a delta-debugging reducer taking any failing
+//!   [`Instance`] to a (locally) minimal counterexample by dropping tasks
+//!   and edges, shrinking weights, and simplifying the machine;
+//! * [`corpus`] — a replayable `.flb` file format for counterexamples and
+//!   a regression corpus replayed in CI;
+//! * [`fuzz`] — the seeded driver behind the `flb fuzz` CLI subcommand.
+//!
+//! # Example
+//!
+//! ```
+//! use flb_conformance::{fuzz, Instance};
+//! use flb_graph::paper::fig1;
+//! use flb_sched::Machine;
+//!
+//! let inst = Instance::new(fig1(), Machine::new(2));
+//! assert!(flb_conformance::run_suite(&inst).is_empty());
+//!
+//! let outcome = fuzz::fuzz(&fuzz::FuzzConfig {
+//!     cases: 5,
+//!     ..Default::default()
+//! });
+//! assert!(outcome.violations.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod differential;
+pub mod fuzz;
+pub mod metamorphic;
+pub mod registry;
+pub mod shrink;
+
+use flb_graph::TaskGraph;
+use flb_sched::Machine;
+use std::fmt;
+
+/// One problem instance: a weighted task graph plus a machine.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    /// The task graph to schedule.
+    pub graph: TaskGraph,
+    /// The machine to schedule it on.
+    pub machine: Machine,
+}
+
+impl Instance {
+    /// Bundles a graph and machine.
+    #[must_use]
+    pub fn new(graph: TaskGraph, machine: Machine) -> Self {
+        Instance { graph, machine }
+    }
+
+    /// One-line size summary (`V=8 E=10 P=2`).
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "V={} E={} P={}{}",
+            self.graph.num_tasks(),
+            self.graph.num_edges(),
+            self.machine.num_procs(),
+            if self.machine.is_homogeneous() {
+                String::new()
+            } else {
+                " related".to_owned()
+            }
+        )
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.graph.name(), self.summary())
+    }
+}
+
+/// A failed check: which oracle tripped, for which scheduler, and why.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Check identifier (one of [`CHECKS`]).
+    pub check: String,
+    /// Scheduler name, or `"-"` for scheduler-independent checks.
+    pub scheduler: String,
+    /// Human-readable description of the disagreement.
+    pub detail: String,
+}
+
+impl Violation {
+    /// Builds a violation record.
+    #[must_use]
+    pub fn new(
+        check: impl Into<String>,
+        scheduler: impl Into<String>,
+        detail: impl Into<String>,
+    ) -> Self {
+        Violation {
+            check: check.into(),
+            scheduler: scheduler.into(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.check, self.scheduler, self.detail)
+    }
+}
+
+/// The standard check identifiers, in the order [`run_suite`] applies them.
+pub const CHECKS: [&str; 8] = [
+    "validity",
+    "theorem3",
+    "greedy-oracle",
+    "sim-replay",
+    "bounds",
+    "scaling",
+    "relabel",
+    "transitive",
+];
+
+/// Checks that additionally need a composition pass (run by [`run_suite`]
+/// after the eight standard ones).
+pub const COMPOSITION_CHECK: &str = "composition";
+
+/// Runs one named check (an element of [`CHECKS`] or
+/// [`COMPOSITION_CHECK`]) on `inst`, returning every violation it finds.
+///
+/// A derivation seed makes the randomised metamorphic transformations
+/// (relabeling permutation, inserted transitive edges) deterministic per
+/// instance; [`run_suite`] uses a fixed one, the fuzzer threads its own.
+#[must_use]
+pub fn run_check(inst: &Instance, check: &str, derive_seed: u64) -> Vec<Violation> {
+    match check {
+        "validity" => differential::check_validity(inst),
+        "theorem3" => differential::check_theorem3(inst),
+        "greedy-oracle" => differential::check_greedy_oracle_self(inst),
+        "sim-replay" => differential::check_sim_replay(inst),
+        "bounds" => differential::check_bounds(inst),
+        "scaling" => metamorphic::check_scaling(inst, 1 + (derive_seed % 7)),
+        "relabel" => metamorphic::check_relabel(inst, derive_seed),
+        "transitive" => metamorphic::check_transitive(inst, derive_seed),
+        "composition" => metamorphic::check_composition(inst),
+        other => vec![Violation::new(
+            "harness",
+            "-",
+            format!("unknown check {other:?}"),
+        )],
+    }
+}
+
+/// Runs the full conformance suite (all [`CHECKS`] plus the composition
+/// pass on small instances) against every registered scheduler.
+#[must_use]
+pub fn run_suite(inst: &Instance) -> Vec<Violation> {
+    run_suite_seeded(inst, 0xF1B)
+}
+
+/// [`run_suite`] with an explicit derivation seed for the randomised
+/// metamorphic transformations.
+#[must_use]
+pub fn run_suite_seeded(inst: &Instance, derive_seed: u64) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for check in CHECKS {
+        out.extend(run_check(inst, check, derive_seed));
+    }
+    // Composition doubles the instance; keep the suite fast on big graphs.
+    if inst.graph.num_tasks() <= 64 {
+        out.extend(run_check(inst, COMPOSITION_CHECK, derive_seed));
+    }
+    out
+}

@@ -1,0 +1,52 @@
+//! Replays the committed regression corpus (`tests/corpus/` at the
+//! repository root): every `.flb` counterexample must run the full
+//! conformance suite clean. A violation here means a previously fixed (or
+//! test-only) bug has crept into a shipped scheduler.
+
+use flb_conformance::corpus;
+use std::path::Path;
+
+fn corpus_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
+}
+
+#[test]
+fn committed_corpus_exists_and_replays_clean() {
+    let dir = corpus_dir();
+    let replayed = corpus::replay_dir(&dir).expect("corpus directory is readable");
+    assert!(
+        !replayed.is_empty(),
+        "no .flb files under {} — the regression corpus is gone",
+        dir.display()
+    );
+    for (path, violations) in &replayed {
+        assert!(
+            violations.is_empty(),
+            "{} regressed:\n{}",
+            path.display(),
+            violations
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+#[test]
+fn corpus_files_carry_provenance_headers() {
+    for (path, _) in corpus::replay_dir(&corpus_dir()).unwrap() {
+        let ce = corpus::Counterexample::load(&path).unwrap();
+        assert_ne!(
+            ce.check,
+            "?",
+            "{}: missing `# check:` header",
+            path.display()
+        );
+        assert!(
+            !ce.detail.is_empty(),
+            "{}: missing `# detail:` header",
+            path.display()
+        );
+    }
+}

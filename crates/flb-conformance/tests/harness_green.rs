@@ -1,0 +1,77 @@
+//! The conformance suite is green on the paper's example and on seeded
+//! random instances — the standing guarantee every future refactor is
+//! measured against. Plus property-style sweeps of the individual checks.
+
+use flb_conformance::fuzz::{fuzz, random_instance, FuzzConfig};
+use flb_conformance::{run_suite, run_suite_seeded, Instance, CHECKS};
+use flb_graph::gen;
+use flb_graph::paper::fig1;
+use flb_sched::Machine;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn fig1_is_fully_conformant_on_paper_and_related_machines() {
+    for machine in [
+        Machine::new(2),
+        Machine::new(4),
+        Machine::related(vec![1, 2, 3]),
+    ] {
+        let inst = Instance::new(fig1(), machine);
+        let violations = run_suite(&inst);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+}
+
+#[test]
+fn structured_families_are_conformant() {
+    for graph in [
+        gen::lu(4),
+        gen::laplace(4),
+        gen::stencil(3, 3),
+        gen::fft(3),
+        gen::cholesky(3),
+        gen::chain(6),
+        gen::fork_join(4, 2),
+        gen::independent(5),
+    ] {
+        let inst = Instance::new(graph, Machine::new(3));
+        let violations = run_suite(&inst);
+        assert!(violations.is_empty(), "{}: {violations:?}", inst);
+    }
+}
+
+#[test]
+fn seeded_random_instances_pass_every_check() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for case in 0..25 {
+        let inst = random_instance(&mut rng, 24, 5);
+        let violations = run_suite_seeded(&inst, case);
+        assert!(violations.is_empty(), "case {case} {inst}: {violations:?}");
+    }
+}
+
+#[test]
+fn fuzz_smoke_with_the_acceptance_seed() {
+    // A bounded slice of the acceptance criterion (`flb fuzz --seed 42
+    // --cases 500`), kept small enough for the regular test suite.
+    let outcome = fuzz(&FuzzConfig {
+        seed: 42,
+        cases: 30,
+        max_tasks: 32,
+        max_procs: 6,
+        corpus_dir: None,
+    });
+    assert_eq!(outcome.cases, 30);
+    assert!(outcome.violations.is_empty(), "{:#?}", outcome.violations);
+    assert!(outcome.counterexamples.is_empty());
+}
+
+#[test]
+fn check_list_is_complete_and_unknown_checks_are_reported() {
+    assert_eq!(CHECKS.len(), 8);
+    let inst = Instance::new(fig1(), Machine::new(2));
+    let v = flb_conformance::run_check(&inst, "no-such-check", 0);
+    assert_eq!(v.len(), 1);
+    assert_eq!(v[0].check, "harness");
+}

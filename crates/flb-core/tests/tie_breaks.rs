@@ -1,0 +1,134 @@
+//! Pins the paper's tie-break rules, which the rest of the suite only
+//! implies:
+//!
+//! 1. When the EP pair and the non-EP pair achieve the *same* EST, the
+//!    non-EP pair wins (its communication is already overlapped with
+//!    computation, so keeping the EP slot free can only help later tasks).
+//! 2. Within each ready list, tasks with equal time keys are ordered by
+//!    *descending* static bottom level — "the task with the longest path to
+//!    any exit tasks" goes first — with ascending task id as the final
+//!    tie-break. `TieBreak::TaskId` (ablation A2) collapses rule 2 to pure
+//!    id order.
+
+use flb_core::{FlbRun, TieBreak};
+use flb_graph::{TaskGraph, TaskGraphBuilder, TaskId};
+use flb_sched::validate::validate;
+use flb_sched::Machine;
+
+/// One processor; `r` (comp 2) with child `c` (comp 1, comm 1), and an
+/// independent entry `x` (comp 1). After `r` runs over `[0, 2]`:
+///
+/// * `c` is EP-type on p0 (its input is local there): `EMT = 2 < LMT = 3`,
+///   so the EP pair is `(c, p0)` with `EST = max(2, PRT=2) = 2`.
+/// * `x` is non-EP with `LMT = 0`, so the non-EP pair is `(x, p0)` with
+///   `EST = max(0, PRT=2) = 2`.
+///
+/// Equal ESTs — the paper's rule selects the non-EP pair.
+fn ep_vs_non_ep_tie_graph() -> (TaskGraph, TaskId, TaskId, TaskId) {
+    let mut b = TaskGraphBuilder::named("ep-vs-non-ep-tie");
+    let r = b.add_task(2);
+    let x = b.add_task(1);
+    let c = b.add_task(1);
+    b.add_edge(r, c, 1).unwrap();
+    (b.build().unwrap(), r, x, c)
+}
+
+#[test]
+fn non_ep_pair_preferred_on_equal_est() {
+    let (g, r, x, c) = ep_vs_non_ep_tie_graph();
+    let m = Machine::new(1);
+    let mut run = FlbRun::new(&g, &m, TieBreak::BottomLevel);
+
+    // Step 1: both entry tasks are non-EP; r has the larger bottom level.
+    let s1 = run.step().unwrap();
+    assert_eq!((s1.task, s1.start, s1.from_ep_list), (r, 0, false));
+
+    // The tie is now set up exactly as advertised.
+    let p0 = flb_sched::ProcId(0);
+    assert_eq!(run.ep_tasks_of(p0), vec![c]);
+    assert_eq!(run.non_ep_tasks(), vec![x]);
+    assert_eq!(run.emt_on_ep_of(c), 2);
+    assert_eq!(run.lmt_of(c), 3);
+    assert_eq!(run.lmt_of(x), 0);
+
+    // Step 2: EST(c, p0) == EST(x, p0) == 2 — the non-EP pair must win.
+    let s2 = run.step().unwrap();
+    assert_eq!(
+        (s2.task, s2.start, s2.from_ep_list),
+        (x, 2, false),
+        "equal-EST tie must go to the non-EP pair"
+    );
+
+    // Step 3: c is the only ready task, selected from the EP list.
+    let s3 = run.step().unwrap();
+    assert_eq!((s3.task, s3.start, s3.from_ep_list), (c, 3, true));
+    assert!(run.step().is_none());
+
+    let stats = run.stats();
+    assert_eq!(stats.ep_selections, 1);
+    assert_eq!(stats.non_ep_selections, 2);
+    let sched = run.finish();
+    assert_eq!(validate(&g, &sched), Ok(()));
+    assert_eq!(sched.makespan(), 4);
+}
+
+/// Two entry tasks with equal `LMT = 0`: `x` (id 0, bottom level 1) and
+/// `r` (id 1, bottom level 2+1+1 = 4 through its child). The paper's rule
+/// must pick `r` first despite its larger id; the ablation picks `x`.
+#[test]
+fn static_bottom_level_orders_the_non_ep_list() {
+    let mut b = TaskGraphBuilder::named("non-ep-bl-order");
+    let x = b.add_task(1);
+    let r = b.add_task(2);
+    let c = b.add_task(1);
+    b.add_edge(r, c, 1).unwrap();
+    let g = b.build().unwrap();
+    let m = Machine::new(1);
+
+    let mut paper = FlbRun::new(&g, &m, TieBreak::BottomLevel);
+    assert_eq!(paper.bottom_level_of(r), 4);
+    assert_eq!(paper.bottom_level_of(x), 1);
+    // List order is ascending by (LMT, reversed bottom level, id).
+    assert_eq!(paper.non_ep_tasks(), vec![r, x]);
+    assert_eq!(paper.step().unwrap().task, r, "longest path to exit first");
+
+    let mut ablation = FlbRun::new(&g, &m, TieBreak::TaskId);
+    assert_eq!(ablation.non_ep_tasks(), vec![x, r]);
+    assert_eq!(
+        ablation.step().unwrap().task,
+        x,
+        "FIFO ablation is id order"
+    );
+}
+
+/// Same pin for the EP lists: after parent `a` runs, children `c1` (id 1,
+/// bottom level 1) and `c2` (id 2, bottom level 1+1+5 = 7 through a
+/// grandchild) are both EP-type on p0 with equal `EMT = 2`. The paper's
+/// order puts `c2` first; the id ablation puts `c1` first.
+#[test]
+fn static_bottom_level_orders_the_ep_list() {
+    let mut b = TaskGraphBuilder::named("ep-bl-order");
+    let a = b.add_task(2);
+    let c1 = b.add_task(1);
+    let c2 = b.add_task(1);
+    let g2 = b.add_task(5);
+    b.add_edge(a, c1, 1).unwrap();
+    b.add_edge(a, c2, 1).unwrap();
+    b.add_edge(c2, g2, 1).unwrap();
+    let g = b.build().unwrap();
+    let m = Machine::new(1);
+    let p0 = flb_sched::ProcId(0);
+
+    let mut paper = FlbRun::new(&g, &m, TieBreak::BottomLevel);
+    assert_eq!(paper.step().unwrap().task, a);
+    assert_eq!(paper.emt_on_ep_of(c1), 2);
+    assert_eq!(paper.emt_on_ep_of(c2), 2);
+    assert_eq!(paper.ep_tasks_of(p0), vec![c2, c1]);
+    let s = paper.step().unwrap();
+    assert_eq!((s.task, s.from_ep_list), (c2, true));
+
+    let mut ablation = FlbRun::new(&g, &m, TieBreak::TaskId);
+    assert_eq!(ablation.step().unwrap().task, a);
+    assert_eq!(ablation.ep_tasks_of(p0), vec![c1, c2]);
+    assert_eq!(ablation.step().unwrap().task, c1);
+}

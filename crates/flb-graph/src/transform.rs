@@ -12,6 +12,14 @@
 //!   in-degree 1 runs) into single tasks, summing computation and dropping
 //!   the internal messages: classic granularity coarsening. Returns the
 //!   mapping from old to new task ids.
+//! * [`permute`] — relabels tasks through a bijection. Task ids are an
+//!   artefact of graph construction order, so every analysis quantity
+//!   (width, critical path, totals) must be invariant under relabeling;
+//!   the conformance harness uses this as a metamorphic relation.
+//! * [`scale_costs`] — multiplies every computation and communication cost
+//!   by a constant. All schedulers in this workspace compare integer
+//!   quantities that are linear in the costs, so scaling by `k` must scale
+//!   every schedule exactly by `k` — another metamorphic relation.
 
 use crate::{Cost, TaskGraph, TaskGraphBuilder, TaskId};
 
@@ -136,6 +144,78 @@ pub fn coarsen_chains(g: &TaskGraph) -> Coarsening {
     }
 }
 
+/// Relabels tasks through the bijection `new_id_of`: old task `t` becomes
+/// task `new_id_of[t.0]` in the result, keeping its computation cost, and
+/// every edge `(u, v, c)` becomes `(new_id_of[u], new_id_of[v], c)`.
+///
+/// The result is the same weighted partial order under different names, so
+/// width, critical path, depth and cost totals are all preserved exactly.
+///
+/// # Panics
+///
+/// Panics when `new_id_of` is not a permutation of `0..g.num_tasks()`.
+///
+/// ```
+/// use flb_graph::{transform::permute, TaskGraphBuilder, TaskId};
+///
+/// let mut b = TaskGraphBuilder::new();
+/// let (x, y) = (b.add_task(3), b.add_task(5));
+/// b.add_edge(x, y, 7).unwrap();
+/// let g = b.build().unwrap();
+/// let p = permute(&g, &[TaskId(1), TaskId(0)]); // swap the two tasks
+/// assert_eq!(p.comp(TaskId(1)), 3);
+/// assert_eq!(p.edge_comm(TaskId(1), TaskId(0)), Some(7));
+/// ```
+#[must_use]
+pub fn permute(g: &TaskGraph, new_id_of: &[TaskId]) -> TaskGraph {
+    let v = g.num_tasks();
+    assert_eq!(new_id_of.len(), v, "permutation length mismatch");
+    let mut seen = vec![false; v];
+    for &n in new_id_of {
+        assert!(n.0 < v && !seen[n.0], "new_id_of is not a permutation");
+        seen[n.0] = true;
+    }
+    // comp[new] = comp of the old task mapped there.
+    let mut comp = vec![0; v];
+    for t in g.tasks() {
+        comp[new_id_of[t.0].0] = g.comp(t);
+    }
+    let mut b = TaskGraphBuilder::named(format!("{}-perm", g.name()));
+    b.reserve(v, g.num_edges());
+    for c in comp {
+        b.add_task(c);
+    }
+    for t in g.tasks() {
+        for &(s, c) in g.succs(t) {
+            b.add_edge(new_id_of[t.0], new_id_of[s.0], c)
+                .expect("relabeled edge of a valid graph");
+        }
+    }
+    b.build().expect("relabeling preserves acyclicity")
+}
+
+/// Multiplies every computation and communication cost by `k ≥ 1`.
+///
+/// # Panics
+///
+/// Panics when `k == 0` (a zero-cost graph is not a scaled instance).
+#[must_use]
+pub fn scale_costs(g: &TaskGraph, k: Cost) -> TaskGraph {
+    assert!(k >= 1, "scale factor must be at least 1");
+    let mut b = TaskGraphBuilder::named(format!("{}-x{k}", g.name()));
+    b.reserve(g.num_tasks(), g.num_edges());
+    for t in g.tasks() {
+        b.add_task(g.comp(t) * k);
+    }
+    for t in g.tasks() {
+        for &(s, c) in g.succs(t) {
+            b.add_edge(t, s, c * k)
+                .expect("scaled edge of a valid graph");
+        }
+    }
+    b.build().expect("scaling preserves acyclicity")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,6 +294,64 @@ mod tests {
         // Total computation conserved; internal message (cost 7) dropped.
         assert_eq!(c.graph.total_comp(), g.total_comp());
         assert_eq!(c.graph.total_comm(), g.total_comm() - 7);
+    }
+
+    #[test]
+    fn permute_reverse_relabels_fig1() {
+        let g = fig1();
+        let v = g.num_tasks();
+        let rev: Vec<TaskId> = (0..v).map(|i| TaskId(v - 1 - i)).collect();
+        let p = permute(&g, &rev);
+        assert_eq!(p.num_tasks(), v);
+        assert_eq!(p.num_edges(), g.num_edges());
+        for t in g.tasks() {
+            assert_eq!(p.comp(rev[t.0]), g.comp(t));
+            for &(s, c) in g.succs(t) {
+                assert_eq!(p.edge_comm(rev[t.0], rev[s.0]), Some(c));
+            }
+        }
+        assert_eq!(max_antichain(&p), max_antichain(&g));
+        assert_eq!(critical_path(&p), critical_path(&g));
+        assert_eq!(p.total_comp(), g.total_comp());
+        assert_eq!(p.total_comm(), g.total_comm());
+        // Applying the inverse permutation restores the original labels.
+        let mut inv = vec![TaskId(0); v];
+        for (old, &new) in rev.iter().enumerate() {
+            inv[new.0] = TaskId(old);
+        }
+        let back = permute(&p, &inv);
+        for t in g.tasks() {
+            assert_eq!(back.comp(t), g.comp(t));
+            assert_eq!(back.succs(t), g.succs(t));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn permute_rejects_non_bijection() {
+        let g = gen::chain(3);
+        let _ = permute(&g, &[TaskId(0), TaskId(0), TaskId(1)]);
+    }
+
+    #[test]
+    fn scale_costs_multiplies_everything() {
+        let g = fig1();
+        let s = scale_costs(&g, 7);
+        for t in g.tasks() {
+            assert_eq!(s.comp(t), 7 * g.comp(t));
+            for &(d, c) in g.succs(t) {
+                assert_eq!(s.edge_comm(t, d), Some(7 * c));
+            }
+        }
+        assert_eq!(s.total_comp(), 7 * g.total_comp());
+        assert_eq!(critical_path(&s), 7 * critical_path(&g));
+        assert_eq!(max_antichain(&s), max_antichain(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn scale_costs_rejects_zero() {
+        let _ = scale_costs(&gen::chain(2), 0);
     }
 
     #[test]

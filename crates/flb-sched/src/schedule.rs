@@ -371,10 +371,16 @@ impl<'g> ScheduleBuilder<'g> {
             self.emt(t, p)
         );
         let finish = start + self.machine.exec_time(self.graph.comp(t), p);
-        // Find insertion point keeping proc_tasks sorted by start.
+        // Find the insertion point keeping proc_tasks sorted by
+        // (start, finish, id) — the same order validation uses, so a
+        // zero-duration task sharing its start with a longer one lands
+        // before it instead of tripping the overlap asserts below.
         let placed = &self.placed;
         let row = &self.proc_tasks[p.0];
-        let idx = row.partition_point(|&o| placed[o.0].expect("placed").start < start);
+        let idx = row.partition_point(|&o| {
+            let pl = placed[o.0].expect("placed");
+            (pl.start, pl.finish, o) < (start, finish, t)
+        });
         if idx > 0 {
             let before = placed[row[idx - 1].0].expect("placed");
             assert!(
@@ -444,6 +450,29 @@ mod tests {
     use super::*;
     use flb_graph::paper::fig1;
     use flb_graph::TaskGraphBuilder;
+
+    #[test]
+    fn place_insert_tolerates_zero_duration_neighbours() {
+        // Found by the conformance fuzzer: a zero-computation task placed
+        // at time 0 made est_insertion propose slot 0 for the next task,
+        // which the old start-only insertion order then rejected as an
+        // overlap. Zero-width intervals at a boundary are not overlaps
+        // (validate agrees), so this must succeed.
+        let mut gb = TaskGraphBuilder::new();
+        let a = gb.add_task(0);
+        let b = gb.add_task(1);
+        let g = gb.build().unwrap();
+        let m = Machine::new(1);
+        let mut sb = ScheduleBuilder::new(&g, &m);
+        sb.place_insert(a, ProcId(0), 0);
+        assert_eq!(sb.est_insertion(b, ProcId(0)), 0);
+        sb.place_insert(b, ProcId(0), 0);
+        let s = sb.build();
+        assert_eq!(crate::validate::validate(&g, &s), Ok(()));
+        assert_eq!(s.makespan(), 1);
+        // The zero-width task sorts before the unit-width one.
+        assert_eq!(s.tasks_on(ProcId(0)), &[a, b]);
+    }
 
     #[test]
     fn builder_places_and_tracks_prt() {

@@ -1,14 +1,15 @@
-//! End-to-end agreement between the static schedulers and the simulator.
+//! End-to-end agreement between the static schedulers and the simulator,
+//! over *every* scheduler in the conformance registry.
 //!
-//! For append-style list schedules (FLB, ETF, MCP without insertion, FCP,
-//! DSC-LLB) the simulator must reproduce the static start/finish times
-//! *exactly*; for insertion schedules it may only be equal or earlier.
+//! For append-style list schedules (`Replay::Exact`: FLB, ETF, MCP without
+//! insertion, FCP, DSC-LLB, DLS, HLFET, …) the simulator must reproduce the
+//! static start/finish times *exactly*; for insertion schedules
+//! (`Replay::NoLater`: MCP-ins, HEFT) it may only be equal or earlier.
 
-use flb_baselines::{DscLlb, Etf, Fcp, Mcp, McpTieBreak};
-use flb_core::Flb;
+use flb_conformance::registry::{self, Replay};
 use flb_graph::costs::CostModel;
 use flb_graph::{gen, TaskGraph};
-use flb_sched::{Machine, Scheduler};
+use flb_sched::Machine;
 use flb_sim::simulate;
 use proptest::prelude::*;
 
@@ -32,59 +33,68 @@ fn arb_weighted_graph() -> impl Strategy<Value = TaskGraph> {
         .prop_map(|(t, ccr, seed)| CostModel::paper_default(ccr).apply(&t, seed))
 }
 
-fn append_schedulers() -> Vec<Box<dyn Scheduler>> {
-    vec![
-        Box::new(Flb::default()),
-        Box::new(Etf),
-        Box::new(Mcp::default()),
-        Box::new(Fcp),
-        Box::new(DscLlb::default()),
-    ]
-}
-
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
+    /// Every registry scheduler's output replays in the simulator under its
+    /// declared replay class, and the message census always balances.
     #[test]
-    fn append_schedules_replay_exactly(
+    fn all_registry_schedulers_replay(
         g in arb_weighted_graph(),
         procs in 1usize..7,
     ) {
         let m = Machine::new(procs);
-        for s in append_schedulers() {
-            let sched = s.schedule(&g, &m);
+        for entry in registry::all() {
+            let sched = entry.scheduler.schedule(&g, &m);
             let sim = simulate(&g, &sched).expect("feasible schedule");
             for t in g.tasks() {
-                prop_assert_eq!(
-                    sim.start[t.0], sched.start(t),
-                    "{}: simulated start of {} diverged", s.name(), t
-                );
-                prop_assert_eq!(sim.finish[t.0], sched.finish(t));
+                match entry.replay {
+                    Replay::Exact => {
+                        prop_assert_eq!(
+                            sim.start[t.0], sched.start(t),
+                            "{}: simulated start of {} diverged", entry.name, t
+                        );
+                        prop_assert_eq!(sim.finish[t.0], sched.finish(t));
+                    }
+                    Replay::NoLater => {
+                        prop_assert!(
+                            sim.start[t.0] <= sched.start(t),
+                            "{}: simulator started {} later than the static \
+                             schedule", entry.name, t
+                        );
+                    }
+                }
             }
-            prop_assert_eq!(sim.makespan, sched.makespan());
+            match entry.replay {
+                Replay::Exact => prop_assert_eq!(sim.makespan, sched.makespan()),
+                Replay::NoLater => prop_assert!(sim.makespan <= sched.makespan()),
+            }
             // Message census: every edge is either a message or local.
             prop_assert_eq!(sim.messages + sim.local_edges, g.num_edges());
         }
     }
 
+    /// Same agreement on heterogeneous (related) machines: per-processor
+    /// slowdowns stretch computation but the replay classes still hold.
     #[test]
-    fn insertion_schedules_replay_no_later(
+    fn registry_schedulers_replay_on_related_machines(
         g in arb_weighted_graph(),
-        procs in 1usize..7,
+        slow in prop::collection::vec(1u64..4, 1..5),
     ) {
-        let m = Machine::new(procs);
-        let sched = Mcp {
-            tie_break: McpTieBreak::TaskId,
-            insertion: true,
+        let m = Machine::related(slow.iter().map(|&s| s as flb_graph::Time).collect());
+        for entry in registry::all() {
+            let sched = entry.scheduler.schedule(&g, &m);
+            let sim = simulate(&g, &sched).expect("feasible schedule");
+            for t in g.tasks() {
+                match entry.replay {
+                    Replay::Exact => prop_assert_eq!(
+                        sim.start[t.0], sched.start(t),
+                        "{}: simulated start of {} diverged", entry.name, t
+                    ),
+                    Replay::NoLater => prop_assert!(sim.start[t.0] <= sched.start(t)),
+                }
+            }
+            prop_assert_eq!(sim.messages + sim.local_edges, g.num_edges());
         }
-        .schedule(&g, &m);
-        let sim = simulate(&g, &sched).expect("feasible schedule");
-        for t in g.tasks() {
-            prop_assert!(
-                sim.start[t.0] <= sched.start(t),
-                "simulator started {} later than the static schedule", t
-            );
-        }
-        prop_assert!(sim.makespan <= sched.makespan());
     }
 }

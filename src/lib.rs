@@ -11,7 +11,9 @@
 //! * the comparison algorithms ETF, MCP, FCP and DSC-LLB ([`baselines`]),
 //! * a discrete-event execution simulator ([`sim`]),
 //! * the paper's workload suites ([`workloads`]),
-//! * a scheduler-as-a-service daemon with fingerprint caching ([`service`]).
+//! * a scheduler-as-a-service daemon with fingerprint caching ([`service`]),
+//! * a differential/metamorphic conformance harness with a counterexample
+//!   shrinker and replayable corpus ([`conformance`]).
 //!
 //! The most common types are re-exported at the crate root and in
 //! [`prelude`].
@@ -36,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub use flb_baselines as baselines;
+pub use flb_conformance as conformance;
 pub use flb_core as core;
 pub use flb_ds as ds;
 pub use flb_graph as graph;
@@ -47,6 +50,7 @@ pub use flb_workloads as workloads;
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use flb_baselines::{Dls, DscLlb, Etf, Fcp, Heft, Hlfet, Mcp};
+    pub use flb_conformance::{run_suite, Instance, Violation};
     pub use flb_core::{schedule_request, AlgorithmId, ScheduleRequest};
     pub use flb_core::{Flb, TieBreak};
     pub use flb_graph::costs::{CostModel, Dist};
