@@ -23,9 +23,16 @@
 //!   suite, shrinking any failure to a minimal replayable `.flb`
 //!   counterexample; `--replay` re-checks saved counterexamples;
 //! * `serve` — run the scheduling daemon (`flb-service`) on a TCP or
-//!   Unix-domain endpoint until a client sends `shutdown`;
+//!   Unix-domain endpoint until a client sends `shutdown`; deadline-aware
+//!   socket I/O, a self-healing worker pool, and optional crash-safe
+//!   cache snapshots (`--cache-file`) for warm restarts;
 //! * `submit` — send a schedule request (or `--ping`/`--stats`/
-//!   `--shutdown`) to a running daemon.
+//!   `--shutdown`) to a running daemon;
+//! * `chaos` — run the seeded chaos harness (`flb_service::chaos`)
+//!   against a running daemon: torn frames, corruption, disconnects,
+//!   floods, deadline storms and (with `--inject-panics`, against a
+//!   `--chaos-markers` server) scheduler panics and worker kills, while
+//!   verifying the daemon keeps serving well-formed clients.
 //!
 //! The heavy lifting lives in library functions returning `Result<String>`
 //! so the whole surface is unit-testable; `main` only forwards `std::env`
@@ -81,12 +88,24 @@ USAGE:
                 [--corpus DIR] | --replay FILE|DIR
   flb report    --out FILE.html <graph opts> [--procs P | --speeds ...]
   flb serve     [--listen ADDR] [--workers N] [--queue N] [--cache N]
+                [--cache-file FILE] [--snapshot-interval-ms T]
+                [--read-timeout-ms T] [--write-timeout-ms T]
+                [--frame-deadline-ms T] [--idle-timeout-ms T]
+                [--chaos-markers]
   flb submit    [--listen ADDR] <graph opts> [--alg A] [--procs P | --speeds ...]
                 [--deadline-ms T] [--repeat N] [--retries N] [--check]
                 [--save FILE] | --ping | --stats | --shutdown
+  flb chaos     [--listen ADDR] [--seed S] [--scenarios N] [--flood N]
+                [--probe-every N] [--inject-panics] [--expect-workers N]
 
 SERVICE OPTIONS: --listen takes `HOST:PORT` (default 127.0.0.1:7171) or
-  `unix:/path/to.sock` for a Unix-domain socket.
+  `unix:/path/to.sock` for a Unix-domain socket. `serve --cache-file`
+  enables crash-safe warm restarts: the schedule cache is snapshotted on
+  shutdown (and every --snapshot-interval-ms while running) and reloaded
+  on boot; a corrupt snapshot is quarantined to FILE.corrupt, never
+  fatal. Timeout flags take milliseconds; 0 disables that limit.
+  `--chaos-markers` honors the chaos panic-injection graph names and
+  belongs in test rigs only.
 
 MACHINE OPTIONS (schedule/compare): --procs P for the paper's homogeneous
   machine, or --speeds 1,1,2,4 for related processors (integer slowdowns).
@@ -228,6 +247,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "report" => cmd_report(&a),
         "serve" => cmd_serve(&a),
         "submit" => cmd_submit(&a),
+        "chaos" => cmd_chaos(&a),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
@@ -745,6 +765,13 @@ fn cmd_serve(a: &Args<'_>) -> Result<String, CliError> {
         workers: a.parsed("--workers", defaults.workers)?,
         queue_capacity: a.parsed("--queue", defaults.queue_capacity)?,
         cache_capacity: a.parsed("--cache", defaults.cache_capacity)?,
+        read_timeout_ms: a.parsed("--read-timeout-ms", defaults.read_timeout_ms)?,
+        write_timeout_ms: a.parsed("--write-timeout-ms", defaults.write_timeout_ms)?,
+        frame_deadline_ms: a.parsed("--frame-deadline-ms", defaults.frame_deadline_ms)?,
+        idle_timeout_ms: a.parsed("--idle-timeout-ms", defaults.idle_timeout_ms)?,
+        cache_file: a.value("--cache-file").map(std::path::PathBuf::from),
+        snapshot_interval_ms: a.parsed("--snapshot-interval-ms", defaults.snapshot_interval_ms)?,
+        panic_injection: a.flag("--chaos-markers"),
         ..defaults
     };
     let workers = cfg.workers;
@@ -842,6 +869,40 @@ fn cmd_submit(a: &Args<'_>) -> Result<String, CliError> {
         let _ = writeln!(out, "schedule saved to {path}");
     }
     Ok(out)
+}
+
+/// `chaos`: run the seeded chaos harness against a running daemon and
+/// report per-kind scenario counts plus any invariant violations (which
+/// make the command exit non-zero).
+fn cmd_chaos(a: &Args<'_>) -> Result<String, CliError> {
+    let endpoint = load_endpoint(a);
+    let defaults = flb_service::ChaosConfig::default();
+    let cfg = flb_service::ChaosConfig {
+        seed: a.parsed("--seed", defaults.seed)?,
+        scenarios: a.parsed("--scenarios", defaults.scenarios)?,
+        flood_connections: a.parsed("--flood", defaults.flood_connections)?,
+        probe_every: a.parsed("--probe-every", defaults.probe_every)?,
+        inject_panics: a.flag("--inject-panics"),
+        expect_workers: a
+            .value("--expect-workers")
+            .map(str::parse)
+            .transpose()
+            .map_err(|_| err("invalid value for --expect-workers"))?,
+    };
+    if cfg.scenarios == 0 {
+        return Err(err("--scenarios must be at least 1"));
+    }
+    let report = flb_service::chaos::run(&endpoint, &cfg)
+        .map_err(|e| err(format!("chaos run against {endpoint} failed: {e}")))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "endpoint        {endpoint}");
+    let _ = writeln!(out, "seed            {}", cfg.seed);
+    out.push_str(&report.render());
+    if report.passed() {
+        Ok(out)
+    } else {
+        Err(err(out))
+    }
 }
 
 fn cmd_compare(a: &Args<'_>) -> Result<String, CliError> {
@@ -1266,6 +1327,128 @@ mod tests {
         let served = server.join().unwrap().unwrap();
         assert!(served.contains("service stopped"));
         assert!(!sock.exists());
+    }
+
+    #[test]
+    fn chaos_against_a_marker_enabled_daemon() {
+        let sock = std::env::temp_dir().join(format!("flb-cli-chaos-{}.sock", std::process::id()));
+        let listen = format!("unix:{}", sock.display());
+
+        let server = {
+            let listen = listen.clone();
+            std::thread::spawn(move || {
+                run_str(&[
+                    "serve",
+                    "--listen",
+                    &listen,
+                    "--workers",
+                    "2",
+                    "--chaos-markers",
+                ])
+            })
+        };
+        let mut ready = false;
+        for _ in 0..200 {
+            if run_str(&["submit", "--listen", &listen, "--ping"]).is_ok() {
+                ready = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert!(ready, "daemon never became reachable on {listen}");
+
+        let out = run_str(&[
+            "chaos",
+            "--listen",
+            &listen,
+            "--seed",
+            "11",
+            "--scenarios",
+            "60",
+            "--inject-panics",
+            "--expect-workers",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("scenarios       60"), "{out}");
+        assert!(out.contains("failures        0"), "{out}");
+        assert!(out.contains("panics injected"), "{out}");
+
+        // The survivor still serves a correct schedule afterwards.
+        let post = run_str(&[
+            "submit", "--listen", &listen, "--fig1", "--alg", "flb", "--procs", "2", "--check",
+        ])
+        .unwrap();
+        assert!(post.contains("identical to local run"), "{post}");
+
+        run_str(&["submit", "--listen", &listen, "--shutdown"]).unwrap();
+        server.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn serve_with_cache_file_warm_restarts_via_cli() {
+        let dir = std::env::temp_dir().join(format!("flb-cli-warm-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("cache.snap");
+        let sock = dir.join("warm.sock");
+        let listen = format!("unix:{}", sock.display());
+
+        let generation = |expect_cached: bool| {
+            let server = {
+                let listen = listen.clone();
+                let snap = snap.to_str().unwrap().to_owned();
+                std::thread::spawn(move || {
+                    run_str(&[
+                        "serve",
+                        "--listen",
+                        &listen,
+                        "--workers",
+                        "2",
+                        "--cache-file",
+                        &snap,
+                    ])
+                })
+            };
+            let mut ready = false;
+            for _ in 0..200 {
+                if run_str(&["submit", "--listen", &listen, "--ping"]).is_ok() {
+                    ready = true;
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            assert!(ready, "daemon never became reachable on {listen}");
+            let out = run_str(&[
+                "submit", "--listen", &listen, "--fig1", "--alg", "flb", "--procs", "2",
+            ])
+            .unwrap();
+            assert!(
+                out.contains(&format!("cached: {expect_cached}")),
+                "expected cached: {expect_cached} in {out}"
+            );
+            run_str(&["submit", "--listen", &listen, "--shutdown"]).unwrap();
+            server.join().unwrap().unwrap();
+        };
+
+        generation(false); // cold: computes, snapshots on shutdown
+        assert!(snap.exists(), "shutdown must write the snapshot");
+        generation(true); // warm: same request served from the snapshot
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_flag_validation() {
+        assert!(run_str(&["chaos", "--scenarios", "0"]).is_err());
+        assert!(run_str(&["chaos", "--expect-workers", "many"]).is_err());
+        // No daemon listening: a clean error, not a hang.
+        assert!(run_str(&[
+            "chaos",
+            "--listen",
+            "unix:/definitely/missing.sock",
+            "--scenarios",
+            "1"
+        ])
+        .is_err());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 const NIL: usize = usize::MAX;
 
@@ -114,6 +115,8 @@ pub struct ShardedLru<V> {
     /// `shards.len() - 1`; the shard count is a power of two so shard
     /// selection is a mask over the (already well-mixed) fingerprint.
     mask: u64,
+    /// Bumped on every insert; lets a snapshotter skip unchanged caches.
+    version: AtomicU64,
 }
 
 impl<V: Clone> ShardedLru<V> {
@@ -129,6 +132,7 @@ impl<V: Clone> ShardedLru<V> {
                 .map(|_| Mutex::new(Shard::new(per_shard)))
                 .collect(),
             mask: shards as u64 - 1,
+            version: AtomicU64::new(0),
         }
     }
 
@@ -146,6 +150,35 @@ impl<V: Clone> ShardedLru<V> {
     /// entry of its shard when that shard is full.
     pub fn insert(&self, key: u64, value: V) {
         self.shard(key).lock().insert(key, value);
+        self.version.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A monotonic change counter: differs between two reads iff an
+    /// insert happened in between. Used by the snapshot writer to skip
+    /// rewriting an unchanged cache.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Relaxed)
+    }
+
+    /// Every cached entry, least recently used first (per shard, shards
+    /// concatenated): replaying the returned pairs through [`insert`]
+    /// rebuilds an equivalent cache with MRU entries still most recent.
+    ///
+    /// [`insert`]: Self::insert
+    #[must_use]
+    pub fn entries(&self) -> Vec<(u64, V)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let s = shard.lock();
+            // Walk the recency list tail (LRU) -> head (MRU).
+            let mut i = s.tail;
+            while i != NIL {
+                out.push((s.slots[i].key, s.slots[i].value.clone()));
+                i = s.slots[i].prev;
+            }
+        }
+        out
     }
 
     /// Total entries currently cached, across all shards.
@@ -219,6 +252,30 @@ mod tests {
         for k in 0..64 {
             assert_eq!(c.get(k), Some(k * 7), "key {k}");
         }
+    }
+
+    #[test]
+    fn entries_walk_lru_to_mru_and_version_tracks_inserts() {
+        let c: ShardedLru<u32> = ShardedLru::new(4, 1);
+        assert_eq!(c.version(), 0);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(3, 30);
+        assert_eq!(c.get(1), Some(10)); // 1 becomes MRU
+        assert_eq!(c.version(), 3);
+        let entries = c.entries();
+        assert_eq!(entries, vec![(2, 20), (3, 30), (1, 10)]);
+
+        // Replaying entries() into a fresh cache preserves recency: the
+        // old LRU entry is still the first evicted.
+        let r: ShardedLru<u32> = ShardedLru::new(3, 1);
+        for (k, v) in entries {
+            r.insert(k, v);
+        }
+        r.insert(4, 40); // full: must evict key 2, the LRU
+        assert_eq!(r.get(2), None);
+        assert_eq!(r.get(1), Some(10));
+        assert_eq!(r.get(3), Some(30));
     }
 
     #[test]

@@ -1,0 +1,526 @@
+//! A seeded chaos harness for the daemon's transport and worker layers.
+//!
+//! The harness hurls deterministic (per-seed) streams of hostile traffic
+//! at a *running* daemon — torn frames, byte corruption, mid-request
+//! disconnects, connection floods, deadline storms, oversize frames and
+//! (when the server was started with panic injection enabled) scheduler
+//! panics and hard worker kills — while periodically verifying, over the
+//! same endpoint, that a well-formed client is still served correctly.
+//!
+//! Invariants checked (violations land in [`ChaosReport::failures`]):
+//!
+//! * the server keeps answering well-formed probes throughout the run;
+//! * an injected scheduler panic yields a structured `error` response and
+//!   the connection stays usable for the next request;
+//! * after the run the worker pool is back at full strength, the queue
+//!   drains, and the counters are self-consistent
+//!   (`cache_hits + cache_misses == schedule_requests`).
+//!
+//! Every scenario is derived from one [`StdRng`] stream, so a failing
+//! run is reproducible from its seed alone.
+
+use crate::client::Client;
+use crate::proto::{encode_request, read_response, Request, MAGIC, MAX_FRAME};
+use crate::server::{Endpoint, HARD_PANIC_MARKER, PANIC_MARKER};
+use flb_core::{AlgorithmId, ScheduleRequest};
+use flb_graph::{gen, TaskGraph, TaskGraphBuilder};
+use flb_sched::Machine;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of a chaos run.
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// RNG seed; the whole run is deterministic per seed.
+    pub seed: u64,
+    /// Hostile scenarios to run.
+    pub scenarios: u32,
+    /// Connections opened per flood scenario.
+    pub flood_connections: usize,
+    /// Run a well-formed probe every this many scenarios.
+    pub probe_every: u32,
+    /// Include panic-injection scenarios (requires a server started with
+    /// `panic_injection: true`; against a production server leave this
+    /// off — the markers would just be scheduled as ordinary graphs).
+    pub inject_panics: bool,
+    /// Assert the pool is back at this size after the run.
+    pub expect_workers: Option<u64>,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0xF1B,
+            scenarios: 500,
+            flood_connections: 16,
+            probe_every: 25,
+            inject_panics: false,
+            expect_workers: None,
+        }
+    }
+}
+
+/// What a chaos run did and found.
+#[derive(Clone, Debug, Default)]
+pub struct ChaosReport {
+    /// Scenarios executed, by kind.
+    pub torn_frames: u64,
+    /// Frames written in trickled chunks and abandoned mid-frame.
+    pub partial_writes: u64,
+    /// Valid requests whose connection was dropped before the reply.
+    pub disconnects: u64,
+    /// Valid frames with random bytes flipped before sending.
+    pub corruptions: u64,
+    /// Connection-flood scenarios.
+    pub floods: u64,
+    /// Deadline-storm scenarios (batches of 1 ms deadlines).
+    pub deadline_storms: u64,
+    /// Oversize length-prefix frames sent.
+    pub oversize_frames: u64,
+    /// Scheduler panics injected via the soft marker.
+    pub panics_injected: u64,
+    /// Worker threads killed via the hard marker.
+    pub hard_kills: u64,
+    /// Well-formed probes that were served correctly.
+    pub probes_ok: u64,
+    /// Invariant violations; an empty list means the run passed.
+    pub failures: Vec<String>,
+}
+
+impl ChaosReport {
+    /// Whether every invariant held.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Total hostile scenarios executed.
+    #[must_use]
+    pub fn scenarios_run(&self) -> u64 {
+        self.torn_frames
+            + self.partial_writes
+            + self.disconnects
+            + self.corruptions
+            + self.floods
+            + self.deadline_storms
+            + self.oversize_frames
+            + self.panics_injected
+            + self.hard_kills
+    }
+
+    /// Renders the report as an aligned key/value block.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "scenarios       {}", self.scenarios_run());
+        let _ = writeln!(out, "torn frames     {}", self.torn_frames);
+        let _ = writeln!(out, "partial writes  {}", self.partial_writes);
+        let _ = writeln!(out, "disconnects     {}", self.disconnects);
+        let _ = writeln!(out, "corruptions     {}", self.corruptions);
+        let _ = writeln!(out, "floods          {}", self.floods);
+        let _ = writeln!(out, "deadline storms {}", self.deadline_storms);
+        let _ = writeln!(out, "oversize frames {}", self.oversize_frames);
+        let _ = writeln!(out, "panics injected {}", self.panics_injected);
+        let _ = writeln!(out, "hard kills      {}", self.hard_kills);
+        let _ = writeln!(out, "probes ok       {}", self.probes_ok);
+        let _ = writeln!(out, "failures        {}", self.failures.len());
+        for f in &self.failures {
+            let _ = writeln!(out, "  FAIL: {f}");
+        }
+        out
+    }
+}
+
+/// A raw (frame-level) connection for hostile traffic.
+enum Raw {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Raw {
+    fn connect(endpoint: &Endpoint) -> io::Result<Raw> {
+        let raw = match endpoint {
+            Endpoint::Tcp(addr) => {
+                let s = TcpStream::connect(addr)?;
+                s.set_nodelay(true)?;
+                s.set_read_timeout(Some(Duration::from_secs(2)))?;
+                s.set_write_timeout(Some(Duration::from_secs(2)))?;
+                Raw::Tcp(s)
+            }
+            Endpoint::Unix(path) => {
+                let s = UnixStream::connect(path)?;
+                s.set_read_timeout(Some(Duration::from_secs(2)))?;
+                s.set_write_timeout(Some(Duration::from_secs(2)))?;
+                Raw::Unix(s)
+            }
+        };
+        Ok(raw)
+    }
+}
+
+impl Read for Raw {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Raw::Tcp(s) => s.read(buf),
+            Raw::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Raw {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Raw::Tcp(s) => s.write(buf),
+            Raw::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Raw::Tcp(s) => s.flush(),
+            Raw::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A full protocol frame (header + payload) for `req`.
+fn frame_bytes(req: &Request) -> Vec<u8> {
+    let payload = encode_request(req);
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// A chain graph whose comp costs sit far outside anything the normal
+/// chaos traffic generates, so marker fingerprints never collide with a
+/// cached ordinary schedule (the fingerprint ignores the graph *name*,
+/// and a cache hit would bypass the worker — and the injected panic).
+fn marker_graph(name: &str, tasks: usize) -> TaskGraph {
+    let mut b = TaskGraphBuilder::named(name);
+    let mut prev = None;
+    for i in 0..tasks.max(1) {
+        let t = b.add_task(1_000_003 + i as u64);
+        if let Some(p) = prev {
+            b.add_edge(p, t, 3).expect("chain edge");
+        }
+        prev = Some(t);
+    }
+    b.build().expect("marker graph")
+}
+
+/// A small ordinary request with rng-varied shape (so some repeat and
+/// exercise the cache while others miss).
+fn ordinary_request(rng: &mut StdRng, deadline_ms: u64) -> Request {
+    let graph = match rng.random_range(0..3u32) {
+        0 => gen::chain(rng.random_range(2..8usize)),
+        1 => gen::fork_join(rng.random_range(2..5usize), rng.random_range(1..3usize)),
+        _ => gen::independent(rng.random_range(2..6usize)),
+    };
+    let alg = AlgorithmId::ALL[rng.random_range(0..AlgorithmId::ALL.len())];
+    let machine = Machine::new(rng.random_range(1..5usize));
+    Request::Schedule {
+        request: Box::new(ScheduleRequest::new(alg, graph, machine)),
+        deadline_ms,
+    }
+}
+
+fn scenario_torn_frame(rng: &mut StdRng, endpoint: &Endpoint) -> io::Result<()> {
+    let bytes = frame_bytes(&ordinary_request(rng, 0));
+    let cut = rng.random_range(1..bytes.len());
+    let mut conn = Raw::connect(endpoint)?;
+    conn.write_all(&bytes[..cut])?;
+    Ok(()) // dropped mid-frame
+}
+
+fn scenario_partial_write(rng: &mut StdRng, endpoint: &Endpoint) -> io::Result<()> {
+    let bytes = frame_bytes(&ordinary_request(rng, 0));
+    let cut = rng.random_range(1..bytes.len());
+    let mut conn = Raw::connect(endpoint)?;
+    let mut sent = 0;
+    while sent < cut {
+        let chunk = rng.random_range(1..=4usize).min(cut - sent);
+        conn.write_all(&bytes[sent..sent + chunk])?;
+        sent += chunk;
+        if rng.random_bool(0.3) {
+            std::thread::sleep(Duration::from_millis(rng.random_range(0..2u64)));
+        }
+    }
+    Ok(()) // trickled, then abandoned
+}
+
+fn scenario_disconnect(rng: &mut StdRng, endpoint: &Endpoint) -> io::Result<()> {
+    let bytes = frame_bytes(&ordinary_request(rng, 0));
+    let mut conn = Raw::connect(endpoint)?;
+    conn.write_all(&bytes)?;
+    // Hang up without reading the reply: the server's write hits a
+    // closed socket and must shrug, not die.
+    Ok(())
+}
+
+fn scenario_corruption(rng: &mut StdRng, endpoint: &Endpoint) -> io::Result<()> {
+    let mut bytes = frame_bytes(&ordinary_request(rng, 0));
+    for _ in 0..rng.random_range(1..=4u32) {
+        let i = rng.random_range(0..bytes.len());
+        bytes[i] ^= 1 << rng.random_range(0..8u32);
+    }
+    let mut conn = Raw::connect(endpoint)?;
+    conn.write_all(&bytes)?;
+    let _ = read_response(&mut conn); // error response or disconnect; both fine
+    Ok(())
+}
+
+fn scenario_flood(rng: &mut StdRng, endpoint: &Endpoint, connections: usize) -> io::Result<()> {
+    let mut conns = Vec::with_capacity(connections);
+    for _ in 0..connections {
+        conns.push(Raw::connect(endpoint)?);
+    }
+    let ping = frame_bytes(&Request::Ping);
+    for conn in &mut conns {
+        if rng.random_bool(0.5) {
+            conn.write_all(&ping)?;
+            if rng.random_bool(0.5) {
+                let _ = read_response(conn);
+            }
+        }
+    }
+    Ok(()) // all dropped at once
+}
+
+fn scenario_deadline_storm(rng: &mut StdRng, endpoint: &Endpoint) -> io::Result<()> {
+    let mut conn = Raw::connect(endpoint)?;
+    for _ in 0..8 {
+        conn.write_all(&frame_bytes(&ordinary_request(rng, 1)))?;
+    }
+    for _ in 0..8 {
+        let _ = read_response(&mut conn)?; // schedule, expired or busy
+    }
+    Ok(())
+}
+
+fn scenario_oversize(rng: &mut StdRng, endpoint: &Endpoint) -> io::Result<()> {
+    let mut conn = Raw::connect(endpoint)?;
+    let mut header = Vec::new();
+    header.extend_from_slice(&MAGIC.to_le_bytes());
+    header.extend_from_slice(&(MAX_FRAME + rng.random_range(1..=1024u32)).to_le_bytes());
+    conn.write_all(&header)?;
+    let _ = read_response(&mut conn); // must be rejected without allocating
+    Ok(())
+}
+
+/// Injects a soft scheduler panic and asserts the contract: a structured
+/// error response naming the panic, on a connection that stays usable.
+fn scenario_panic(
+    rng: &mut StdRng,
+    endpoint: &Endpoint,
+    failures: &mut Vec<String>,
+) -> io::Result<()> {
+    let mut client = Client::connect(endpoint)?;
+    let graph = marker_graph(PANIC_MARKER, rng.random_range(1..6usize));
+    match client.schedule(AlgorithmId::Flb, graph, Machine::new(2), 0) {
+        Err(e) if e.to_string().contains("panicked") => {}
+        other => failures.push(format!(
+            "injected panic: expected a 'scheduler panicked' error, got {other:?}"
+        )),
+    }
+    // The error must not have poisoned the connection.
+    if let Err(e) = client.ping() {
+        failures.push(format!("connection unusable after injected panic: {e}"));
+    }
+    Ok(())
+}
+
+/// Kills a worker thread via the hard marker; the reply must still arrive
+/// (the worker dies *after* responding) and the supervisor refills the
+/// pool, which the end-of-run worker check verifies.
+fn scenario_hard_kill(
+    rng: &mut StdRng,
+    endpoint: &Endpoint,
+    failures: &mut Vec<String>,
+) -> io::Result<()> {
+    let mut client = Client::connect(endpoint)?;
+    let graph = marker_graph(HARD_PANIC_MARKER, rng.random_range(6..12usize));
+    match client.schedule(AlgorithmId::Flb, graph, Machine::new(2), 0) {
+        Ok(crate::client::Submission::Done(_)) => {}
+        other => failures.push(format!(
+            "hard kill: expected a served schedule before the worker died, got {other:?}"
+        )),
+    }
+    Ok(())
+}
+
+/// A well-formed client doing a full ping + schedule round trip; its
+/// success is the "keeps serving legitimate traffic" invariant.
+fn probe(endpoint: &Endpoint, report: &mut ChaosReport) {
+    let outcome = (|| -> io::Result<()> {
+        let mut client = Client::connect(endpoint)?;
+        client.ping()?;
+        let graph = gen::fork_join(3, 2);
+        match client.schedule_with_retry(AlgorithmId::Flb, &graph, &Machine::new(2), 0, 6)? {
+            crate::client::Submission::Done(reply) => {
+                if reply.schedule.makespan() == 0 {
+                    return Err(io::Error::other("probe schedule has zero makespan"));
+                }
+                Ok(())
+            }
+            other => Err(io::Error::other(format!("probe not served: {other:?}"))),
+        }
+    })();
+    match outcome {
+        Ok(()) => report.probes_ok += 1,
+        Err(e) => report
+            .failures
+            .push(format!("well-formed probe failed: {e}")),
+    }
+}
+
+/// Polls `stats` until the pool is back at `expect` workers and the queue
+/// is empty, or the budget runs out.
+fn await_recovery(endpoint: &Endpoint, expect: Option<u64>, report: &mut ChaosReport) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let stats = match Client::connect(endpoint).and_then(|mut c| c.stats()) {
+            Ok(stats) => stats,
+            Err(e) => {
+                report
+                    .failures
+                    .push(format!("stats probe failed during recovery wait: {e}"));
+                return;
+            }
+        };
+        let healed = expect.is_none_or(|want| stats.workers == want);
+        if healed && stats.queue_depth == 0 {
+            if stats.cache_hits + stats.cache_misses != stats.schedule_requests {
+                report.failures.push(format!(
+                    "counter drift: hits {} + misses {} != schedule requests {}",
+                    stats.cache_hits, stats.cache_misses, stats.schedule_requests
+                ));
+            }
+            return;
+        }
+        if Instant::now() >= deadline {
+            report.failures.push(format!(
+                "pool did not recover: workers {} (want {expect:?}), queue depth {}",
+                stats.workers, stats.queue_depth
+            ));
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Runs the chaos campaign against a live daemon. `Err` means the daemon
+/// was unreachable outright; invariant violations are collected in the
+/// returned report instead.
+pub fn run(endpoint: &Endpoint, cfg: &ChaosConfig) -> io::Result<ChaosReport> {
+    // Fail fast (and loudly) if there is no server at all.
+    Client::connect(endpoint)?.ping()?;
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut report = ChaosReport::default();
+    for i in 0..cfg.scenarios {
+        let kinds = if cfg.inject_panics { 9 } else { 7 };
+        // Hostile-client I/O errors are expected (the server is allowed to
+        // hang up on us); only invariant checks record failures.
+        let _ = match rng.random_range(0..kinds as u32) {
+            0 => {
+                report.torn_frames += 1;
+                scenario_torn_frame(&mut rng, endpoint)
+            }
+            1 => {
+                report.partial_writes += 1;
+                scenario_partial_write(&mut rng, endpoint)
+            }
+            2 => {
+                report.disconnects += 1;
+                scenario_disconnect(&mut rng, endpoint)
+            }
+            3 => {
+                report.corruptions += 1;
+                scenario_corruption(&mut rng, endpoint)
+            }
+            4 => {
+                report.floods += 1;
+                scenario_flood(&mut rng, endpoint, cfg.flood_connections)
+            }
+            5 => {
+                report.deadline_storms += 1;
+                scenario_deadline_storm(&mut rng, endpoint)
+            }
+            6 => {
+                report.oversize_frames += 1;
+                scenario_oversize(&mut rng, endpoint)
+            }
+            7 => {
+                report.panics_injected += 1;
+                scenario_panic(&mut rng, endpoint, &mut report.failures)
+            }
+            _ => {
+                report.hard_kills += 1;
+                scenario_hard_kill(&mut rng, endpoint, &mut report.failures)
+            }
+        };
+        if cfg.probe_every > 0 && i % cfg.probe_every == 0 {
+            probe(endpoint, &mut report);
+        }
+    }
+    probe(endpoint, &mut report);
+    await_recovery(endpoint, cfg.expect_workers, &mut report);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::graph_fingerprint;
+
+    #[test]
+    fn marker_graphs_never_collide_with_ordinary_traffic() {
+        // The whole injection scheme rests on marker fingerprints missing
+        // the cache; comp costs of 1_000_003+ guarantee it against every
+        // graph `ordinary_request` can produce.
+        let mut rng = StdRng::seed_from_u64(1);
+        let marker = marker_graph(PANIC_MARKER, 3);
+        for _ in 0..200 {
+            if let Request::Schedule { request, .. } = ordinary_request(&mut rng, 0) {
+                assert_ne!(
+                    graph_fingerprint(&marker),
+                    graph_fingerprint(&request.graph)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frame_bytes_carry_magic_and_length() {
+        let bytes = frame_bytes(&Request::Ping);
+        assert_eq!(u32::from_le_bytes(bytes[..4].try_into().unwrap()), MAGIC);
+        let len = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
+        assert_eq!(len, bytes.len() - 8);
+    }
+
+    #[test]
+    fn default_config_is_cautious() {
+        let cfg = ChaosConfig::default();
+        assert!(!cfg.inject_panics, "markers are opt-in");
+        assert!(cfg.scenarios >= 500, "the acceptance floor");
+    }
+
+    #[test]
+    fn report_bookkeeping() {
+        let mut r = ChaosReport::default();
+        assert!(r.passed());
+        r.torn_frames = 2;
+        r.floods = 1;
+        assert_eq!(r.scenarios_run(), 3);
+        r.failures.push("x".into());
+        assert!(!r.passed());
+        assert!(r.render().contains("FAIL: x"));
+    }
+}

@@ -6,6 +6,8 @@ use crate::server::Endpoint;
 use flb_core::{AlgorithmId, ScheduleRequest};
 use flb_graph::TaskGraph;
 use flb_sched::{Machine, Schedule};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
@@ -137,8 +139,9 @@ impl Client {
         }
     }
 
-    /// Submits with bounded busy-retry: sleeps the server's hint between
-    /// attempts, up to `max_retries` extra attempts.
+    /// Submits with bounded busy-retry under the default [`RetryPolicy`]
+    /// (exponential backoff with jitter, seeded from the server's
+    /// `retry_after_ms` hint), up to `max_retries` extra attempts.
     pub fn schedule_with_retry(
         &mut self,
         algorithm: AlgorithmId,
@@ -147,10 +150,34 @@ impl Client {
         deadline_ms: u64,
         max_retries: u32,
     ) -> io::Result<Submission> {
-        for _ in 0..max_retries {
+        let policy = RetryPolicy {
+            max_retries,
+            ..RetryPolicy::default()
+        };
+        self.schedule_with_policy(algorithm, graph, machine, deadline_ms, &policy)
+    }
+
+    /// Submits with bounded busy-retry under an explicit [`RetryPolicy`].
+    ///
+    /// Each `busy` response triggers a sleep of the policy's backoff for
+    /// that attempt (hint-based, exponentially growing, jittered), then a
+    /// resubmission. Once the retry budget is spent, the final response —
+    /// including `busy` — is returned to the caller, who decides how to
+    /// surface exhaustion.
+    pub fn schedule_with_policy(
+        &mut self,
+        algorithm: AlgorithmId,
+        graph: &TaskGraph,
+        machine: &Machine,
+        deadline_ms: u64,
+        policy: &RetryPolicy,
+    ) -> io::Result<Submission> {
+        let mut rng = policy.jitter.then(RetryPolicy::jitter_rng);
+        for attempt in 0..policy.max_retries {
             match self.schedule(algorithm, graph.clone(), machine.clone(), deadline_ms)? {
                 Submission::Busy { retry_after_ms } => {
-                    std::thread::sleep(Duration::from_millis(retry_after_ms.clamp(1, 1_000)));
+                    let ms = policy.backoff_ms(attempt, retry_after_ms, rng.as_mut());
+                    std::thread::sleep(Duration::from_millis(ms));
                 }
                 done => return Ok(done),
             }
@@ -171,6 +198,101 @@ impl Client {
         match self.round_trip(&Request::Shutdown)? {
             Response::ShuttingDown => Ok(()),
             resp => Err(unexpected("shutdown", &resp)),
+        }
+    }
+}
+
+/// How a client backs off when the service answers `busy`.
+///
+/// The sleep before retry `attempt` (0-based) is the server's
+/// `retry_after_ms` hint (or [`base_ms`](Self::base_ms) when the hint is
+/// 0) doubled per attempt, capped at [`cap_ms`](Self::cap_ms), plus up to
+/// 50% random jitter so a herd of rejected clients does not resubmit in
+/// lockstep. The hint is always honored: the sleep is never shorter than
+/// the deterministic, hint-derived part.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Extra attempts after the first submission.
+    pub max_retries: u32,
+    /// Backoff seed in milliseconds when the server sends no hint.
+    pub base_ms: u64,
+    /// Upper bound on the deterministic backoff per attempt.
+    pub cap_ms: u64,
+    /// Whether to add random jitter on top of the deterministic backoff.
+    pub jitter: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            base_ms: 10,
+            cap_ms: 1_000,
+            jitter: true,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A time-seeded RNG for jitter (no fixed seed: jitter exists exactly
+    /// to decorrelate clients started at the same moment).
+    fn jitter_rng() -> StdRng {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.subsec_nanos() as u64 ^ d.as_secs());
+        StdRng::seed_from_u64(nanos ^ u64::from(std::process::id()) << 32)
+    }
+
+    /// The sleep in milliseconds before retry `attempt` (0-based), given
+    /// the server's hint. Pass an RNG to add jitter, `None` for the
+    /// deterministic part only.
+    fn backoff_ms(&self, attempt: u32, hint_ms: u64, rng: Option<&mut StdRng>) -> u64 {
+        let seed = if hint_ms > 0 {
+            hint_ms
+        } else {
+            self.base_ms.max(1)
+        };
+        let grown = seed.saturating_mul(1u64 << attempt.min(20));
+        let det = grown.min(self.cap_ms.max(1));
+        match rng {
+            Some(rng) => det + rng.random_range(0..=det / 2),
+            None => det,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_honors_hint_and_grows_exponentially() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_ms(0, 40, None), 40);
+        assert_eq!(p.backoff_ms(1, 40, None), 80);
+        assert_eq!(p.backoff_ms(2, 40, None), 160);
+        // No hint: falls back to base_ms.
+        assert_eq!(p.backoff_ms(0, 0, None), p.base_ms);
+    }
+
+    #[test]
+    fn backoff_is_capped_and_never_overflows() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_ms(30, 500, None), p.cap_ms);
+        assert_eq!(p.backoff_ms(u32::MAX, u64::MAX, None), p.cap_ms);
+    }
+
+    #[test]
+    fn jitter_stays_within_half_the_deterministic_backoff() {
+        let p = RetryPolicy::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        for attempt in 0..6 {
+            let det = p.backoff_ms(attempt, 32, None);
+            for _ in 0..100 {
+                let j = p.backoff_ms(attempt, 32, Some(&mut rng));
+                assert!(j >= det, "jitter may only lengthen the sleep");
+                assert!(j <= det + det / 2, "jitter bounded at +50%");
+            }
         }
     }
 }

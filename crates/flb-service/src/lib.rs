@@ -34,15 +34,18 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod chaos;
 pub mod client;
 pub mod fingerprint;
 pub mod metrics;
 pub mod proto;
 pub mod server;
+pub mod snapshot;
 
 pub use cache::ShardedLru;
-pub use client::{Client, ScheduleReply, Submission};
+pub use chaos::{ChaosConfig, ChaosReport};
+pub use client::{Client, RetryPolicy, ScheduleReply, Submission};
 pub use fingerprint::{graph_fingerprint, request_fingerprint};
-pub use metrics::{Metrics, StatsSnapshot};
+pub use metrics::{Gauges, Metrics, StatsSnapshot};
 pub use proto::{Request, Response};
-pub use server::{serve, Endpoint, ServiceConfig, ServiceHandle};
+pub use server::{serve, Endpoint, ServiceConfig, ServiceHandle, HARD_PANIC_MARKER, PANIC_MARKER};

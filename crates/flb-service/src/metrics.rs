@@ -77,6 +77,21 @@ pub struct Metrics {
     pub expired: AtomicU64,
     /// Requests answered with a protocol error.
     pub errors: AtomicU64,
+    /// Socket read/write timeouts observed on connections.
+    pub io_timeouts: AtomicU64,
+    /// Connections evicted for exceeding an I/O deadline (slow-loris
+    /// senders, unresponsive readers).
+    pub evicted_slow: AtomicU64,
+    /// Scheduler panics caught and converted into `error` responses.
+    pub worker_panics: AtomicU64,
+    /// Dead worker threads replaced by the supervisor.
+    pub worker_respawns: AtomicU64,
+    /// Cache snapshots written (periodic and shutdown).
+    pub snapshot_saves: AtomicU64,
+    /// Cache entries loaded from a snapshot at boot.
+    pub snapshot_loaded: AtomicU64,
+    /// Corrupt snapshots quarantined instead of loaded.
+    pub snapshot_quarantined: AtomicU64,
     /// Schedule requests per algorithm, indexed by wire code.
     pub per_algorithm: [AtomicU64; N_ALGS],
     /// End-to-end latency of answered schedule requests.
@@ -94,11 +109,10 @@ impl Metrics {
         Self::bump(&self.per_algorithm[alg.code() as usize]);
     }
 
-    /// A consistent point-in-time copy of every counter. `queue_depth`,
-    /// `workers` and `cache_entries` are gauges owned by the server and
-    /// passed in.
+    /// A consistent point-in-time copy of every counter. The [`Gauges`]
+    /// are instantaneous values owned by the server and passed in.
     #[must_use]
-    pub fn snapshot(&self, queue_depth: u64, workers: u64, cache_entries: u64) -> StatsSnapshot {
+    pub fn snapshot(&self, gauges: Gauges) -> StatsSnapshot {
         let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
         StatsSnapshot {
             requests: get(&self.requests),
@@ -109,9 +123,17 @@ impl Metrics {
             rejected: get(&self.rejected),
             expired: get(&self.expired),
             errors: get(&self.errors),
-            queue_depth,
-            workers,
-            cache_entries,
+            io_timeouts: get(&self.io_timeouts),
+            evicted_slow: get(&self.evicted_slow),
+            worker_panics: get(&self.worker_panics),
+            worker_respawns: get(&self.worker_respawns),
+            snapshot_saves: get(&self.snapshot_saves),
+            snapshot_loaded: get(&self.snapshot_loaded),
+            snapshot_quarantined: get(&self.snapshot_quarantined),
+            queue_depth: gauges.queue_depth,
+            workers: gauges.workers,
+            cache_entries: gauges.cache_entries,
+            open_connections: gauges.open_connections,
             p50_us: self.latency.quantile(0.50),
             p99_us: self.latency.quantile(0.99),
             per_algorithm: AlgorithmId::ALL
@@ -120,6 +142,21 @@ impl Metrics {
                 .collect(),
         }
     }
+}
+
+/// Instantaneous values measured by the server at snapshot time (as
+/// opposed to the monotonic counters in [`Metrics`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Gauges {
+    /// Jobs waiting in the queue.
+    pub queue_depth: u64,
+    /// Live worker threads (the self-healing pool keeps this at the
+    /// configured size).
+    pub workers: u64,
+    /// Entries in the schedule cache.
+    pub cache_entries: u64,
+    /// Connection threads currently open.
+    pub open_connections: u64,
 }
 
 /// A point-in-time copy of the service counters, as carried by the
@@ -142,12 +179,28 @@ pub struct StatsSnapshot {
     pub expired: u64,
     /// Requests answered with a protocol error.
     pub errors: u64,
+    /// Socket read/write timeouts observed on connections.
+    pub io_timeouts: u64,
+    /// Connections evicted for exceeding an I/O deadline.
+    pub evicted_slow: u64,
+    /// Scheduler panics caught and answered with an `error` response.
+    pub worker_panics: u64,
+    /// Dead worker threads replaced by the supervisor.
+    pub worker_respawns: u64,
+    /// Cache snapshots written (periodic and shutdown).
+    pub snapshot_saves: u64,
+    /// Cache entries loaded from a snapshot at boot.
+    pub snapshot_loaded: u64,
+    /// Corrupt snapshots quarantined instead of loaded.
+    pub snapshot_quarantined: u64,
     /// Jobs waiting in the queue at snapshot time.
     pub queue_depth: u64,
-    /// Size of the worker pool.
+    /// Live worker threads at snapshot time.
     pub workers: u64,
     /// Entries in the schedule cache at snapshot time.
     pub cache_entries: u64,
+    /// Connection threads open at snapshot time.
+    pub open_connections: u64,
     /// Approximate median schedule-request latency (µs).
     pub p50_us: u64,
     /// Approximate 99th-percentile schedule-request latency (µs).
@@ -182,9 +235,17 @@ impl StatsSnapshot {
         let _ = writeln!(out, "rejected (busy) {}", self.rejected);
         let _ = writeln!(out, "expired         {}", self.expired);
         let _ = writeln!(out, "errors          {}", self.errors);
+        let _ = writeln!(out, "io timeouts     {}", self.io_timeouts);
+        let _ = writeln!(out, "evicted slow    {}", self.evicted_slow);
+        let _ = writeln!(out, "worker panics   {}", self.worker_panics);
+        let _ = writeln!(out, "worker respawns {}", self.worker_respawns);
+        let _ = writeln!(out, "snapshot saves  {}", self.snapshot_saves);
+        let _ = writeln!(out, "snapshot loaded {}", self.snapshot_loaded);
+        let _ = writeln!(out, "snapshot quar.  {}", self.snapshot_quarantined);
         let _ = writeln!(out, "queue depth     {}", self.queue_depth);
         let _ = writeln!(out, "workers         {}", self.workers);
         let _ = writeln!(out, "cache entries   {}", self.cache_entries);
+        let _ = writeln!(out, "open conns      {}", self.open_connections);
         let _ = writeln!(out, "latency p50     {} us", self.p50_us);
         let _ = writeln!(out, "latency p99     {} us", self.p99_us);
         for (alg, n) in &self.per_algorithm {
@@ -229,12 +290,23 @@ mod tests {
         Metrics::bump(&m.requests);
         Metrics::bump(&m.cache_hits);
         m.count_algorithm(AlgorithmId::Etf);
-        let s = m.snapshot(3, 4, 5);
+        Metrics::bump(&m.worker_panics);
+        Metrics::bump(&m.io_timeouts);
+        let s = m.snapshot(Gauges {
+            queue_depth: 3,
+            workers: 4,
+            cache_entries: 5,
+            open_connections: 2,
+        });
         assert_eq!(s.requests, 2);
         assert_eq!(s.cache_hits, 1);
         assert_eq!(s.queue_depth, 3);
         assert_eq!(s.workers, 4);
         assert_eq!(s.cache_entries, 5);
+        assert_eq!(s.open_connections, 2);
+        assert_eq!(s.worker_panics, 1);
+        assert_eq!(s.io_timeouts, 1);
+        assert!(s.render().contains("worker panics   1"));
         assert_eq!(
             s.per_algorithm
                 .iter()

@@ -158,9 +158,17 @@ fn put_stats(w: &mut Writer, s: &StatsSnapshot) {
         s.rejected,
         s.expired,
         s.errors,
+        s.io_timeouts,
+        s.evicted_slow,
+        s.worker_panics,
+        s.worker_respawns,
+        s.snapshot_saves,
+        s.snapshot_loaded,
+        s.snapshot_quarantined,
         s.queue_depth,
         s.workers,
         s.cache_entries,
+        s.open_connections,
         s.p50_us,
         s.p99_us,
     ] {
@@ -174,7 +182,7 @@ fn put_stats(w: &mut Writer, s: &StatsSnapshot) {
 }
 
 fn get_stats(r: &mut Reader<'_>) -> Result<StatsSnapshot, WireError> {
-    let mut vals = [0u64; 13];
+    let mut vals = [0u64; 21];
     for v in &mut vals {
         *v = r.u64()?;
     }
@@ -186,7 +194,7 @@ fn get_stats(r: &mut Reader<'_>) -> Result<StatsSnapshot, WireError> {
             .ok_or_else(|| WireError::Malformed(format!("unknown algorithm code {code}")))?;
         per_algorithm.push((alg, r.u64()?));
     }
-    let [requests, schedule_requests, cache_hits, cache_misses, scheduler_invocations, rejected, expired, errors, queue_depth, workers, cache_entries, p50_us, p99_us] =
+    let [requests, schedule_requests, cache_hits, cache_misses, scheduler_invocations, rejected, expired, errors, io_timeouts, evicted_slow, worker_panics, worker_respawns, snapshot_saves, snapshot_loaded, snapshot_quarantined, queue_depth, workers, cache_entries, open_connections, p50_us, p99_us] =
         vals;
     Ok(StatsSnapshot {
         requests,
@@ -197,9 +205,17 @@ fn get_stats(r: &mut Reader<'_>) -> Result<StatsSnapshot, WireError> {
         rejected,
         expired,
         errors,
+        io_timeouts,
+        evicted_slow,
+        worker_panics,
+        worker_respawns,
+        snapshot_saves,
+        snapshot_loaded,
+        snapshot_quarantined,
         queue_depth,
         workers,
         cache_entries,
+        open_connections,
         p50_us,
         p99_us,
         per_algorithm,
@@ -315,8 +331,20 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
     if len > MAX_FRAME {
         return Err(invalid(format!("frame of {len} bytes exceeds MAX_FRAME")));
     }
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
+    // Grow with the bytes actually received instead of trusting the
+    // header: a hostile 8-byte header claiming MAX_FRAME then costs its
+    // sender the bytes, not this process 64 MiB up front.
+    let len = len as usize;
+    let mut payload = Vec::with_capacity(len.min(64 * 1024));
+    let mut chunk = [0u8; 64 * 1024];
+    while payload.len() < len {
+        let want = (len - payload.len()).min(chunk.len());
+        let n = r.read(&mut chunk[..want])?;
+        if n == 0 {
+            return Err(invalid("EOF inside frame payload"));
+        }
+        payload.extend_from_slice(&chunk[..n]);
+    }
     Ok(Some(payload))
 }
 
@@ -416,9 +444,17 @@ mod tests {
             rejected: 1,
             expired: 0,
             errors: 1,
+            io_timeouts: 2,
+            evicted_slow: 1,
+            worker_panics: 1,
+            worker_respawns: 1,
+            snapshot_saves: 3,
+            snapshot_loaded: 7,
+            snapshot_quarantined: 1,
             queue_depth: 2,
             workers: 4,
             cache_entries: 5,
+            open_connections: 2,
             p50_us: 128,
             p99_us: 4096,
             per_algorithm: vec![(AlgorithmId::Flb, 6), (AlgorithmId::Etf, 2)],

@@ -19,23 +19,54 @@
 //! scheduler; the algorithms are deterministic, so both compute the same
 //! schedule and the second cache insert is a no-op refresh. That trade
 //! keeps the hot path free of per-fingerprint locks.
+//!
+//! # Resilience
+//!
+//! The serving layer is built to degrade gracefully rather than hang,
+//! leak, or die:
+//!
+//! * **Deadline-aware I/O** — every connection reads and writes through a
+//!   [`DeadlineConn`] that combines per-call socket timeouts with a total
+//!   per-frame deadline, so a slow-loris client trickling one byte per
+//!   timeout window is still evicted once the frame budget is spent
+//!   (`io_timeouts` / `evicted_slow` counters).
+//! * **Panic isolation** — scheduler invocations run under
+//!   `catch_unwind`; a panicking scheduler produces a structured `error`
+//!   response (`worker_panics` counter) and the connection keeps serving.
+//!   A worker thread that dies anyway is respawned by a supervisor so the
+//!   pool returns to full strength (`worker_respawns`).
+//! * **Crash-safe warm restart** — with a cache file configured, the
+//!   schedule cache is snapshotted (checksummed, written atomically) on a
+//!   configurable interval and on graceful shutdown, and reloaded on
+//!   boot; a corrupt snapshot is quarantined, never fatal.
 
 use crate::cache::ShardedLru;
 use crate::fingerprint::request_fingerprint;
-use crate::metrics::Metrics;
+use crate::metrics::{Gauges, Metrics};
 use crate::proto::{read_request, write_response, Request, Response};
+use crate::snapshot::{self, SnapshotError};
 use flb_core::{schedule_request, ScheduleRequest};
 use flb_sched::Schedule;
 use std::collections::VecDeque;
 use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+
+/// Graph name that makes a worker panic inside the isolation boundary
+/// when [`ServiceConfig::panic_injection`] is enabled (chaos testing).
+pub const PANIC_MARKER: &str = "__chaos_panic";
+
+/// Graph name that makes the worker thread *die* after replying when
+/// [`ServiceConfig::panic_injection`] is enabled, exercising the
+/// supervisor's respawn path (chaos testing).
+pub const HARD_PANIC_MARKER: &str = "__chaos_panic_hard";
 
 /// Tuning knobs of a service instance.
 #[derive(Clone, Debug)]
@@ -50,6 +81,27 @@ pub struct ServiceConfig {
     pub cache_shards: usize,
     /// Backoff hint attached to `busy` responses, in milliseconds.
     pub retry_after_ms: u64,
+    /// Per-socket-call read timeout in milliseconds (0 = none).
+    pub read_timeout_ms: u64,
+    /// Per-socket-call write timeout in milliseconds (0 = none).
+    pub write_timeout_ms: u64,
+    /// Total budget for receiving one request frame or sending one
+    /// response, in milliseconds (0 = none). This is what defeats
+    /// slow-loris clients: per-call timeouts reset on every byte, the
+    /// frame deadline does not.
+    pub frame_deadline_ms: u64,
+    /// How long a connection may sit idle between requests before it is
+    /// evicted, in milliseconds (0 = keep idle connections forever).
+    pub idle_timeout_ms: u64,
+    /// Warm-restart snapshot of the schedule cache: loaded on boot,
+    /// written on graceful shutdown and every `snapshot_interval_ms`.
+    pub cache_file: Option<PathBuf>,
+    /// Periodic snapshot interval in milliseconds (0 = only write the
+    /// snapshot on graceful shutdown).
+    pub snapshot_interval_ms: u64,
+    /// Honor the [`PANIC_MARKER`] / [`HARD_PANIC_MARKER`] graph names.
+    /// For chaos harnesses and tests only; off by default.
+    pub panic_injection: bool,
 }
 
 impl Default for ServiceConfig {
@@ -60,6 +112,13 @@ impl Default for ServiceConfig {
             cache_capacity: 512,
             cache_shards: 8,
             retry_after_ms: 25,
+            read_timeout_ms: 30_000,
+            write_timeout_ms: 30_000,
+            frame_deadline_ms: 60_000,
+            idle_timeout_ms: 0,
+            cache_file: None,
+            snapshot_interval_ms: 0,
+            panic_injection: false,
         }
     }
 }
@@ -94,6 +153,150 @@ impl std::fmt::Display for Endpoint {
     }
 }
 
+/// The two stream flavours the daemon serves, with timeout control.
+pub(crate) trait Transport: io::Read + io::Write + Send + 'static {
+    /// Sets the per-call read timeout (`None` blocks indefinitely).
+    fn set_read_deadline(&self, t: Option<Duration>) -> io::Result<()>;
+    /// Sets the per-call write timeout (`None` blocks indefinitely).
+    fn set_write_deadline(&self, t: Option<Duration>) -> io::Result<()>;
+}
+
+impl Transport for TcpStream {
+    fn set_read_deadline(&self, t: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(t)
+    }
+    fn set_write_deadline(&self, t: Option<Duration>) -> io::Result<()> {
+        self.set_write_timeout(t)
+    }
+}
+
+impl Transport for UnixStream {
+    fn set_read_deadline(&self, t: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(t)
+    }
+    fn set_write_deadline(&self, t: Option<Duration>) -> io::Result<()> {
+        self.set_write_timeout(t)
+    }
+}
+
+fn timeout_err(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::TimedOut, format!("{what} deadline exceeded"))
+}
+
+/// Whether an I/O error is a socket timeout (Linux reports `WouldBlock`
+/// for `SO_RCVTIMEO`/`SO_SNDTIMEO` expiry, other platforms `TimedOut`).
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+    )
+}
+
+/// Non-zero milliseconds as a `Duration`, 0 as "no limit".
+fn ms(v: u64) -> Option<Duration> {
+    (v > 0).then(|| Duration::from_millis(v))
+}
+
+/// A transport wrapper enforcing deadline-aware I/O.
+///
+/// Per-call socket timeouts bound each `read(2)`/`write(2)`, but a client
+/// trickling one byte per window resets them forever. The wrapper
+/// additionally tracks when the current frame started (first byte read,
+/// or `begin_write`) and shrinks the per-call timeout to the remaining
+/// frame budget, so the *total* time per frame is bounded.
+struct DeadlineConn<S: Transport> {
+    inner: S,
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
+    frame_deadline: Option<Duration>,
+    idle_timeout: Option<Duration>,
+    /// When the first byte of the in-flight request frame arrived.
+    read_start: Option<Instant>,
+    /// When the in-flight response write started.
+    write_start: Option<Instant>,
+}
+
+impl<S: Transport> DeadlineConn<S> {
+    fn new(inner: S, cfg: &ServiceConfig) -> Self {
+        DeadlineConn {
+            inner,
+            read_timeout: ms(cfg.read_timeout_ms),
+            write_timeout: ms(cfg.write_timeout_ms),
+            frame_deadline: ms(cfg.frame_deadline_ms),
+            idle_timeout: ms(cfg.idle_timeout_ms),
+            read_start: None,
+            write_start: None,
+        }
+    }
+
+    /// Arms the next request frame: the frame clock starts at its first
+    /// byte, and until then only the idle timeout applies.
+    fn begin_read(&mut self) {
+        self.read_start = None;
+        self.write_start = None;
+    }
+
+    /// Arms a response write: the frame clock starts now.
+    fn begin_write(&mut self) {
+        self.write_start = Some(Instant::now());
+    }
+
+    /// Remaining per-call budget for a frame started at `t0`, or a
+    /// `TimedOut` error once the frame deadline is spent.
+    fn call_budget(
+        &self,
+        t0: Instant,
+        per_call: Option<Duration>,
+        what: &str,
+    ) -> io::Result<Option<Duration>> {
+        let Some(deadline) = self.frame_deadline else {
+            return Ok(per_call);
+        };
+        let remaining = deadline
+            .checked_sub(t0.elapsed())
+            .filter(|r| !r.is_zero())
+            .ok_or_else(|| timeout_err(what))?;
+        Ok(Some(per_call.map_or(remaining, |p| p.min(remaining))))
+    }
+}
+
+impl<S: Transport> io::Read for DeadlineConn<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self.read_start {
+            None => {
+                // Waiting for a frame to start: only the idle timeout
+                // applies, and a well-behaved client may sit here forever.
+                self.inner.set_read_deadline(self.idle_timeout)?;
+                let n = self.inner.read(buf)?;
+                if n > 0 {
+                    self.read_start = Some(Instant::now());
+                }
+                Ok(n)
+            }
+            Some(t0) => {
+                let budget = self.call_budget(t0, self.read_timeout, "read frame")?;
+                self.inner.set_read_deadline(budget)?;
+                self.inner.read(buf)
+            }
+        }
+    }
+}
+
+impl<S: Transport> io::Write for DeadlineConn<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let budget = match self.write_start {
+            Some(t0) => self.call_budget(t0, self.write_timeout, "write frame")?,
+            None => self.write_timeout,
+        };
+        self.inner.set_write_deadline(budget)?;
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
 /// What a worker sends back to the waiting connection thread.
 enum WorkerReply {
     Done {
@@ -101,6 +304,8 @@ enum WorkerReply {
         micros: u64,
     },
     Expired,
+    /// The scheduler panicked; the message is the panic payload.
+    Panicked(String),
 }
 
 /// One queued scheduling job.
@@ -112,7 +317,7 @@ struct Job {
     reply: mpsc::Sender<WorkerReply>,
 }
 
-/// State shared by the listener, connections and workers.
+/// State shared by the listener, connections, workers and supervisor.
 struct Shared {
     cfg: ServiceConfig,
     /// The resolved endpoint (actual port for TCP binds of port 0); used
@@ -124,6 +329,10 @@ struct Shared {
     job_ready: Condvar,
     shutdown: AtomicBool,
     open_connections: AtomicU64,
+    /// Worker threads currently alive (the supervisor tops this up).
+    live_workers: AtomicU64,
+    /// Join handles of every worker ever spawned (original + respawned).
+    worker_handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Shared {
@@ -143,13 +352,55 @@ impl Shared {
         Ok(())
     }
 
-    fn queue_depth(&self) -> u64 {
-        self.queue.lock().expect("queue lock").len() as u64
+    fn gauges(&self) -> Gauges {
+        Gauges {
+            queue_depth: self.queue.lock().expect("queue lock").len() as u64,
+            workers: self.live_workers.load(Ordering::SeqCst),
+            cache_entries: self.cache.len() as u64,
+            open_connections: self.open_connections.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Writes the warm-restart snapshot if a cache file is configured.
+    fn save_snapshot(&self) {
+        let Some(path) = &self.cfg.cache_file else {
+            return;
+        };
+        match snapshot::save_atomic(path, &self.cache.entries()) {
+            Ok(()) => Metrics::bump(&self.metrics.snapshot_saves),
+            Err(e) => eprintln!(
+                "flb-service: snapshot write to {} failed: {e}",
+                path.display()
+            ),
+        }
     }
 }
 
-/// Worker loop: pop, check deadline, schedule, cache, reply.
-fn worker_loop(shared: &Shared) {
+/// Renders a `catch_unwind` payload (panics carry `&str` or `String`).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Decrements the live-worker gauge when its thread exits — including by
+/// unwind, so the supervisor sees dead workers no matter how they died.
+struct WorkerSlot(Arc<Shared>);
+
+impl Drop for WorkerSlot {
+    fn drop(&mut self) {
+        self.0.live_workers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Worker loop: pop, check deadline, schedule (panic-isolated), cache,
+/// reply.
+fn worker_loop(shared: &Arc<Shared>) {
+    let _slot = WorkerSlot(Arc::clone(shared));
     loop {
         let job = {
             let mut q = shared.queue.lock().expect("queue lock");
@@ -169,13 +420,86 @@ fn worker_loop(shared: &Shared) {
             let _ = job.reply.send(WorkerReply::Expired);
             continue;
         }
+        let inject = shared.cfg.panic_injection;
+        let hard_kill = inject && job.request.graph.name() == HARD_PANIC_MARKER;
         Metrics::bump(&shared.metrics.scheduler_invocations);
-        let schedule = Arc::new(schedule_request(&job.request));
-        shared.cache.insert(job.fingerprint, Arc::clone(&schedule));
-        let micros = job.accepted_at.elapsed().as_micros() as u64;
-        shared.metrics.latency.record(micros);
-        // The client may have hung up while waiting; that is its problem.
-        let _ = job.reply.send(WorkerReply::Done { schedule, micros });
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if inject && job.request.graph.name() == PANIC_MARKER {
+                panic!("injected scheduler panic ({PANIC_MARKER})");
+            }
+            schedule_request(&job.request)
+        }));
+        match outcome {
+            Ok(schedule) => {
+                let schedule = Arc::new(schedule);
+                shared.cache.insert(job.fingerprint, Arc::clone(&schedule));
+                let micros = job.accepted_at.elapsed().as_micros() as u64;
+                shared.metrics.latency.record(micros);
+                // The client may have hung up while waiting; its problem.
+                let _ = job.reply.send(WorkerReply::Done { schedule, micros });
+            }
+            Err(payload) => {
+                Metrics::bump(&shared.metrics.worker_panics);
+                let _ = job
+                    .reply
+                    .send(WorkerReply::Panicked(panic_message(payload.as_ref())));
+            }
+        }
+        if hard_kill {
+            // Chaos hook: die after replying so the supervisor's respawn
+            // path is exercised end-to-end.
+            return;
+        }
+    }
+}
+
+/// Spawns one worker thread and registers it with the pool.
+fn spawn_worker(shared: &Arc<Shared>) {
+    shared.live_workers.fetch_add(1, Ordering::SeqCst);
+    let worker = {
+        let shared = Arc::clone(shared);
+        thread::spawn(move || worker_loop(&shared))
+    };
+    shared
+        .worker_handles
+        .lock()
+        .expect("worker handles lock")
+        .push(worker);
+}
+
+/// Supervisor loop: tops the worker pool back up when a worker died.
+fn supervisor_loop(shared: &Arc<Shared>) {
+    let want = shared.cfg.workers as u64;
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        let live = shared.live_workers.load(Ordering::SeqCst);
+        for _ in live..want {
+            Metrics::bump(&shared.metrics.worker_respawns);
+            spawn_worker(shared);
+        }
+        thread::sleep(Duration::from_millis(15));
+    }
+}
+
+/// Periodic snapshot loop: writes the cache to disk every interval while
+/// it keeps changing. The final shutdown snapshot is written by
+/// [`ServiceHandle::join`] after the workers have drained.
+fn snapshot_loop(shared: &Arc<Shared>) {
+    let interval = Duration::from_millis(shared.cfg.snapshot_interval_ms.max(1));
+    let mut saved_version = shared.cache.version();
+    let mut last_save = Instant::now();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        thread::sleep(Duration::from_millis(
+            20.min(shared.cfg.snapshot_interval_ms.max(1)),
+        ));
+        if last_save.elapsed() < interval {
+            continue;
+        }
+        let v = shared.cache.version();
+        if v != saved_version {
+            shared.save_snapshot();
+            saved_version = v;
+        }
+        last_save = Instant::now();
     }
 }
 
@@ -219,36 +543,48 @@ fn serve_schedule(shared: &Shared, request: Box<ScheduleRequest>, deadline_ms: u
             schedule: (*schedule).clone(),
         },
         Ok(WorkerReply::Expired) => Response::Expired,
+        Ok(WorkerReply::Panicked(msg)) => {
+            Metrics::bump(&shared.metrics.errors);
+            Response::Error(format!("scheduler panicked: {msg}"))
+        }
         // All workers gone: shutdown raced the request.
         Err(_) => Response::ShuttingDown,
     }
 }
 
 /// Protocol loop for one accepted connection.
-fn connection_loop(shared: &Arc<Shared>, stream: &mut (impl io::Read + io::Write)) {
+fn connection_loop<S: Transport>(shared: &Arc<Shared>, conn: &mut DeadlineConn<S>) {
     loop {
-        let request = match read_request(stream) {
+        conn.begin_read();
+        let request = match read_request(conn) {
             Ok(Some(req)) => req,
             Ok(None) => return, // clean disconnect
+            Err(e) if is_timeout(&e) => {
+                // Slow sender: evict. The goodbye is best-effort and
+                // itself bounded by the write budget.
+                Metrics::bump(&shared.metrics.io_timeouts);
+                Metrics::bump(&shared.metrics.evicted_slow);
+                conn.begin_write();
+                let _ = write_response(conn, &Response::Error("i/o deadline exceeded".into()));
+                return;
+            }
             Err(e) => {
                 Metrics::bump(&shared.metrics.errors);
-                let _ = write_response(stream, &Response::Error(e.to_string()));
+                conn.begin_write();
+                let _ = write_response(conn, &Response::Error(e.to_string()));
                 return;
             }
         };
         Metrics::bump(&shared.metrics.requests);
         let response = match request {
             Request::Ping => Response::Pong,
-            Request::Stats => Response::Stats(shared.metrics.snapshot(
-                shared.queue_depth(),
-                shared.cfg.workers as u64,
-                shared.cache.len() as u64,
-            )),
+            Request::Stats => Response::Stats(shared.metrics.snapshot(shared.gauges())),
             Request::Shutdown => {
                 // Answer the client *before* tearing the daemon down: once
                 // the flag is set, the accept loop and workers exit and the
                 // process may finish before a late write reaches the wire.
-                let _ = write_response(stream, &Response::ShuttingDown);
+                conn.begin_write();
+                let _ = write_response(conn, &Response::ShuttingDown);
                 shared.shutdown.store(true, Ordering::SeqCst);
                 shared.job_ready.notify_all();
                 nudge_accept_loop(&shared.endpoint);
@@ -259,8 +595,17 @@ fn connection_loop(shared: &Arc<Shared>, stream: &mut (impl io::Read + io::Write
                 deadline_ms,
             } => serve_schedule(shared, request, deadline_ms),
         };
-        if write_response(stream, &response).is_err() {
-            return; // client went away mid-reply
+        conn.begin_write();
+        match write_response(conn, &response) {
+            Ok(()) => {}
+            Err(e) => {
+                if is_timeout(&e) {
+                    // Unresponsive reader: evict.
+                    Metrics::bump(&shared.metrics.io_timeouts);
+                    Metrics::bump(&shared.metrics.evicted_slow);
+                }
+                return; // client went away (or stopped draining) mid-reply
+            }
         }
     }
 }
@@ -279,7 +624,8 @@ enum Listener {
 pub struct ServiceHandle {
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
+    snapshotter: Option<JoinHandle<()>>,
 }
 
 impl ServiceHandle {
@@ -298,16 +644,39 @@ impl ServiceHandle {
     }
 
     /// Waits until the daemon has stopped (after a [`shutdown`] call or a
-    /// protocol `shutdown` request) and joins its threads.
+    /// protocol `shutdown` request), joins its threads, and writes the
+    /// final warm-restart snapshot when a cache file is configured.
     ///
     /// [`shutdown`]: Self::shutdown
     pub fn join(mut self) {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        // The supervisor exits on the shutdown flag; joining it first
+        // guarantees no new workers appear while we drain the pool.
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
         }
+        loop {
+            let handles: Vec<_> = self
+                .shared
+                .worker_handles
+                .lock()
+                .expect("worker handles lock")
+                .drain(..)
+                .collect();
+            if handles.is_empty() {
+                break;
+            }
+            for w in handles {
+                let _ = w.join();
+            }
+        }
+        if let Some(snapshotter) = self.snapshotter.take() {
+            let _ = snapshotter.join();
+        }
+        // All cache writers are gone: the final snapshot is complete.
+        self.shared.save_snapshot();
         // Connection threads are detached; give in-flight responses a
         // bounded grace period to flush before the caller exits.
         for _ in 0..200 {
@@ -329,6 +698,13 @@ impl ServiceHandle {
     pub fn open_connections(&self) -> u64 {
         self.shared.open_connections.load(Ordering::SeqCst)
     }
+
+    /// Worker threads currently alive (a gauge; the supervisor keeps it
+    /// at the configured pool size).
+    #[must_use]
+    pub fn live_workers(&self) -> u64 {
+        self.shared.live_workers.load(Ordering::SeqCst)
+    }
 }
 
 /// Pokes the (blocking) accept loop so it observes the shutdown flag.
@@ -343,20 +719,78 @@ fn nudge_accept_loop(endpoint: &Endpoint) {
     }
 }
 
-fn spawn_connection<S>(shared: &Arc<Shared>, mut stream: S)
-where
-    S: io::Read + io::Write + Send + 'static,
-{
+fn spawn_connection<S: Transport>(shared: &Arc<Shared>, stream: S) {
     let shared = Arc::clone(shared);
     shared.open_connections.fetch_add(1, Ordering::SeqCst);
     thread::spawn(move || {
-        connection_loop(&shared, &mut stream);
+        let mut conn = DeadlineConn::new(stream, &shared.cfg);
+        connection_loop(&shared, &mut conn);
         shared.open_connections.fetch_sub(1, Ordering::SeqCst);
     });
 }
 
+/// Binds a Unix socket, handling a stale file left by a crashed daemon:
+/// the file is only removed if nothing answers on it, so a *live*
+/// server's socket (and, transitively, its snapshot file) is never
+/// clobbered by a second instance.
+fn bind_unix(path: &PathBuf) -> io::Result<UnixListener> {
+    match UnixListener::bind(path) {
+        Ok(l) => Ok(l),
+        Err(e) if e.kind() == io::ErrorKind::AddrInUse => {
+            if UnixStream::connect(path).is_ok() {
+                return Err(io::Error::new(
+                    io::ErrorKind::AddrInUse,
+                    format!("a live server is already listening on {}", path.display()),
+                ));
+            }
+            std::fs::remove_file(path)?;
+            UnixListener::bind(path)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Loads the warm-restart snapshot into the cache; a corrupt file is
+/// quarantined and boot continues with an empty cache.
+fn load_snapshot_on_boot(shared: &Shared) {
+    let Some(path) = &shared.cfg.cache_file else {
+        return;
+    };
+    match snapshot::load(path) {
+        Ok(entries) => {
+            let n = entries.len() as u64;
+            for (fp, schedule) in entries {
+                shared.cache.insert(fp, Arc::new(schedule));
+            }
+            shared.metrics.snapshot_loaded.store(n, Ordering::Relaxed);
+        }
+        Err(SnapshotError::Io(e)) if e.kind() == io::ErrorKind::NotFound => {} // fresh start
+        Err(SnapshotError::Io(e)) => {
+            eprintln!(
+                "flb-service: cannot read snapshot {}: {e}; starting cold",
+                path.display()
+            );
+        }
+        Err(SnapshotError::Corrupt(msg)) => {
+            Metrics::bump(&shared.metrics.snapshot_quarantined);
+            match snapshot::quarantine(path) {
+                Ok(q) => eprintln!(
+                    "flb-service: {msg}; quarantined {} -> {}",
+                    path.display(),
+                    q.display()
+                ),
+                Err(e) => eprintln!(
+                    "flb-service: {msg}; quarantine of {} failed: {e}",
+                    path.display()
+                ),
+            }
+        }
+    }
+}
+
 /// Binds the endpoint and starts the daemon: one accept thread, the
-/// worker pool, and a thread per accepted connection.
+/// (self-healing) worker pool, the snapshotter, and a thread per
+/// accepted connection.
 pub fn serve(endpoint: &Endpoint, cfg: ServiceConfig) -> io::Result<ServiceHandle> {
     let cfg = ServiceConfig {
         workers: cfg.workers.max(1),
@@ -365,13 +799,7 @@ pub fn serve(endpoint: &Endpoint, cfg: ServiceConfig) -> io::Result<ServiceHandl
     };
     let listener = match endpoint {
         Endpoint::Tcp(addr) => Listener::Tcp(TcpListener::bind(addr)?),
-        Endpoint::Unix(path) => {
-            // A stale socket file from a crashed daemon would fail the
-            // bind; remove it (connect errors distinguish stale from live
-            // in any richer deployment, which this reproduction skips).
-            let _ = std::fs::remove_file(path);
-            Listener::Unix(UnixListener::bind(path)?, path.clone())
-        }
+        Endpoint::Unix(path) => Listener::Unix(bind_unix(path)?, path.clone()),
     };
     let resolved = match &listener {
         Listener::Tcp(l) => Endpoint::Tcp(l.local_addr()?.to_string()),
@@ -386,15 +814,26 @@ pub fn serve(endpoint: &Endpoint, cfg: ServiceConfig) -> io::Result<ServiceHandl
         job_ready: Condvar::new(),
         shutdown: AtomicBool::new(false),
         open_connections: AtomicU64::new(0),
+        live_workers: AtomicU64::new(0),
+        worker_handles: Mutex::new(Vec::new()),
         cfg,
     });
 
-    let workers = (0..shared.cfg.workers)
-        .map(|_| {
-            let shared = Arc::clone(&shared);
-            thread::spawn(move || worker_loop(&shared))
-        })
-        .collect();
+    load_snapshot_on_boot(&shared);
+
+    for _ in 0..shared.cfg.workers {
+        spawn_worker(&shared);
+    }
+    let supervisor = {
+        let shared = Arc::clone(&shared);
+        Some(thread::spawn(move || supervisor_loop(&shared)))
+    };
+    let snapshotter = if shared.cfg.cache_file.is_some() && shared.cfg.snapshot_interval_ms > 0 {
+        let shared = Arc::clone(&shared);
+        Some(thread::spawn(move || snapshot_loop(&shared)))
+    } else {
+        None
+    };
 
     let accept = {
         let shared = Arc::clone(&shared);
@@ -436,7 +875,8 @@ pub fn serve(endpoint: &Endpoint, cfg: ServiceConfig) -> io::Result<ServiceHandl
     Ok(ServiceHandle {
         shared,
         accept: Some(accept),
-        workers,
+        supervisor,
+        snapshotter,
     })
 }
 
@@ -464,5 +904,17 @@ mod tests {
         assert!(cfg.workers >= 1);
         assert!(cfg.queue_capacity >= 1);
         assert!(cfg.cache_capacity >= 1);
+        assert!(!cfg.panic_injection, "injection must be off by default");
+        assert!(cfg.cache_file.is_none());
+        assert!(cfg.frame_deadline_ms > 0, "loris defence on by default");
+    }
+
+    #[test]
+    fn timeout_classification() {
+        assert!(is_timeout(&io::Error::from(io::ErrorKind::TimedOut)));
+        assert!(is_timeout(&io::Error::from(io::ErrorKind::WouldBlock)));
+        assert!(!is_timeout(&io::Error::from(io::ErrorKind::BrokenPipe)));
+        assert_eq!(ms(0), None);
+        assert_eq!(ms(250), Some(Duration::from_millis(250)));
     }
 }

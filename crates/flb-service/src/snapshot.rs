@@ -1,0 +1,289 @@
+//! Crash-safe warm-restart snapshots of the schedule cache.
+//!
+//! A snapshot is one file:
+//!
+//! ```text
+//! magic    u32 LE = 0x464C_4253 ("FLBS")
+//! version  u32 LE = 1
+//! count    u32 LE
+//! entries  count × (fingerprint u64 LE, len u32 LE, schedule wire bytes)
+//! checksum u64 LE  (FNV-1a over every preceding byte)
+//! ```
+//!
+//! Writes go to a temporary file in the same directory followed by an
+//! atomic rename, so a crash mid-write can never leave a half-written file
+//! at the snapshot path — the previous snapshot survives intact. Loads
+//! validate magic, version, per-entry bounds and the trailing checksum;
+//! anything that fails validation is reported as [`SnapshotError::Corrupt`]
+//! so the server can quarantine the file instead of dying on it.
+
+use crate::fingerprint::Fnv64;
+use crate::proto::MAX_FRAME;
+use flb_sched::io::wire;
+use flb_sched::Schedule;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Snapshot file magic: `"FLBS"`.
+pub const SNAPSHOT_MAGIC: u32 = 0x464C_4253;
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Why a snapshot could not be loaded.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The file could not be read (missing, permissions, ...).
+    Io(io::Error),
+    /// The file was read but failed validation; safe to quarantine.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "cannot read snapshot: {e}"),
+            SnapshotError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+fn corrupt(msg: impl Into<String>) -> SnapshotError {
+    SnapshotError::Corrupt(msg.into())
+}
+
+/// Serialises cache entries into the snapshot byte format.
+#[must_use]
+pub fn encode(entries: &[(u64, Arc<Schedule>)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&SNAPSHOT_MAGIC.to_le_bytes());
+    out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for (fp, schedule) in entries {
+        let bytes = wire::encode_schedule(schedule);
+        out.extend_from_slice(&fp.to_le_bytes());
+        out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&bytes);
+    }
+    let mut h = Fnv64::new();
+    h.write(&out);
+    out.extend_from_slice(&h.finish().to_le_bytes());
+    out
+}
+
+fn take<'a>(
+    buf: &'a [u8],
+    pos: &mut usize,
+    n: usize,
+    what: &str,
+) -> Result<&'a [u8], SnapshotError> {
+    let end = pos
+        .checked_add(n)
+        .filter(|&e| e <= buf.len())
+        .ok_or_else(|| corrupt(format!("truncated while reading {what}")))?;
+    let slice = &buf[*pos..end];
+    *pos = end;
+    Ok(slice)
+}
+
+fn take_u32(buf: &[u8], pos: &mut usize, what: &str) -> Result<u32, SnapshotError> {
+    Ok(u32::from_le_bytes(
+        take(buf, pos, 4, what)?.try_into().expect("4 bytes"),
+    ))
+}
+
+fn take_u64(buf: &[u8], pos: &mut usize, what: &str) -> Result<u64, SnapshotError> {
+    Ok(u64::from_le_bytes(
+        take(buf, pos, 8, what)?.try_into().expect("8 bytes"),
+    ))
+}
+
+/// Parses and validates snapshot bytes.
+pub fn decode(bytes: &[u8]) -> Result<Vec<(u64, Schedule)>, SnapshotError> {
+    if bytes.len() < 20 {
+        return Err(corrupt(format!("{} bytes is too short", bytes.len())));
+    }
+    // Checksum first: it covers everything else, so all later parse
+    // errors on a checksum-clean file indicate a version/logic mismatch
+    // rather than bit rot.
+    let body = &bytes[..bytes.len() - 8];
+    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("8 bytes"));
+    let mut h = Fnv64::new();
+    h.write(body);
+    if h.finish() != stored {
+        return Err(corrupt("checksum mismatch"));
+    }
+
+    let mut pos = 0usize;
+    let magic = take_u32(body, &mut pos, "magic")?;
+    if magic != SNAPSHOT_MAGIC {
+        return Err(corrupt(format!("bad magic {magic:#010x}")));
+    }
+    let version = take_u32(body, &mut pos, "version")?;
+    if version != SNAPSHOT_VERSION {
+        return Err(corrupt(format!("unsupported version {version}")));
+    }
+    let count = take_u32(body, &mut pos, "entry count")? as usize;
+    // Each entry needs at least its 12-byte header: bounds the loop
+    // before any allocation on a hostile count.
+    if count > (body.len() - pos) / 12 {
+        return Err(corrupt(format!("entry count {count} exceeds file size")));
+    }
+    let mut entries = Vec::with_capacity(count);
+    for i in 0..count {
+        let fp = take_u64(body, &mut pos, "fingerprint")?;
+        let len = take_u32(body, &mut pos, "entry length")? as usize;
+        if len > MAX_FRAME as usize {
+            return Err(corrupt(format!(
+                "entry {i} of {len} bytes exceeds MAX_FRAME"
+            )));
+        }
+        let raw = take(body, &mut pos, len, "schedule bytes")?;
+        let schedule = wire::decode_schedule(raw)
+            .map_err(|e| corrupt(format!("entry {i} does not decode: {e}")))?;
+        entries.push((fp, schedule));
+    }
+    if pos != body.len() {
+        return Err(corrupt(format!(
+            "{} trailing bytes after the last entry",
+            body.len() - pos
+        )));
+    }
+    Ok(entries)
+}
+
+/// Writes a snapshot via write-to-temp + atomic rename, so readers (and a
+/// crash mid-write) only ever observe complete snapshots.
+pub fn save_atomic(path: &Path, entries: &[(u64, Arc<Schedule>)]) -> io::Result<()> {
+    let bytes = encode(entries);
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Reads and validates a snapshot file.
+pub fn load(path: &Path) -> Result<Vec<(u64, Schedule)>, SnapshotError> {
+    let bytes = std::fs::read(path).map_err(SnapshotError::Io)?;
+    decode(&bytes)
+}
+
+/// Moves a corrupt snapshot aside (same directory, `.corrupt` suffix) so
+/// the server can boot with an empty cache while preserving the evidence.
+/// Returns the quarantine path.
+pub fn quarantine(path: &Path) -> io::Result<PathBuf> {
+    let mut target = path.as_os_str().to_owned();
+    target.push(".corrupt");
+    let target = PathBuf::from(target);
+    std::fs::rename(path, &target)?;
+    Ok(target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flb_core::{schedule_request, AlgorithmId, ScheduleRequest};
+    use flb_graph::paper::fig1;
+    use flb_sched::Machine;
+
+    fn sample_entries() -> Vec<(u64, Arc<Schedule>)> {
+        [(AlgorithmId::Flb, 2usize), (AlgorithmId::Mcp, 3)]
+            .into_iter()
+            .enumerate()
+            .map(|(i, (alg, procs))| {
+                let s = schedule_request(&ScheduleRequest::new(alg, fig1(), Machine::new(procs)));
+                (0x1000 + i as u64, Arc::new(s))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_preserves_entries_and_order() {
+        let entries = sample_entries();
+        let decoded = decode(&encode(&entries)).unwrap();
+        assert_eq!(decoded.len(), entries.len());
+        for ((fp_in, s_in), (fp_out, s_out)) in entries.iter().zip(&decoded) {
+            assert_eq!(fp_in, fp_out);
+            assert_eq!(&**s_in, s_out);
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_roundtrips() {
+        assert_eq!(decode(&encode(&[])).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let bytes = encode(&sample_entries());
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut bad = bytes.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    decode(&bad).is_err(),
+                    "flip of byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncations_are_rejected() {
+        let bytes = encode(&sample_entries());
+        for cut in 0..bytes.len() {
+            assert!(decode(&bytes[..cut]).is_err(), "truncation at {cut}");
+        }
+    }
+
+    #[test]
+    fn hostile_count_does_not_allocate() {
+        // A checksum-clean body claiming u32::MAX entries must fail on the
+        // size bound, not attempt a huge Vec::with_capacity.
+        let mut body = Vec::new();
+        body.extend_from_slice(&SNAPSHOT_MAGIC.to_le_bytes());
+        body.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut h = Fnv64::new();
+        h.write(&body);
+        body.extend_from_slice(&h.finish().to_le_bytes());
+        assert!(matches!(decode(&body), Err(SnapshotError::Corrupt(_))));
+    }
+
+    #[test]
+    fn save_load_quarantine_cycle() {
+        let dir = std::env::temp_dir().join(format!("flb-snap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.snap");
+
+        let entries = sample_entries();
+        save_atomic(&path, &entries).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.len(), entries.len());
+
+        // Corrupt it on disk; load must flag it, quarantine must move it.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(load(&path), Err(SnapshotError::Corrupt(_))));
+        let quarantined = quarantine(&path).unwrap();
+        assert!(!path.exists());
+        assert!(quarantined.exists());
+        assert!(quarantined.to_string_lossy().ends_with(".corrupt"));
+
+        // A missing file is Io, not Corrupt: a fresh boot, not an alarm.
+        assert!(matches!(load(&path), Err(SnapshotError::Io(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

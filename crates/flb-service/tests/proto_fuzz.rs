@@ -1,0 +1,135 @@
+//! Fuzzing of the protocol decode paths: arbitrary bytes, truncations of
+//! valid frames, and bit-flipped valid frames must come back as `Err` (or
+//! a clean `Ok(None)` end-of-stream) — never a panic, and never an
+//! allocation sized by a hostile header rather than by received bytes.
+
+use flb_core::{AlgorithmId, ScheduleRequest};
+use flb_graph::gen;
+use flb_sched::Machine;
+use flb_service::proto::{self, Request, MAGIC, MAX_FRAME};
+use proptest::prelude::*;
+use std::io::Read;
+
+/// An arbitrary protocol request (all four kinds, varied graph shapes).
+fn request_strategy() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        Just(Request::Ping),
+        Just(Request::Stats),
+        Just(Request::Shutdown),
+        (2usize..10, 1usize..4, 0u64..100).prop_map(|(n, procs, deadline_ms)| {
+            Request::Schedule {
+                request: Box::new(ScheduleRequest::new(
+                    AlgorithmId::Flb,
+                    gen::chain(n),
+                    Machine::new(procs),
+                )),
+                deadline_ms,
+            }
+        }),
+    ]
+}
+
+/// The full frame bytes (header + payload) for a request.
+fn frame_of(req: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    proto::write_request(&mut out, req).expect("encode into Vec");
+    out
+}
+
+/// The wire constant is part of the persisted snapshot format and the
+/// anti-allocation contract; changing it silently would break both.
+#[test]
+fn max_frame_is_pinned() {
+    assert_eq!(MAX_FRAME, 64 << 20, "MAX_FRAME is a wire-format constant");
+}
+
+#[test]
+fn oversize_length_prefix_is_rejected_before_any_payload() {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&MAGIC.to_le_bytes());
+    bytes.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+    let err = proto::read_frame(&mut &bytes[..]).unwrap_err();
+    assert!(err.to_string().contains("MAX_FRAME"), "{err}");
+}
+
+/// A header may lie about the payload length; the reader must fail on the
+/// missing bytes without having trusted the claim for its allocation.
+/// (Allocation is bounded by *received* bytes; with a `Read` source of 0
+/// payload bytes this returns promptly instead of zeroing 64 MiB.)
+#[test]
+fn huge_claimed_length_with_no_payload_fails_fast() {
+    struct HeaderOnly(Vec<u8>, usize);
+    impl Read for HeaderOnly {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = (self.0.len() - self.1).min(buf.len());
+            buf[..n].copy_from_slice(&self.0[self.1..self.1 + n]);
+            self.1 += n;
+            Ok(n)
+        }
+    }
+    let mut header = Vec::new();
+    header.extend_from_slice(&MAGIC.to_le_bytes());
+    header.extend_from_slice(&MAX_FRAME.to_le_bytes());
+    let err = proto::read_frame(&mut HeaderOnly(header, 0)).unwrap_err();
+    assert!(err.to_string().contains("EOF"), "{err}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_frame_reader(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256)
+    ) {
+        // Ok(None), Ok(Some) and Err are all acceptable; panics are not.
+        let _ = proto::read_frame(&mut &bytes[..]);
+    }
+
+    #[test]
+    fn arbitrary_payloads_never_panic_the_decoders(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512)
+    ) {
+        let _ = proto::decode_request(&bytes);
+        let _ = proto::decode_response(&bytes);
+    }
+
+    #[test]
+    fn truncated_valid_frames_error_cleanly(
+        req in request_strategy(),
+        cut_seed in any::<u32>()
+    ) {
+        let frame = frame_of(&req);
+        // Any proper prefix: never a successfully decoded frame.
+        let cut = 1 + (cut_seed as usize) % (frame.len() - 1);
+        match proto::read_frame(&mut &frame[..cut]) {
+            Err(_) => {}
+            Ok(got) => prop_assert!(false, "truncation at {cut} produced {got:?}"),
+        }
+    }
+
+    #[test]
+    fn bit_flipped_valid_frames_never_panic(
+        req in request_strategy(),
+        pos_seed in any::<u32>(),
+        bit in 0u32..8
+    ) {
+        let mut frame = frame_of(&req);
+        let pos = (pos_seed as usize) % frame.len();
+        frame[pos] ^= 1 << bit;
+        // A flip in the header usually fails the magic or length check; a
+        // flip in the payload must at worst fail decoding. Either way the
+        // decode chain may reject but must not panic.
+        if let Ok(Some(payload)) = proto::read_frame(&mut &frame[..]) {
+            let _ = proto::decode_request(&payload);
+        }
+    }
+
+    #[test]
+    fn valid_frames_still_roundtrip(req in request_strategy()) {
+        // The hardened reader must not break the happy path.
+        let frame = frame_of(&req);
+        let payload = proto::read_frame(&mut &frame[..]).unwrap().unwrap();
+        let back = proto::decode_request(&payload).unwrap();
+        prop_assert_eq!(format!("{back:?}"), format!("{req:?}"));
+    }
+}
