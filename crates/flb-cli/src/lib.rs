@@ -91,12 +91,17 @@ USAGE:
                 [--cache-file FILE] [--snapshot-interval-ms T]
                 [--read-timeout-ms T] [--write-timeout-ms T]
                 [--frame-deadline-ms T] [--idle-timeout-ms T]
+                [--tenant-quota RATE[:BURST]] [--shed-policy POLICY]
+                [--reserved-slots N] [--tenant-backlog-cap N]
+                [--breaker-threshold N] [--breaker-cooldown-ms T]
                 [--chaos-markers]
   flb submit    [--listen ADDR] <graph opts> [--alg A] [--procs P | --speeds ...]
-                [--deadline-ms T] [--repeat N] [--retries N] [--check]
-                [--save FILE] | --ping | --stats | --shutdown
+                [--tenant NAME] [--deadline-ms T] [--repeat N] [--retries N]
+                [--check] [--save FILE] | --ping | --stats | --shutdown
   flb chaos     [--listen ADDR] [--seed S] [--scenarios N] [--flood N]
                 [--probe-every N] [--inject-panics] [--expect-workers N]
+                [--tenant-chaos] [--flood-threads N] [--flood-ms T]
+                [--probe-requests N]
 
 SERVICE OPTIONS: --listen takes `HOST:PORT` (default 127.0.0.1:7171) or
   `unix:/path/to.sock` for a Unix-domain socket. `serve --cache-file`
@@ -104,8 +109,17 @@ SERVICE OPTIONS: --listen takes `HOST:PORT` (default 127.0.0.1:7171) or
   shutdown (and every --snapshot-interval-ms while running) and reloaded
   on boot; a corrupt snapshot is quarantined to FILE.corrupt, never
   fatal. Timeout flags take milliseconds; 0 disables that limit.
-  `--chaos-markers` honors the chaos panic-injection graph names and
-  belongs in test rigs only.
+  `--tenant-quota 100:25` admits 100 requests/s per tenant with a burst
+  of 25 (burst defaults to one second's worth); over-quota work is shed
+  per --shed-policy `none` | `graduated` (default: over-quota rides
+  along while the service is healthy) | `strict`. --breaker-threshold
+  consecutive failures quarantine a tenant until --breaker-cooldown-ms
+  passes (0 disables the breaker). `submit --tenant` names the tenant a
+  request is accounted to; unnamed requests are per-connection
+  anonymous tenants. `--chaos-markers` honors the chaos panic-injection
+  graph names and belongs in test rigs only; `chaos --tenant-chaos`
+  adds tenant floods, quota edges, breaker flapping and the measured
+  isolation invariant to a chaos run.
 
 MACHINE OPTIONS (schedule/compare): --procs P for the paper's homogeneous
   machine, or --speeds 1,1,2,4 for related processors (integer slowdowns).
@@ -761,6 +775,18 @@ fn load_endpoint(a: &Args<'_>) -> flb_service::Endpoint {
 fn cmd_serve(a: &Args<'_>) -> Result<String, CliError> {
     let endpoint = load_endpoint(a);
     let defaults = flb_service::ServiceConfig::default();
+    let (tenant_rate, tenant_burst) = match a.value("--tenant-quota") {
+        None => (defaults.tenant_rate, defaults.tenant_burst),
+        Some(spec) => parse_quota(spec)?,
+    };
+    let shed_policy = match a.value("--shed-policy") {
+        None => defaults.shed_policy,
+        Some(s) => flb_service::ShedPolicy::parse(s).ok_or_else(|| {
+            err(format!(
+                "invalid --shed-policy {s:?}: expected none, graduated or strict"
+            ))
+        })?,
+    };
     let cfg = flb_service::ServiceConfig {
         workers: a.parsed("--workers", defaults.workers)?,
         queue_capacity: a.parsed("--queue", defaults.queue_capacity)?,
@@ -772,6 +798,13 @@ fn cmd_serve(a: &Args<'_>) -> Result<String, CliError> {
         cache_file: a.value("--cache-file").map(std::path::PathBuf::from),
         snapshot_interval_ms: a.parsed("--snapshot-interval-ms", defaults.snapshot_interval_ms)?,
         panic_injection: a.flag("--chaos-markers"),
+        tenant_rate,
+        tenant_burst,
+        shed_policy,
+        reserved_slots: a.parsed("--reserved-slots", defaults.reserved_slots)?,
+        tenant_backlog_cap: a.parsed("--tenant-backlog-cap", defaults.tenant_backlog_cap)?,
+        breaker_threshold: a.parsed("--breaker-threshold", defaults.breaker_threshold)?,
+        breaker_cooldown_ms: a.parsed("--breaker-cooldown-ms", defaults.breaker_cooldown_ms)?,
         ..defaults
     };
     let workers = cfg.workers;
@@ -784,11 +817,36 @@ fn cmd_serve(a: &Args<'_>) -> Result<String, CliError> {
     Ok("service stopped\n".to_owned())
 }
 
+/// Parses `RATE[:BURST]` for `--tenant-quota` (both positive floats).
+fn parse_quota(spec: &str) -> Result<(f64, f64), CliError> {
+    let bad = || {
+        err(format!(
+            "invalid --tenant-quota {spec:?}: want RATE[:BURST]"
+        ))
+    };
+    let (rate_s, burst_s) = match spec.split_once(':') {
+        Some((r, b)) => (r, Some(b)),
+        None => (spec, None),
+    };
+    let rate: f64 = rate_s.trim().parse().map_err(|_| bad())?;
+    let burst: f64 = match burst_s {
+        Some(b) => b.trim().parse().map_err(|_| bad())?,
+        None => 0.0, // service default: one second's worth of rate
+    };
+    if !rate.is_finite() || rate < 0.0 || !burst.is_finite() || burst < 0.0 {
+        return Err(bad());
+    }
+    Ok((rate, burst))
+}
+
 /// `submit`: one client interaction with a running daemon.
 fn cmd_submit(a: &Args<'_>) -> Result<String, CliError> {
     let endpoint = load_endpoint(a);
     let mut client = flb_service::Client::connect(&endpoint)
         .map_err(|e| err(format!("cannot connect to {endpoint}: {e}")))?;
+    if let Some(tenant) = a.value("--tenant") {
+        client.set_tenant(tenant);
+    }
     fn fail(what: &'static str) -> impl Fn(std::io::Error) -> CliError {
         move |e| err(format!("{what} failed: {e}"))
     }
@@ -836,6 +894,12 @@ fn cmd_submit(a: &Args<'_>) -> Result<String, CliError> {
             flb_service::Submission::Busy { retry_after_ms } => {
                 return Err(err(format!(
                     "service busy (retry after {retry_after_ms} ms); giving up after {retries} retries"
+                )));
+            }
+            flb_service::Submission::Overloaded { retry_after_ms } => {
+                return Err(err(format!(
+                    "service overloaded / tenant over quota (retry after {retry_after_ms} ms); \
+                     giving up after {retries} retries"
                 )));
             }
             flb_service::Submission::Expired => {
@@ -888,6 +952,11 @@ fn cmd_chaos(a: &Args<'_>) -> Result<String, CliError> {
             .map(str::parse)
             .transpose()
             .map_err(|_| err("invalid value for --expect-workers"))?,
+        tenant_chaos: a.flag("--tenant-chaos"),
+        flood_threads: a.parsed("--flood-threads", defaults.flood_threads)?,
+        flood_ms: a.parsed("--flood-ms", defaults.flood_ms)?,
+        probe_requests: a.parsed("--probe-requests", defaults.probe_requests)?,
+        isolation_floor_us: defaults.isolation_floor_us,
     };
     if cfg.scenarios == 0 {
         return Err(err("--scenarios must be at least 1"));
@@ -1330,6 +1399,98 @@ mod tests {
     }
 
     #[test]
+    fn quota_flags_shed_over_quota_tenants_via_cli() {
+        let sock = std::env::temp_dir().join(format!("flb-cli-quota-{}.sock", std::process::id()));
+        let listen = format!("unix:{}", sock.display());
+
+        let server = {
+            let listen = listen.clone();
+            std::thread::spawn(move || {
+                run_str(&[
+                    "serve",
+                    "--listen",
+                    &listen,
+                    "--workers",
+                    "2",
+                    "--tenant-quota",
+                    "1:2",
+                    "--shed-policy",
+                    "strict",
+                ])
+            })
+        };
+        let mut ready = false;
+        for _ in 0..200 {
+            if run_str(&["submit", "--listen", &listen, "--ping"]).is_ok() {
+                ready = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert!(ready, "daemon never became reachable on {listen}");
+
+        // Distinct graphs (seeded) so the cache cannot answer; a burst of
+        // 2 at 1 req/s means the third rapid submission is shed. --retries
+        // 0 surfaces the rejection instead of sleeping through the refill.
+        let submit = |seed: &str, tenant: &str| {
+            run_str(&[
+                "submit",
+                "--listen",
+                &listen,
+                "--family",
+                "lu",
+                "--tasks",
+                "6",
+                "--seed",
+                seed,
+                "--alg",
+                "flb",
+                "--procs",
+                "2",
+                "--tenant",
+                tenant,
+                "--retries",
+                "0",
+            ])
+        };
+        assert!(submit("1", "team-a").is_ok());
+        assert!(submit("2", "team-a").is_ok());
+        let third = submit("3", "team-a").expect_err("burst spent: must be shed");
+        assert!(third.to_string().contains("over quota"), "{third}");
+        // Another tenant's bucket is untouched.
+        assert!(submit("4", "team-b").is_ok());
+
+        // Per-tenant accounting shows up in the stats block.
+        let stats = run_str(&["submit", "--listen", &listen, "--stats"]).unwrap();
+        assert!(stats.contains("team-a"), "{stats}");
+        assert!(stats.contains("overload state"), "{stats}");
+
+        run_str(&["submit", "--listen", &listen, "--shutdown"]).unwrap();
+        server.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn quota_and_policy_flag_validation() {
+        assert_eq!(parse_quota("100").unwrap(), (100.0, 0.0));
+        assert_eq!(parse_quota("100:25").unwrap(), (100.0, 25.0));
+        assert_eq!(parse_quota("0.5:1.5").unwrap(), (0.5, 1.5));
+        assert!(parse_quota("abc").is_err());
+        assert!(parse_quota("100:").is_err());
+        assert!(parse_quota("-1").is_err());
+        assert!(parse_quota("1:-2").is_err());
+        // Bad policy names are rejected before the daemon binds anything.
+        let e = run_str(&[
+            "serve",
+            "--listen",
+            "unix:/tmp/never.sock",
+            "--shed-policy",
+            "bogus",
+        ])
+        .expect_err("bogus policy");
+        assert!(e.to_string().contains("--shed-policy"), "{e}");
+    }
+
+    #[test]
     fn chaos_against_a_marker_enabled_daemon() {
         let sock = std::env::temp_dir().join(format!("flb-cli-chaos-{}.sock", std::process::id()));
         let listen = format!("unix:{}", sock.display());
@@ -1357,6 +1518,9 @@ mod tests {
         }
         assert!(ready, "daemon never became reachable on {listen}");
 
+        // --tenant-chaos adds one round of the four tenant scenarios
+        // (60/100 rounds to 1) plus the isolation experiment, so the
+        // scenario count lands at 64.
         let out = run_str(&[
             "chaos",
             "--listen",
@@ -1368,11 +1532,19 @@ mod tests {
             "--inject-panics",
             "--expect-workers",
             "2",
+            "--tenant-chaos",
+            "--flood-ms",
+            "600",
+            "--probe-requests",
+            "8",
         ])
         .unwrap();
-        assert!(out.contains("scenarios       60"), "{out}");
+        assert!(out.contains("scenarios       64"), "{out}");
         assert!(out.contains("failures        0"), "{out}");
         assert!(out.contains("panics injected"), "{out}");
+        assert!(out.contains("tenant floods   1"), "{out}");
+        assert!(out.contains("breaker flaps   1"), "{out}");
+        assert!(out.contains("probe shed      0"), "{out}");
 
         // The survivor still serves a correct schedule afterwards.
         let post = run_str(&[

@@ -19,7 +19,7 @@
 //! Every scenario is derived from one [`StdRng`] stream, so a failing
 //! run is reproducible from its seed alone.
 
-use crate::client::Client;
+use crate::client::{Client, Submission};
 use crate::proto::{encode_request, read_response, Request, MAGIC, MAX_FRAME};
 use crate::server::{Endpoint, HARD_PANIC_MARKER, PANIC_MARKER};
 use flb_core::{AlgorithmId, ScheduleRequest};
@@ -30,6 +30,8 @@ use rand::{Rng, SeedableRng};
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Tuning knobs of a chaos run.
@@ -49,6 +51,22 @@ pub struct ChaosConfig {
     pub inject_panics: bool,
     /// Assert the pool is back at this size after the run.
     pub expect_workers: Option<u64>,
+    /// Run the tenant-overload scenarios (floods, quota edges, breaker
+    /// flapping, priority inversion) and the end-of-run isolation
+    /// experiment with its machine-checked invariants.
+    pub tenant_chaos: bool,
+    /// Threads tight-looping as the flooding tenant in the isolation
+    /// experiment.
+    pub flood_threads: usize,
+    /// Upper bound on the flood's duration, in milliseconds.
+    pub flood_ms: u64,
+    /// Paced probe-tenant requests per isolation measurement phase.
+    pub probe_requests: u32,
+    /// Floor under the baseline p99 used by the isolation bound, in
+    /// microseconds: the invariant is
+    /// `flooded_p99 <= 3 * max(baseline_p99, floor)`, so a near-zero
+    /// unloaded baseline does not make the bound impossibly tight.
+    pub isolation_floor_us: u64,
 }
 
 impl Default for ChaosConfig {
@@ -60,6 +78,11 @@ impl Default for ChaosConfig {
             probe_every: 25,
             inject_panics: false,
             expect_workers: None,
+            tenant_chaos: false,
+            flood_threads: 4,
+            flood_ms: 2_000,
+            probe_requests: 30,
+            isolation_floor_us: 50_000,
         }
     }
 }
@@ -85,6 +108,20 @@ pub struct ChaosReport {
     pub panics_injected: u64,
     /// Worker threads killed via the hard marker.
     pub hard_kills: u64,
+    /// Tenant-flood scenarios (one tenant bursting past any sane quota).
+    pub tenant_floods: u64,
+    /// Quota-edge scenarios (a hog bursting while a bystander submits).
+    pub quota_edges: u64,
+    /// Breaker-flap scenarios (panic until open, verify half-open heal).
+    pub breaker_flaps: u64,
+    /// Priority-inversion scenarios (elephant backlog vs. a small job).
+    pub priority_inversions: u64,
+    /// Probe-tenant p99 latency with the service unloaded, microseconds.
+    pub baseline_p99_us: u64,
+    /// Probe-tenant p99 latency while one tenant floods, microseconds.
+    pub flooded_p99_us: u64,
+    /// Probe-tenant requests shed during the flood (must be zero).
+    pub probe_shed: u64,
     /// Well-formed probes that were served correctly.
     pub probes_ok: u64,
     /// Invariant violations; an empty list means the run passed.
@@ -110,6 +147,10 @@ impl ChaosReport {
             + self.oversize_frames
             + self.panics_injected
             + self.hard_kills
+            + self.tenant_floods
+            + self.quota_edges
+            + self.breaker_flaps
+            + self.priority_inversions
     }
 
     /// Renders the report as an aligned key/value block.
@@ -127,6 +168,13 @@ impl ChaosReport {
         let _ = writeln!(out, "oversize frames {}", self.oversize_frames);
         let _ = writeln!(out, "panics injected {}", self.panics_injected);
         let _ = writeln!(out, "hard kills      {}", self.hard_kills);
+        let _ = writeln!(out, "tenant floods   {}", self.tenant_floods);
+        let _ = writeln!(out, "quota edges     {}", self.quota_edges);
+        let _ = writeln!(out, "breaker flaps   {}", self.breaker_flaps);
+        let _ = writeln!(out, "prio inversions {}", self.priority_inversions);
+        let _ = writeln!(out, "baseline p99 us {}", self.baseline_p99_us);
+        let _ = writeln!(out, "flooded p99 us  {}", self.flooded_p99_us);
+        let _ = writeln!(out, "probe shed      {}", self.probe_shed);
         let _ = writeln!(out, "probes ok       {}", self.probes_ok);
         let _ = writeln!(out, "failures        {}", self.failures.len());
         for f in &self.failures {
@@ -228,7 +276,31 @@ fn ordinary_request(rng: &mut StdRng, deadline_ms: u64) -> Request {
     Request::Schedule {
         request: Box::new(ScheduleRequest::new(alg, graph, machine)),
         deadline_ms,
+        tenant: String::new(),
     }
+}
+
+/// Monotone source of globally unique comp costs for [`unique_graph`].
+static UNIQUE_COST: AtomicU64 = AtomicU64::new(0);
+
+/// A chain graph with globally unique comp costs, so every submission
+/// misses the fingerprint cache and must traverse the admission-
+/// controlled queue — a cache hit would bypass the overload layer and
+/// make the tenant scenarios toothless. Costs start at 10M, far above
+/// both ordinary traffic and the 1M-range marker graphs.
+fn unique_graph(name: &str, tasks: usize) -> TaskGraph {
+    let serial = UNIQUE_COST.fetch_add(1, Ordering::Relaxed);
+    let base = 10_000_000 + serial * 1_000;
+    let mut b = TaskGraphBuilder::named(name);
+    let mut prev = None;
+    for i in 0..tasks.clamp(1, 999) {
+        let t = b.add_task(base + i as u64);
+        if let Some(p) = prev {
+            b.add_edge(p, t, 2).expect("chain edge");
+        }
+        prev = Some(t);
+    }
+    b.build().expect("unique graph")
 }
 
 fn scenario_torn_frame(rng: &mut StdRng, endpoint: &Endpoint) -> io::Result<()> {
@@ -355,6 +427,289 @@ fn scenario_hard_kill(
     Ok(())
 }
 
+/// One named tenant bursts far past any sane quota on a single
+/// connection. Every reply must be structured — schedule, busy,
+/// overloaded or expired, never a protocol error — and the connection
+/// must stay usable afterwards.
+fn scenario_tenant_flood(
+    rng: &mut StdRng,
+    endpoint: &Endpoint,
+    failures: &mut Vec<String>,
+) -> io::Result<()> {
+    let mut client = Client::connect_as(endpoint, "chaos-burst")?;
+    for _ in 0..24 {
+        let graph = unique_graph("flood-burst", rng.random_range(3..9usize));
+        match client.schedule(AlgorithmId::Flb, graph, Machine::new(2), 0) {
+            Ok(_) => {}
+            Err(e) => {
+                failures.push(format!("tenant flood: unstructured failure: {e}"));
+                return Ok(());
+            }
+        }
+    }
+    if let Err(e) = client.ping() {
+        failures.push(format!("connection unusable after tenant flood: {e}"));
+    }
+    Ok(())
+}
+
+/// A hog tenant bursts while a bystander tenant submits one request:
+/// the bystander must never be *shed* (global `busy` backpressure is
+/// legal, quota punishment for someone else's burst is not).
+fn scenario_quota_edge(
+    rng: &mut StdRng,
+    endpoint: &Endpoint,
+    failures: &mut Vec<String>,
+) -> io::Result<()> {
+    let mut hog = Client::connect_as(endpoint, "chaos-hog")?;
+    for _ in 0..16 {
+        let graph = unique_graph("hog", rng.random_range(3..7usize));
+        let _ = hog.schedule(AlgorithmId::Etf, graph, Machine::new(2), 0);
+    }
+    let mut bystander = Client::connect_as(endpoint, "chaos-bystander")?;
+    let graph = unique_graph("bystander", 4);
+    match bystander.schedule_with_retry(AlgorithmId::Flb, &graph, &Machine::new(2), 0, 6)? {
+        Submission::Done(_) | Submission::Busy { .. } => {}
+        other => failures.push(format!(
+            "quota edge: within-quota bystander punished for the hog's burst: {other:?}"
+        )),
+    }
+    Ok(())
+}
+
+/// Panics as one tenant until its breaker opens, then verifies the
+/// quarantine is per-tenant (a steady tenant is still served) and heals
+/// (the half-open probe readmits the flapping tenant after cooldown).
+fn scenario_breaker_flap(
+    rng: &mut StdRng,
+    endpoint: &Endpoint,
+    failures: &mut Vec<String>,
+) -> io::Result<()> {
+    let mut flappy = Client::connect_as(endpoint, "chaos-flappy")?;
+    let mut opened = false;
+    for _ in 0..12 {
+        let graph = marker_graph(PANIC_MARKER, rng.random_range(1..6usize));
+        match flappy.schedule(AlgorithmId::Flb, graph, Machine::new(2), 0) {
+            Err(e) if e.to_string().contains("circuit breaker") => {
+                opened = true;
+                break;
+            }
+            Err(e) if e.to_string().contains("panicked") => {}
+            other => {
+                failures.push(format!(
+                    "breaker flap: expected panic error or breaker-open, got {other:?}"
+                ));
+                return Ok(());
+            }
+        }
+    }
+    let mut steady = Client::connect_as(endpoint, "chaos-steady")?;
+    let graph = unique_graph("steady", 4);
+    match steady.schedule_with_retry(AlgorithmId::Flb, &graph, &Machine::new(2), 0, 6)? {
+        Submission::Done(_) => {}
+        other => failures.push(format!(
+            "breaker flap: steady tenant caught in flappy's quarantine: {other:?}"
+        )),
+    }
+    if opened {
+        let deadline = Instant::now() + Duration::from_secs(3);
+        loop {
+            let graph = unique_graph("flappy-heal", 4);
+            match flappy.schedule(AlgorithmId::Flb, graph, Machine::new(2), 0) {
+                Ok(Submission::Done(_)) => break,
+                _ if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                other => {
+                    failures.push(format!(
+                        "breaker flap: no half-open recovery after cooldown: {other:?}"
+                    ));
+                    break;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Parks a backlog of expensive jobs from an elephant tenant on idle
+/// connections, then checks a small job from another tenant still
+/// completes promptly — the fair queue must interleave, not FIFO the
+/// mouse behind the herd.
+fn scenario_priority_inversion(
+    rng: &mut StdRng,
+    endpoint: &Endpoint,
+    failures: &mut Vec<String>,
+) -> io::Result<()> {
+    let mut parked = Vec::new();
+    for _ in 0..10 {
+        let mut conn = Raw::connect(endpoint)?;
+        let req = Request::Schedule {
+            request: Box::new(ScheduleRequest::new(
+                AlgorithmId::Etf,
+                unique_graph("elephant", rng.random_range(60..120usize)),
+                Machine::new(4),
+            )),
+            deadline_ms: 0,
+            tenant: "chaos-elephant".into(),
+        };
+        conn.write_all(&frame_bytes(&req))?;
+        parked.push(conn);
+    }
+    let t0 = Instant::now();
+    let mut mouse = Client::connect_as(endpoint, "chaos-mouse")?;
+    let graph = unique_graph("mouse", 4);
+    match mouse.schedule_with_retry(AlgorithmId::Flb, &graph, &Machine::new(2), 0, 8)? {
+        Submission::Done(_) => {
+            if t0.elapsed() > Duration::from_secs(3) {
+                failures.push(format!(
+                    "priority inversion: small job took {:?} behind the elephant backlog",
+                    t0.elapsed()
+                ));
+            }
+        }
+        other => failures.push(format!(
+            "priority inversion: small job not served behind the backlog: {other:?}"
+        )),
+    }
+    // Dropping the parked connections mid-service is the disconnect
+    // scenario all over again; the server is known to tolerate it.
+    drop(parked);
+    Ok(())
+}
+
+/// Latencies and shed count from one paced probe-tenant measurement.
+struct ProbeStats {
+    latencies: Vec<u64>,
+    shed: u64,
+}
+
+/// Submits `n` paced, cache-missing small jobs as the probe tenant,
+/// riding out transient `busy` with short sleeps, and records the end-
+/// to-end latency of each.
+fn paced_probes(endpoint: &Endpoint, n: u32) -> io::Result<ProbeStats> {
+    let mut client = Client::connect_as(endpoint, "chaos-probe")?;
+    let mut out = ProbeStats {
+        latencies: Vec::with_capacity(n as usize),
+        shed: 0,
+    };
+    for _ in 0..n {
+        let graph = unique_graph("probe", 5);
+        let t0 = Instant::now();
+        let mut attempts = 0u32;
+        loop {
+            match client.schedule(AlgorithmId::Flb, graph.clone(), Machine::new(2), 0)? {
+                Submission::Done(_) => {
+                    out.latencies.push(t0.elapsed().as_micros() as u64);
+                    break;
+                }
+                Submission::Busy { retry_after_ms } => {
+                    attempts += 1;
+                    if attempts > 8 {
+                        // Count the stall against the latency rather than
+                        // dropping the sample.
+                        out.latencies.push(t0.elapsed().as_micros() as u64);
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(retry_after_ms.clamp(1, 25)));
+                }
+                Submission::Overloaded { .. } => {
+                    out.shed += 1;
+                    break;
+                }
+                Submission::Expired => break,
+            }
+        }
+        std::thread::sleep(Duration::from_millis(15));
+    }
+    Ok(out)
+}
+
+/// The p99 of a latency sample (0 for an empty sample).
+fn p99_us(latencies: &mut [u64]) -> u64 {
+    if latencies.is_empty() {
+        return 0;
+    }
+    latencies.sort_unstable();
+    let idx = (latencies.len() * 99 / 100).min(latencies.len() - 1);
+    latencies[idx]
+}
+
+/// The machine-checked isolation invariant: measure the probe tenant's
+/// p99 unloaded, then again while `flood_threads` threads tight-loop as
+/// one flooding tenant; the probe p99 must stay within 3x the (floored)
+/// baseline and not one probe request may be shed.
+fn isolation_experiment(endpoint: &Endpoint, cfg: &ChaosConfig, report: &mut ChaosReport) {
+    let mut baseline = match paced_probes(endpoint, cfg.probe_requests) {
+        Ok(s) => s,
+        Err(e) => {
+            report
+                .failures
+                .push(format!("isolation baseline probes failed: {e}"));
+            return;
+        }
+    };
+    report.baseline_p99_us = p99_us(&mut baseline.latencies);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let flood_cap = Duration::from_millis(cfg.flood_ms.max(1));
+    let mut floods = Vec::new();
+    for _ in 0..cfg.flood_threads.max(1) {
+        let endpoint = endpoint.clone();
+        let stop = Arc::clone(&stop);
+        floods.push(std::thread::spawn(move || {
+            let t0 = Instant::now();
+            let mut conn = Client::connect_as(&endpoint, "chaos-flood").ok();
+            while !stop.load(Ordering::Relaxed) && t0.elapsed() < flood_cap {
+                let Some(client) = conn.as_mut() else {
+                    conn = Client::connect_as(&endpoint, "chaos-flood").ok();
+                    continue;
+                };
+                let graph = unique_graph("flood", 40);
+                if client
+                    .schedule(AlgorithmId::Etf, graph, Machine::new(4), 0)
+                    .is_err()
+                {
+                    conn = None; // evicted or breaker-open: reconnect
+                }
+            }
+        }));
+    }
+    // Let the flood saturate admission before measuring.
+    std::thread::sleep(Duration::from_millis(100));
+    let flooded = paced_probes(endpoint, cfg.probe_requests);
+    stop.store(true, Ordering::Relaxed);
+    for f in floods {
+        let _ = f.join();
+    }
+    let mut flooded = match flooded {
+        Ok(s) => s,
+        Err(e) => {
+            report
+                .failures
+                .push(format!("isolation probes under flood failed: {e}"));
+            return;
+        }
+    };
+    report.flooded_p99_us = p99_us(&mut flooded.latencies);
+    report.probe_shed = flooded.shed;
+
+    let bound = 3 * report.baseline_p99_us.max(cfg.isolation_floor_us.max(1));
+    if report.flooded_p99_us > bound {
+        report.failures.push(format!(
+            "isolation violated: probe p99 {} us under flood exceeds the 3x bound {} us \
+             (baseline p99 {} us)",
+            report.flooded_p99_us, bound, report.baseline_p99_us
+        ));
+    }
+    if report.probe_shed > 0 {
+        report.failures.push(format!(
+            "isolation violated: {} within-quota probe requests were shed during the flood",
+            report.probe_shed
+        ));
+    }
+}
+
 /// A well-formed client doing a full ping + schedule round trip; its
 /// success is the "keeps serving legitimate traffic" invariant.
 fn probe(endpoint: &Endpoint, report: &mut ChaosReport) {
@@ -470,6 +825,26 @@ pub fn run(endpoint: &Endpoint, cfg: &ChaosConfig) -> io::Result<ChaosReport> {
             probe(endpoint, &mut report);
         }
     }
+    if cfg.tenant_chaos {
+        // Tenant-overload scenarios run as a deterministic block after
+        // the transport chaos (their invariants assume the service is
+        // reachable, which the main loop just demonstrated).
+        let rounds = (cfg.scenarios / 100).max(1);
+        for _ in 0..rounds {
+            report.tenant_floods += 1;
+            let _ = scenario_tenant_flood(&mut rng, endpoint, &mut report.failures);
+            report.quota_edges += 1;
+            let _ = scenario_quota_edge(&mut rng, endpoint, &mut report.failures);
+            report.priority_inversions += 1;
+            let _ = scenario_priority_inversion(&mut rng, endpoint, &mut report.failures);
+            if cfg.inject_panics {
+                report.breaker_flaps += 1;
+                let _ = scenario_breaker_flap(&mut rng, endpoint, &mut report.failures);
+            }
+            probe(endpoint, &mut report);
+        }
+        isolation_experiment(endpoint, cfg, &mut report);
+    }
     probe(endpoint, &mut report);
     await_recovery(endpoint, cfg.expect_workers, &mut report);
     Ok(report)
@@ -518,9 +893,33 @@ mod tests {
         assert!(r.passed());
         r.torn_frames = 2;
         r.floods = 1;
-        assert_eq!(r.scenarios_run(), 3);
+        r.tenant_floods = 1;
+        r.breaker_flaps = 1;
+        assert_eq!(r.scenarios_run(), 5);
         r.failures.push("x".into());
         assert!(!r.passed());
         assert!(r.render().contains("FAIL: x"));
+        assert!(r.render().contains("probe shed      0"));
+    }
+
+    #[test]
+    fn unique_graphs_never_repeat_a_fingerprint() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..64 {
+            let g = unique_graph("u", 5);
+            assert!(seen.insert(graph_fingerprint(&g)), "fingerprint collision");
+        }
+        // And they stay clear of the marker-graph cost range.
+        let marker = marker_graph(PANIC_MARKER, 5);
+        assert!(!seen.contains(&graph_fingerprint(&marker)));
+    }
+
+    #[test]
+    fn p99_of_sorted_sample_is_near_the_top() {
+        let mut lat: Vec<u64> = (1..=100).collect();
+        assert_eq!(p99_us(&mut lat), 100);
+        let mut one = vec![42];
+        assert_eq!(p99_us(&mut one), 42);
+        assert_eq!(p99_us(&mut []), 0);
     }
 }

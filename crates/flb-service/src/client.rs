@@ -53,6 +53,12 @@ pub enum Submission {
         /// Suggested backoff in milliseconds.
         retry_after_ms: u64,
     },
+    /// Load shed: the service is overloaded (or this tenant is over
+    /// quota) and declined the work; retry after the hint.
+    Overloaded {
+        /// Suggested backoff in milliseconds.
+        retry_after_ms: u64,
+    },
     /// The request's deadline expired while it was queued.
     Expired,
 }
@@ -71,6 +77,9 @@ pub struct ScheduleReply {
 /// A blocking protocol client over one connection.
 pub struct Client {
     conn: Conn,
+    /// Tenant name attached to schedule requests; empty = anonymous
+    /// (the server buckets the connection under a private identity).
+    tenant: String,
 }
 
 fn unexpected(what: &str, resp: &Response) -> io::Error {
@@ -91,7 +100,29 @@ impl Client {
             }
             Endpoint::Unix(path) => Conn::Unix(UnixStream::connect(path)?),
         };
-        Ok(Client { conn })
+        Ok(Client {
+            conn,
+            tenant: String::new(),
+        })
+    }
+
+    /// Connects and identifies as `tenant` on every schedule request.
+    pub fn connect_as(endpoint: &Endpoint, tenant: &str) -> io::Result<Client> {
+        let mut client = Client::connect(endpoint)?;
+        client.set_tenant(tenant);
+        Ok(client)
+    }
+
+    /// Sets the tenant name attached to subsequent schedule requests
+    /// (empty reverts to anonymous).
+    pub fn set_tenant(&mut self, tenant: &str) {
+        self.tenant = tenant.to_owned();
+    }
+
+    /// The tenant name currently attached to schedule requests.
+    #[must_use]
+    pub fn tenant(&self) -> &str {
+        &self.tenant
     }
 
     fn round_trip(&mut self, req: &Request) -> io::Result<Response> {
@@ -121,6 +152,7 @@ impl Client {
         let req = Request::Schedule {
             request: Box::new(ScheduleRequest::new(algorithm, graph, machine)),
             deadline_ms,
+            tenant: self.tenant.clone(),
         };
         match self.round_trip(&req)? {
             Response::Schedule {
@@ -133,6 +165,16 @@ impl Client {
                 micros,
             })),
             Response::Busy { retry_after_ms } => Ok(Submission::Busy { retry_after_ms }),
+            Response::Overloaded { retry_after_ms } => {
+                Ok(Submission::Overloaded { retry_after_ms })
+            }
+            Response::BreakerOpen { retry_after_ms } => Err(io::Error::new(
+                io::ErrorKind::PermissionDenied,
+                format!(
+                    "circuit breaker open for this tenant (cooling down, \
+                     retry in ~{retry_after_ms} ms)"
+                ),
+            )),
             Response::Expired => Ok(Submission::Expired),
             Response::ShuttingDown => Err(io::Error::other("service is shutting down")),
             resp => Err(unexpected("schedule", &resp)),
@@ -159,11 +201,14 @@ impl Client {
 
     /// Submits with bounded busy-retry under an explicit [`RetryPolicy`].
     ///
-    /// Each `busy` response triggers a sleep of the policy's backoff for
-    /// that attempt (hint-based, exponentially growing, jittered), then a
-    /// resubmission. Once the retry budget is spent, the final response —
-    /// including `busy` — is returned to the caller, who decides how to
-    /// surface exhaustion.
+    /// Each `busy` or `overloaded` response triggers a sleep of the
+    /// policy's backoff for that attempt (hint-based, exponentially
+    /// growing, jittered), then a resubmission. Total sleep is further
+    /// capped by [`RetryPolicy::budget_ms`]. Once the retry budget is
+    /// spent, the final response — including `busy`/`overloaded` — is
+    /// returned to the caller, who decides how to surface exhaustion.
+    /// A breaker-open response is an error, never retried: the server
+    /// has quarantined this tenant and retries only prolong the cooldown.
     pub fn schedule_with_policy(
         &mut self,
         algorithm: AlgorithmId,
@@ -173,14 +218,26 @@ impl Client {
         policy: &RetryPolicy,
     ) -> io::Result<Submission> {
         let mut rng = policy.jitter.then(RetryPolicy::jitter_rng);
+        let mut slept_ms: u64 = 0;
         for attempt in 0..policy.max_retries {
-            match self.schedule(algorithm, graph.clone(), machine.clone(), deadline_ms)? {
-                Submission::Busy { retry_after_ms } => {
-                    let ms = policy.backoff_ms(attempt, retry_after_ms, rng.as_mut());
-                    std::thread::sleep(Duration::from_millis(ms));
-                }
-                done => return Ok(done),
+            let hint =
+                match self.schedule(algorithm, graph.clone(), machine.clone(), deadline_ms)? {
+                    Submission::Busy { retry_after_ms }
+                    | Submission::Overloaded { retry_after_ms } => retry_after_ms,
+                    done => return Ok(done),
+                };
+            let want = policy.backoff_ms(attempt, hint, rng.as_mut());
+            let room = policy.budget_ms.saturating_sub(slept_ms);
+            if policy.budget_ms > 0 && room == 0 {
+                break; // budget exhausted: surface the rejection
             }
+            let ms = if policy.budget_ms > 0 {
+                want.min(room)
+            } else {
+                want
+            };
+            std::thread::sleep(Duration::from_millis(ms));
+            slept_ms = slept_ms.saturating_add(ms);
         }
         self.schedule(algorithm, graph.clone(), machine.clone(), deadline_ms)
     }
@@ -218,6 +275,10 @@ pub struct RetryPolicy {
     pub base_ms: u64,
     /// Upper bound on the deterministic backoff per attempt.
     pub cap_ms: u64,
+    /// Upper bound on *total* sleep across all retries, in milliseconds
+    /// (0 = unbounded). Keeps a client from stacking server hints into
+    /// an unbounded stall when the service stays overloaded.
+    pub budget_ms: u64,
     /// Whether to add random jitter on top of the deterministic backoff.
     pub jitter: bool,
 }
@@ -228,6 +289,7 @@ impl Default for RetryPolicy {
             max_retries: 4,
             base_ms: 10,
             cap_ms: 1_000,
+            budget_ms: 10_000,
             jitter: true,
         }
     }
@@ -280,6 +342,16 @@ mod tests {
         let p = RetryPolicy::default();
         assert_eq!(p.backoff_ms(30, 500, None), p.cap_ms);
         assert_eq!(p.backoff_ms(u32::MAX, u64::MAX, None), p.cap_ms);
+    }
+
+    #[test]
+    fn default_policy_bounds_total_sleep() {
+        let p = RetryPolicy::default();
+        assert!(p.budget_ms > 0, "total-sleep budget on by default");
+        assert!(
+            p.budget_ms >= p.cap_ms,
+            "budget must allow at least one max-length sleep"
+        );
     }
 
     #[test]

@@ -12,6 +12,15 @@
 //! Live counters ([`metrics`]) — request totals, hit rate, p50/p99 latency,
 //! queue depth, per-algorithm counts — are served by a `stats` request.
 //!
+//! Ingress is governed by an overload-resilience layer ([`overload`]):
+//! requests carry a tenant identity (explicit, or anonymous per
+//! connection), each tenant is admission-controlled by a token bucket
+//! and served from a weighted-fair queue, a graduated governor
+//! (Healthy → Shedding → Emergency) sheds over-quota work first with a
+//! structured `overloaded` reply, and a per-tenant circuit breaker
+//! quarantines tenants whose requests repeatedly panic or blow
+//! deadlines — so one abusive tenant cannot starve the rest.
+//!
 //! Everything is `std`-only: no external network or async dependencies.
 //!
 //! ```no_run
@@ -38,6 +47,7 @@ pub mod chaos;
 pub mod client;
 pub mod fingerprint;
 pub mod metrics;
+pub mod overload;
 pub mod proto;
 pub mod server;
 pub mod snapshot;
@@ -46,6 +56,10 @@ pub use cache::ShardedLru;
 pub use chaos::{ChaosConfig, ChaosReport};
 pub use client::{Client, RetryPolicy, ScheduleReply, Submission};
 pub use fingerprint::{graph_fingerprint, request_fingerprint};
-pub use metrics::{Gauges, Metrics, StatsSnapshot};
+pub use metrics::{Gauges, Metrics, StatsSnapshot, TenantStat};
+pub use overload::{
+    Breaker, Decision, OverloadConfig, OverloadCtl, OverloadState, ShedPolicy, TenantId,
+    TokenBucket,
+};
 pub use proto::{Request, Response};
 pub use server::{serve, Endpoint, ServiceConfig, ServiceHandle, HARD_PANIC_MARKER, PANIC_MARKER};

@@ -1,8 +1,11 @@
 //! Live service counters: lock-free atomics updated on every request,
 //! snapshotted on demand by the `stats` protocol request.
 
+use crate::overload::OverloadState;
 use flb_core::AlgorithmId;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+pub use crate::overload::TenantStat;
 
 const N_ALGS: usize = AlgorithmId::ALL.len();
 
@@ -73,6 +76,10 @@ pub struct Metrics {
     pub scheduler_invocations: AtomicU64,
     /// Requests rejected with a backpressure (busy) response.
     pub rejected: AtomicU64,
+    /// Requests shed by overload policy (`overloaded` responses).
+    pub shed: AtomicU64,
+    /// Requests rejected by an open per-tenant circuit breaker.
+    pub breaker_rejected: AtomicU64,
     /// Requests whose deadline expired while queued.
     pub expired: AtomicU64,
     /// Requests answered with a protocol error.
@@ -110,9 +117,10 @@ impl Metrics {
     }
 
     /// A consistent point-in-time copy of every counter. The [`Gauges`]
-    /// are instantaneous values owned by the server and passed in.
+    /// are instantaneous values owned by the server and passed in, as
+    /// are the per-tenant rows (aggregated by the admission controller).
     #[must_use]
-    pub fn snapshot(&self, gauges: Gauges) -> StatsSnapshot {
+    pub fn snapshot(&self, gauges: Gauges, per_tenant: Vec<TenantStat>) -> StatsSnapshot {
         let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
         StatsSnapshot {
             requests: get(&self.requests),
@@ -121,6 +129,8 @@ impl Metrics {
             cache_misses: get(&self.cache_misses),
             scheduler_invocations: get(&self.scheduler_invocations),
             rejected: get(&self.rejected),
+            shed: get(&self.shed),
+            breaker_rejected: get(&self.breaker_rejected),
             expired: get(&self.expired),
             errors: get(&self.errors),
             io_timeouts: get(&self.io_timeouts),
@@ -134,12 +144,16 @@ impl Metrics {
             workers: gauges.workers,
             cache_entries: gauges.cache_entries,
             open_connections: gauges.open_connections,
+            overload_state: gauges.overload_state,
+            overload_transitions: gauges.overload_transitions,
+            tenants_tracked: gauges.tenants_tracked,
             p50_us: self.latency.quantile(0.50),
             p99_us: self.latency.quantile(0.99),
             per_algorithm: AlgorithmId::ALL
                 .into_iter()
                 .map(|a| (a, get(&self.per_algorithm[a.code() as usize])))
                 .collect(),
+            per_tenant,
         }
     }
 }
@@ -157,6 +171,12 @@ pub struct Gauges {
     pub cache_entries: u64,
     /// Connection threads currently open.
     pub open_connections: u64,
+    /// The overload governor's current state.
+    pub overload_state: OverloadState,
+    /// Governor state transitions since boot.
+    pub overload_transitions: u64,
+    /// Tenants currently tracked by the admission controller.
+    pub tenants_tracked: u64,
 }
 
 /// A point-in-time copy of the service counters, as carried by the
@@ -175,6 +195,10 @@ pub struct StatsSnapshot {
     pub scheduler_invocations: u64,
     /// Requests rejected with a backpressure response.
     pub rejected: u64,
+    /// Requests shed by overload policy (`overloaded` responses).
+    pub shed: u64,
+    /// Requests rejected by an open per-tenant circuit breaker.
+    pub breaker_rejected: u64,
     /// Requests whose deadline expired while queued.
     pub expired: u64,
     /// Requests answered with a protocol error.
@@ -201,12 +225,20 @@ pub struct StatsSnapshot {
     pub cache_entries: u64,
     /// Connection threads open at snapshot time.
     pub open_connections: u64,
+    /// The overload governor's state at snapshot time.
+    pub overload_state: OverloadState,
+    /// Governor state transitions since boot.
+    pub overload_transitions: u64,
+    /// Tenants tracked by the admission controller at snapshot time.
+    pub tenants_tracked: u64,
     /// Approximate median schedule-request latency (µs).
     pub p50_us: u64,
     /// Approximate 99th-percentile schedule-request latency (µs).
     pub p99_us: u64,
     /// Schedule requests per algorithm.
     pub per_algorithm: Vec<(AlgorithmId, u64)>,
+    /// Per-tenant admission counters, aggregated by display name.
+    pub per_tenant: Vec<TenantStat>,
 }
 
 impl StatsSnapshot {
@@ -253,6 +285,23 @@ impl StatsSnapshot {
                 let _ = writeln!(out, "  {:<13} {n}", alg.name());
             }
         }
+        let _ = writeln!(out, "shed (overload) {}", self.shed);
+        let _ = writeln!(out, "breaker reject  {}", self.breaker_rejected);
+        let _ = writeln!(out, "overload state  {}", self.overload_state.name());
+        let _ = writeln!(out, "state changes   {}", self.overload_transitions);
+        let _ = writeln!(out, "tenants tracked {}", self.tenants_tracked);
+        for t in &self.per_tenant {
+            let _ = writeln!(
+                out,
+                "  tenant {:<12} adm {} shed {} brk {}{} wait p99 {} us",
+                t.name,
+                t.admitted,
+                t.shed,
+                t.breaker_rejected,
+                if t.breaker_open { " OPEN" } else { "" },
+                t.wait_p99_us
+            );
+        }
         out
     }
 }
@@ -292,12 +341,26 @@ mod tests {
         m.count_algorithm(AlgorithmId::Etf);
         Metrics::bump(&m.worker_panics);
         Metrics::bump(&m.io_timeouts);
-        let s = m.snapshot(Gauges {
-            queue_depth: 3,
-            workers: 4,
-            cache_entries: 5,
-            open_connections: 2,
-        });
+        Metrics::bump(&m.shed);
+        Metrics::bump(&m.breaker_rejected);
+        let s = m.snapshot(
+            Gauges {
+                queue_depth: 3,
+                workers: 4,
+                cache_entries: 5,
+                open_connections: 2,
+                overload_state: OverloadState::Shedding,
+                overload_transitions: 1,
+                tenants_tracked: 2,
+            },
+            vec![TenantStat {
+                name: "team-a".into(),
+                admitted: 7,
+                shed: 1,
+                breaker_open: true,
+                ..TenantStat::default()
+            }],
+        );
         assert_eq!(s.requests, 2);
         assert_eq!(s.cache_hits, 1);
         assert_eq!(s.queue_depth, 3);
@@ -316,6 +379,15 @@ mod tests {
             1
         );
         assert_eq!(s.hit_rate(), 1.0);
-        assert!(s.render().contains("cache hits      1"));
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.breaker_rejected, 1);
+        assert_eq!(s.overload_state, OverloadState::Shedding);
+        assert_eq!(s.tenants_tracked, 2);
+        let rendered = s.render();
+        assert!(rendered.contains("cache hits      1"));
+        assert!(rendered.contains("shed (overload) 1"));
+        assert!(rendered.contains("overload state  shedding"));
+        assert!(rendered.contains("tenant team-a"));
+        assert!(rendered.contains("OPEN"));
     }
 }

@@ -8,13 +8,21 @@
 //! payload        kind byte + body, encoded with flb_sched::io::wire
 //! ```
 //!
-//! Requests: `schedule` (algorithm + deadline + machine + graph),
-//! `stats`, `ping`, `shutdown`. Responses: `schedule` (cached flag +
-//! service time + schedule), `busy` (backpressure, with a retry hint),
+//! Requests: `schedule` (algorithm + deadline + machine + graph +
+//! tenant), `stats`, `ping`, `shutdown`. Responses: `schedule` (cached
+//! flag + service time + schedule), `busy` (backpressure, with a retry
+//! hint), `expired`, `overloaded` (policy shed, with a retry hint),
+//! `breaker-open` (the tenant's circuit breaker rejected the request),
 //! `stats`, `error`, `pong`, `shutting-down`. The codec is symmetric and
 //! pure, so both ends round-trip through the same functions.
+//!
+//! Extension fields ride at the *end* of their frames (the tenant name
+//! after the graph, the overload counters after the per-algorithm
+//! table), so a decoder reading an older peer's frame sees them absent
+//! and fills in defaults — old field order is never disturbed.
 
-use crate::metrics::StatsSnapshot;
+use crate::metrics::{StatsSnapshot, TenantStat};
+use crate::overload::{OverloadState, MAX_TENANT_NAME};
 use flb_core::{AlgorithmId, ScheduleRequest};
 use flb_sched::io::wire::{self, Reader, WireError, Writer};
 use flb_sched::Schedule;
@@ -37,6 +45,9 @@ pub enum Request {
         request: Box<ScheduleRequest>,
         /// Give up when not finished within this budget (0 = none).
         deadline_ms: u64,
+        /// Tenant name for quota accounting; empty means anonymous
+        /// (the server buckets the connection by itself).
+        tenant: String,
     },
     /// Return a [`StatsSnapshot`].
     Stats,
@@ -65,6 +76,18 @@ pub enum Response {
     },
     /// The request's deadline expired while it was queued.
     Expired,
+    /// The request was shed by overload policy (over quota, or beyond
+    /// the emergency share); retry after the hinted delay.
+    Overloaded {
+        /// Suggested client backoff in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The tenant's circuit breaker is open; not worth retrying before
+    /// the hinted delay.
+    BreakerOpen {
+        /// Remaining cooldown in milliseconds.
+        retry_after_ms: u64,
+    },
     /// Live counters.
     Stats(StatsSnapshot),
     /// The request could not be served; human-readable reason.
@@ -87,6 +110,8 @@ const RESP_STATS: u8 = 4;
 const RESP_ERROR: u8 = 5;
 const RESP_PONG: u8 = 6;
 const RESP_SHUTTING_DOWN: u8 = 7;
+const RESP_OVERLOADED: u8 = 8;
+const RESP_BREAKER_OPEN: u8 = 9;
 
 fn invalid(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
@@ -100,12 +125,14 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::Schedule {
             request,
             deadline_ms,
+            tenant,
         } => {
             w.put_u8(REQ_SCHEDULE);
             w.put_u8(request.algorithm.code());
             w.put_u64(*deadline_ms);
             wire::put_machine(&mut w, &request.machine);
             wire::put_graph(&mut w, &request.graph);
+            w.put_str(tenant);
         }
         Request::Stats => w.put_u8(REQ_STATS),
         Request::Ping => w.put_u8(REQ_PING),
@@ -125,9 +152,23 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
             let deadline_ms = r.u64()?;
             let machine = wire::get_machine(&mut r)?;
             let graph = wire::get_graph(&mut r)?;
+            // The tenant field rides behind the graph; a frame from an
+            // older encoder simply ends here and means "anonymous".
+            let tenant = if r.remaining() == 0 {
+                String::new()
+            } else {
+                r.str()?
+            };
+            if tenant.len() > MAX_TENANT_NAME {
+                return Err(WireError::Malformed(format!(
+                    "tenant name of {} bytes exceeds {MAX_TENANT_NAME}",
+                    tenant.len()
+                )));
+            }
             Request::Schedule {
                 request: Box::new(ScheduleRequest::new(algorithm, graph, machine)),
                 deadline_ms,
+                tenant,
             }
         }
         REQ_STATS => Request::Stats,
@@ -179,6 +220,23 @@ fn put_stats(w: &mut Writer, s: &StatsSnapshot) {
         w.put_u8(alg.code());
         w.put_u64(*n);
     }
+    // Overload extension: appended after the legacy fields so decoders
+    // of the old frame layout keep working unchanged.
+    w.put_u64(s.shed);
+    w.put_u64(s.breaker_rejected);
+    w.put_u64(s.overload_transitions);
+    w.put_u64(s.overload_state.code());
+    w.put_u64(s.tenants_tracked);
+    w.put_u32(s.per_tenant.len() as u32);
+    for t in &s.per_tenant {
+        w.put_str(&t.name);
+        w.put_u64(t.admitted);
+        w.put_u64(t.shed);
+        w.put_u64(t.breaker_rejected);
+        w.put_u8(u8::from(t.breaker_open));
+        w.put_u64(t.wait_p50_us);
+        w.put_u64(t.wait_p99_us);
+    }
 }
 
 fn get_stats(r: &mut Reader<'_>) -> Result<StatsSnapshot, WireError> {
@@ -193,6 +251,31 @@ fn get_stats(r: &mut Reader<'_>) -> Result<StatsSnapshot, WireError> {
         let alg = AlgorithmId::from_code(code)
             .ok_or_else(|| WireError::Malformed(format!("unknown algorithm code {code}")))?;
         per_algorithm.push((alg, r.u64()?));
+    }
+    // Overload extension (absent in frames from older encoders).
+    let (mut shed, mut breaker_rejected, mut overload_transitions) = (0, 0, 0);
+    let mut overload_state = OverloadState::Healthy;
+    let mut tenants_tracked = 0;
+    let mut per_tenant = Vec::new();
+    if r.remaining() > 0 {
+        shed = r.u64()?;
+        breaker_rejected = r.u64()?;
+        overload_transitions = r.u64()?;
+        overload_state = OverloadState::from_code(r.u64()?);
+        tenants_tracked = r.u64()?;
+        let n = r.len("tenant counter", 14)?;
+        per_tenant.reserve(n);
+        for _ in 0..n {
+            per_tenant.push(TenantStat {
+                name: r.str()?,
+                admitted: r.u64()?,
+                shed: r.u64()?,
+                breaker_rejected: r.u64()?,
+                breaker_open: r.u8()? != 0,
+                wait_p50_us: r.u64()?,
+                wait_p99_us: r.u64()?,
+            });
+        }
     }
     let [requests, schedule_requests, cache_hits, cache_misses, scheduler_invocations, rejected, expired, errors, io_timeouts, evicted_slow, worker_panics, worker_respawns, snapshot_saves, snapshot_loaded, snapshot_quarantined, queue_depth, workers, cache_entries, open_connections, p50_us, p99_us] =
         vals;
@@ -219,6 +302,12 @@ fn get_stats(r: &mut Reader<'_>) -> Result<StatsSnapshot, WireError> {
         p50_us,
         p99_us,
         per_algorithm,
+        shed,
+        breaker_rejected,
+        overload_transitions,
+        overload_state,
+        tenants_tracked,
+        per_tenant,
     })
 }
 
@@ -242,6 +331,14 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             w.put_u64(*retry_after_ms);
         }
         Response::Expired => w.put_u8(RESP_EXPIRED),
+        Response::Overloaded { retry_after_ms } => {
+            w.put_u8(RESP_OVERLOADED);
+            w.put_u64(*retry_after_ms);
+        }
+        Response::BreakerOpen { retry_after_ms } => {
+            w.put_u8(RESP_BREAKER_OPEN);
+            w.put_u64(*retry_after_ms);
+        }
         Response::Stats(s) => {
             w.put_u8(RESP_STATS);
             put_stats(&mut w, s);
@@ -274,6 +371,12 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
             retry_after_ms: r.u64()?,
         },
         RESP_EXPIRED => Response::Expired,
+        RESP_OVERLOADED => Response::Overloaded {
+            retry_after_ms: r.u64()?,
+        },
+        RESP_BREAKER_OPEN => Response::BreakerOpen {
+            retry_after_ms: r.u64()?,
+        },
         RESP_STATS => Response::Stats(get_stats(&mut r)?),
         RESP_ERROR => Response::Error(r.str()?),
         RESP_PONG => Response::Pong,
@@ -401,6 +504,7 @@ mod tests {
                     Machine::related(vec![1, 2]),
                 )),
                 deadline_ms: 250,
+                tenant: "team-a".into(),
             },
             Request::Stats,
             Request::Ping,
@@ -414,16 +518,19 @@ mod tests {
                     Request::Schedule {
                         request: a,
                         deadline_ms: da,
+                        tenant: ta,
                     },
                     Request::Schedule {
                         request: b,
                         deadline_ms: db,
+                        tenant: tb,
                     },
                 ) => {
                     assert_eq!(a.algorithm, b.algorithm);
                     assert_eq!(a.machine, b.machine);
                     assert_eq!(a.graph.num_tasks(), b.graph.num_tasks());
                     assert_eq!(da, db);
+                    assert_eq!(ta, tb);
                 }
                 (Request::Stats, Request::Stats)
                 | (Request::Ping, Request::Ping)
@@ -458,6 +565,27 @@ mod tests {
             p50_us: 128,
             p99_us: 4096,
             per_algorithm: vec![(AlgorithmId::Flb, 6), (AlgorithmId::Etf, 2)],
+            shed: 4,
+            breaker_rejected: 2,
+            overload_transitions: 3,
+            overload_state: OverloadState::Shedding,
+            tenants_tracked: 2,
+            per_tenant: vec![
+                TenantStat {
+                    name: "team-a".into(),
+                    admitted: 7,
+                    shed: 4,
+                    breaker_rejected: 2,
+                    breaker_open: true,
+                    wait_p50_us: 64,
+                    wait_p99_us: 2048,
+                },
+                TenantStat {
+                    name: "(anon)".into(),
+                    admitted: 1,
+                    ..TenantStat::default()
+                },
+            ],
         };
         let resps = [
             Response::Schedule {
@@ -467,6 +595,12 @@ mod tests {
             },
             Response::Busy { retry_after_ms: 50 },
             Response::Expired,
+            Response::Overloaded {
+                retry_after_ms: 120,
+            },
+            Response::BreakerOpen {
+                retry_after_ms: 900,
+            },
             Response::Stats(stats),
             Response::Error("boom".into()),
             Response::Pong,
@@ -476,6 +610,52 @@ mod tests {
             let bytes = encode_response(&resp);
             assert_eq!(decode_response(&bytes).unwrap(), resp);
         }
+    }
+
+    /// A stats frame truncated to the legacy layout (everything up to
+    /// and including the per-algorithm table) must still decode, with
+    /// the overload extension defaulted — the "old field order is kept"
+    /// compatibility contract.
+    #[test]
+    fn legacy_stats_frames_without_the_extension_still_decode() {
+        let mut w = flb_sched::io::wire::Writer::new();
+        for v in 1..=21u64 {
+            w.put_u64(v);
+        }
+        w.put_u32(1);
+        w.put_u8(AlgorithmId::Flb.code());
+        w.put_u64(99);
+        let mut payload = vec![RESP_STATS];
+        payload.extend_from_slice(&w.into_bytes());
+        let Response::Stats(s) = decode_response(&payload).unwrap() else {
+            panic!("not a stats response");
+        };
+        assert_eq!(s.requests, 1);
+        assert_eq!(s.p99_us, 21);
+        assert_eq!(s.per_algorithm, vec![(AlgorithmId::Flb, 99)]);
+        assert_eq!(s.shed, 0);
+        assert_eq!(s.overload_state, OverloadState::Healthy);
+        assert!(s.per_tenant.is_empty());
+    }
+
+    #[test]
+    fn empty_tenant_means_anonymous_and_long_names_are_rejected() {
+        let mk = |tenant: &str| Request::Schedule {
+            request: Box::new(ScheduleRequest::new(
+                AlgorithmId::Flb,
+                fig1(),
+                Machine::new(2),
+            )),
+            deadline_ms: 0,
+            tenant: tenant.into(),
+        };
+        let back = decode_request(&encode_request(&mk(""))).unwrap();
+        let Request::Schedule { tenant, .. } = back else {
+            panic!("not a schedule");
+        };
+        assert!(tenant.is_empty());
+        assert!(decode_request(&encode_request(&mk(&"x".repeat(65)))).is_err());
+        assert!(decode_request(&encode_request(&mk(&"x".repeat(64)))).is_ok());
     }
 
     #[test]

@@ -43,11 +43,11 @@
 use crate::cache::ShardedLru;
 use crate::fingerprint::request_fingerprint;
 use crate::metrics::{Gauges, Metrics};
+use crate::overload::{Decision, OverloadConfig, OverloadCtl, ShedPolicy, TenantId};
 use crate::proto::{read_request, write_response, Request, Response};
 use crate::snapshot::{self, SnapshotError};
 use flb_core::{schedule_request, ScheduleRequest};
 use flb_sched::Schedule;
-use std::collections::VecDeque;
 use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -102,6 +102,24 @@ pub struct ServiceConfig {
     /// Honor the [`PANIC_MARKER`] / [`HARD_PANIC_MARKER`] graph names.
     /// For chaos harnesses and tests only; off by default.
     pub panic_injection: bool,
+    /// Per-tenant admission rate in requests/second (token bucket);
+    /// 0 = unlimited (legacy behaviour: no quotas).
+    pub tenant_rate: f64,
+    /// Per-tenant burst allowance; 0 = one second's worth of rate.
+    pub tenant_burst: f64,
+    /// What happens to over-quota work under load.
+    pub shed_policy: ShedPolicy,
+    /// Queue slots over-quota work may never occupy (reserved minimum
+    /// share for within-quota tenants); 0 = `queue_capacity / 8`.
+    pub reserved_slots: usize,
+    /// Most jobs one tenant may hold queued at once; 0 =
+    /// `queue_capacity / 2`.
+    pub tenant_backlog_cap: usize,
+    /// Consecutive failures (panics, blown deadlines) that trip a
+    /// tenant's circuit breaker; 0 disables the breaker.
+    pub breaker_threshold: u32,
+    /// Breaker cooldown before the half-open probe, in milliseconds.
+    pub breaker_cooldown_ms: u64,
 }
 
 impl Default for ServiceConfig {
@@ -119,6 +137,13 @@ impl Default for ServiceConfig {
             cache_file: None,
             snapshot_interval_ms: 0,
             panic_injection: false,
+            tenant_rate: 0.0,
+            tenant_burst: 0.0,
+            shed_policy: ShedPolicy::Graduated,
+            reserved_slots: 0,
+            tenant_backlog_cap: 0,
+            breaker_threshold: 5,
+            breaker_cooldown_ms: 1_000,
         }
     }
 }
@@ -317,6 +342,10 @@ struct Job {
     reply: mpsc::Sender<WorkerReply>,
 }
 
+/// Most per-tenant rows a `stats` reply carries (overflow folds into an
+/// aggregate row, so the frame stays bounded under tenant churn).
+const STATS_TENANT_ROWS: usize = 16;
+
 /// State shared by the listener, connections, workers and supervisor.
 struct Shared {
     cfg: ServiceConfig,
@@ -325,10 +354,15 @@ struct Shared {
     endpoint: Endpoint,
     cache: ShardedLru<Arc<Schedule>>,
     metrics: Metrics,
-    queue: Mutex<VecDeque<Job>>,
+    /// Admission control + weighted-fair queue (replaces the old FIFO).
+    queue: Mutex<OverloadCtl<Job>>,
     job_ready: Condvar,
     shutdown: AtomicBool,
     open_connections: AtomicU64,
+    /// Clock origin for the overload layer's microsecond timestamps.
+    epoch: Instant,
+    /// Source of per-connection anonymous tenant identities.
+    next_anon: AtomicU64,
     /// Worker threads currently alive (the supervisor tops this up).
     live_workers: AtomicU64,
     /// Join handles of every worker ever spawned (original + respawned).
@@ -336,29 +370,28 @@ struct Shared {
 }
 
 impl Shared {
-    /// Enqueues a job, or hands it back when the queue is full or the
-    /// service is shutting down.
-    fn try_enqueue(&self, job: Job) -> Result<(), Job> {
-        if self.shutdown.load(Ordering::SeqCst) {
-            return Err(job);
-        }
-        let mut q = self.queue.lock().expect("queue lock");
-        if q.len() >= self.cfg.queue_capacity {
-            return Err(job);
-        }
-        q.push_back(job);
-        drop(q);
-        self.job_ready.notify_one();
-        Ok(())
+    /// Microseconds since the service started (the overload layer's
+    /// monotone clock).
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
     }
 
-    fn gauges(&self) -> Gauges {
-        Gauges {
-            queue_depth: self.queue.lock().expect("queue lock").len() as u64,
+    /// Gauges plus the per-tenant stats rows, read under one queue lock
+    /// so the pair is a consistent snapshot.
+    fn stats_view(&self) -> (Gauges, Vec<crate::metrics::TenantStat>) {
+        let now = self.now_us();
+        let q = self.queue.lock().expect("queue lock");
+        let gauges = Gauges {
+            queue_depth: q.depth() as u64,
             workers: self.live_workers.load(Ordering::SeqCst),
             cache_entries: self.cache.len() as u64,
             open_connections: self.open_connections.load(Ordering::SeqCst),
-        }
+            overload_state: q.state(),
+            overload_transitions: q.transitions(),
+            tenants_tracked: q.tenants_tracked() as u64,
+        };
+        let per_tenant = q.tenant_stats(now, STATS_TENANT_ROWS);
+        (gauges, per_tenant)
     }
 
     /// Writes the warm-restart snapshot if a cache file is configured.
@@ -402,11 +435,11 @@ impl Drop for WorkerSlot {
 fn worker_loop(shared: &Arc<Shared>) {
     let _slot = WorkerSlot(Arc::clone(shared));
     loop {
-        let job = {
+        let popped = {
             let mut q = shared.queue.lock().expect("queue lock");
             loop {
-                if let Some(job) = q.pop_front() {
-                    break job;
+                if let Some(popped) = q.pop(shared.now_us()) {
+                    break popped;
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
@@ -414,9 +447,17 @@ fn worker_loop(shared: &Arc<Shared>) {
                 q = shared.job_ready.wait(q).expect("queue lock");
             }
         };
+        let (tenant, job) = (popped.tenant, popped.item);
         let waited = job.accepted_at.elapsed();
         if job.deadline.is_some_and(|d| waited > d) {
             Metrics::bump(&shared.metrics.expired);
+            // A deadline blown while queued counts against the tenant's
+            // breaker: a tenant whose work always expires is wasting slots.
+            shared
+                .queue
+                .lock()
+                .expect("queue lock")
+                .outcome(&tenant, false, shared.now_us());
             let _ = job.reply.send(WorkerReply::Expired);
             continue;
         }
@@ -435,11 +476,21 @@ fn worker_loop(shared: &Arc<Shared>) {
                 shared.cache.insert(job.fingerprint, Arc::clone(&schedule));
                 let micros = job.accepted_at.elapsed().as_micros() as u64;
                 shared.metrics.latency.record(micros);
+                shared
+                    .queue
+                    .lock()
+                    .expect("queue lock")
+                    .outcome(&tenant, true, shared.now_us());
                 // The client may have hung up while waiting; its problem.
                 let _ = job.reply.send(WorkerReply::Done { schedule, micros });
             }
             Err(payload) => {
                 Metrics::bump(&shared.metrics.worker_panics);
+                shared
+                    .queue
+                    .lock()
+                    .expect("queue lock")
+                    .outcome(&tenant, false, shared.now_us());
                 let _ = job
                     .reply
                     .send(WorkerReply::Panicked(panic_message(payload.as_ref())));
@@ -504,7 +555,15 @@ fn snapshot_loop(shared: &Arc<Shared>) {
 }
 
 /// Serves one schedule request end-to-end, returning the response.
-fn serve_schedule(shared: &Shared, request: Box<ScheduleRequest>, deadline_ms: u64) -> Response {
+///
+/// Cache hits bypass admission entirely — answering from memory costs
+/// the daemon almost nothing, so quotas only govern the expensive path.
+fn serve_schedule(
+    shared: &Shared,
+    request: Box<ScheduleRequest>,
+    deadline_ms: u64,
+    tenant: &TenantId,
+) -> Response {
     let t0 = Instant::now();
     Metrics::bump(&shared.metrics.schedule_requests);
     shared.metrics.count_algorithm(request.algorithm);
@@ -522,6 +581,12 @@ fn serve_schedule(shared: &Shared, request: Box<ScheduleRequest>, deadline_ms: u
     }
     Metrics::bump(&shared.metrics.cache_misses);
 
+    if shared.shutdown.load(Ordering::SeqCst) {
+        Metrics::bump(&shared.metrics.rejected);
+        return Response::Busy {
+            retry_after_ms: shared.cfg.retry_after_ms,
+        };
+    }
     let (tx, rx) = mpsc::channel();
     let job = Job {
         request,
@@ -530,11 +595,27 @@ fn serve_schedule(shared: &Shared, request: Box<ScheduleRequest>, deadline_ms: u
         deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
         reply: tx,
     };
-    if shared.try_enqueue(job).is_err() {
-        Metrics::bump(&shared.metrics.rejected);
-        return Response::Busy {
-            retry_after_ms: shared.cfg.retry_after_ms,
-        };
+    let decision = shared
+        .queue
+        .lock()
+        .expect("queue lock")
+        .offer(tenant, job, shared.now_us());
+    match decision {
+        Decision::Admitted => shared.job_ready.notify_one(),
+        Decision::Busy => {
+            Metrics::bump(&shared.metrics.rejected);
+            return Response::Busy {
+                retry_after_ms: shared.cfg.retry_after_ms,
+            };
+        }
+        Decision::Shed { retry_after_ms } => {
+            Metrics::bump(&shared.metrics.shed);
+            return Response::Overloaded { retry_after_ms };
+        }
+        Decision::BreakerOpen { retry_after_ms } => {
+            Metrics::bump(&shared.metrics.breaker_rejected);
+            return Response::BreakerOpen { retry_after_ms };
+        }
     }
     match rx.recv() {
         Ok(WorkerReply::Done { schedule, micros }) => Response::Schedule {
@@ -552,8 +633,9 @@ fn serve_schedule(shared: &Shared, request: Box<ScheduleRequest>, deadline_ms: u
     }
 }
 
-/// Protocol loop for one accepted connection.
-fn connection_loop<S: Transport>(shared: &Arc<Shared>, conn: &mut DeadlineConn<S>) {
+/// Protocol loop for one accepted connection. `conn_id` seeds the
+/// anonymous tenant identity for requests that carry no tenant name.
+fn connection_loop<S: Transport>(shared: &Arc<Shared>, conn: &mut DeadlineConn<S>, conn_id: u64) {
     loop {
         conn.begin_read();
         let request = match read_request(conn) {
@@ -578,7 +660,10 @@ fn connection_loop<S: Transport>(shared: &Arc<Shared>, conn: &mut DeadlineConn<S
         Metrics::bump(&shared.metrics.requests);
         let response = match request {
             Request::Ping => Response::Pong,
-            Request::Stats => Response::Stats(shared.metrics.snapshot(shared.gauges())),
+            Request::Stats => {
+                let (gauges, per_tenant) = shared.stats_view();
+                Response::Stats(shared.metrics.snapshot(gauges, per_tenant))
+            }
             Request::Shutdown => {
                 // Answer the client *before* tearing the daemon down: once
                 // the flag is set, the accept loop and workers exit and the
@@ -593,7 +678,15 @@ fn connection_loop<S: Transport>(shared: &Arc<Shared>, conn: &mut DeadlineConn<S
             Request::Schedule {
                 request,
                 deadline_ms,
-            } => serve_schedule(shared, request, deadline_ms),
+                tenant,
+            } => {
+                let id = if tenant.is_empty() {
+                    TenantId::Anon(conn_id)
+                } else {
+                    TenantId::Named(tenant)
+                };
+                serve_schedule(shared, request, deadline_ms, &id)
+            }
         };
         conn.begin_write();
         match write_response(conn, &response) {
@@ -722,9 +815,10 @@ fn nudge_accept_loop(endpoint: &Endpoint) {
 fn spawn_connection<S: Transport>(shared: &Arc<Shared>, stream: S) {
     let shared = Arc::clone(shared);
     shared.open_connections.fetch_add(1, Ordering::SeqCst);
+    let conn_id = shared.next_anon.fetch_add(1, Ordering::SeqCst);
     thread::spawn(move || {
         let mut conn = DeadlineConn::new(stream, &shared.cfg);
-        connection_loop(&shared, &mut conn);
+        connection_loop(&shared, &mut conn, conn_id);
         shared.open_connections.fetch_sub(1, Ordering::SeqCst);
     });
 }
@@ -806,14 +900,28 @@ pub fn serve(endpoint: &Endpoint, cfg: ServiceConfig) -> io::Result<ServiceHandl
         Listener::Unix(_, path) => Endpoint::Unix(path.clone()),
     };
 
+    let overload = OverloadConfig {
+        queue_capacity: cfg.queue_capacity,
+        tenant_rate: cfg.tenant_rate,
+        tenant_burst: cfg.tenant_burst,
+        shed_policy: cfg.shed_policy,
+        reserved_slots: cfg.reserved_slots,
+        tenant_backlog_cap: cfg.tenant_backlog_cap,
+        breaker_threshold: cfg.breaker_threshold,
+        breaker_cooldown_ms: cfg.breaker_cooldown_ms,
+        retry_after_ms: cfg.retry_after_ms,
+        ..OverloadConfig::default()
+    };
     let shared = Arc::new(Shared {
         endpoint: resolved,
         cache: ShardedLru::new(cfg.cache_capacity, cfg.cache_shards),
         metrics: Metrics::default(),
-        queue: Mutex::new(VecDeque::new()),
+        queue: Mutex::new(OverloadCtl::new(overload)),
         job_ready: Condvar::new(),
         shutdown: AtomicBool::new(false),
         open_connections: AtomicU64::new(0),
+        epoch: Instant::now(),
+        next_anon: AtomicU64::new(1),
         live_workers: AtomicU64::new(0),
         worker_handles: Mutex::new(Vec::new()),
         cfg,

@@ -181,10 +181,21 @@ pub fn load(path: &Path) -> Result<Vec<(u64, Schedule)>, SnapshotError> {
 /// Moves a corrupt snapshot aside (same directory, `.corrupt` suffix) so
 /// the server can boot with an empty cache while preserving the evidence.
 /// Returns the quarantine path.
+///
+/// Repeated corruptions must not overwrite earlier evidence: when the
+/// bare `.corrupt` name is taken, a monotonically increasing counter
+/// suffix (`.corrupt.1`, `.corrupt.2`, ...) finds the first free slot.
 pub fn quarantine(path: &Path) -> io::Result<PathBuf> {
-    let mut target = path.as_os_str().to_owned();
-    target.push(".corrupt");
-    let target = PathBuf::from(target);
+    let mut base = path.as_os_str().to_owned();
+    base.push(".corrupt");
+    let mut target = PathBuf::from(&base);
+    let mut n = 0u64;
+    while target.exists() {
+        n += 1;
+        let mut numbered = base.clone();
+        numbered.push(format!(".{n}"));
+        target = PathBuf::from(numbered);
+    }
     std::fs::rename(path, &target)?;
     Ok(target)
 }
@@ -281,6 +292,16 @@ mod tests {
         assert!(!path.exists());
         assert!(quarantined.exists());
         assert!(quarantined.to_string_lossy().ends_with(".corrupt"));
+
+        // A second and third corruption must not clobber the evidence:
+        // each quarantine lands on the next free counter suffix.
+        std::fs::write(&path, b"also corrupt").unwrap();
+        let second = quarantine(&path).unwrap();
+        assert!(second.to_string_lossy().ends_with(".corrupt.1"));
+        std::fs::write(&path, b"corrupt again").unwrap();
+        let third = quarantine(&path).unwrap();
+        assert!(third.to_string_lossy().ends_with(".corrupt.2"));
+        assert!(quarantined.exists() && second.exists() && third.exists());
 
         // A missing file is Io, not Corrupt: a fresh boot, not an alarm.
         assert!(matches!(load(&path), Err(SnapshotError::Io(_))));

@@ -1,0 +1,316 @@
+//! End-to-end tests for the overload-resilience layer over a live
+//! daemon: per-tenant quotas shed over-quota work with a structured
+//! `overloaded` reply, the circuit breaker trips on repeated panics and
+//! heals through its half-open probe, per-tenant counters round-trip
+//! through `stats`, and a flooding tenant cannot starve a probe tenant.
+
+use flb_core::AlgorithmId;
+use flb_graph::{TaskGraph, TaskGraphBuilder};
+use flb_sched::Machine;
+use flb_service::{
+    serve, Client, Endpoint, OverloadState, ServiceConfig, ShedPolicy, Submission, PANIC_MARKER,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Globally unique chain graphs so every submission misses the cache and
+/// exercises admission (costs start at 20M: clear of every other suite).
+static SERIAL: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_graph(name: &str, tasks: usize) -> TaskGraph {
+    let base = 20_000_000 + SERIAL.fetch_add(1, Ordering::Relaxed) * 1_000;
+    let mut b = TaskGraphBuilder::named(name);
+    let mut prev = None;
+    for i in 0..tasks {
+        let t = b.add_task(base + i as u64);
+        if let Some(p) = prev {
+            b.add_edge(p, t, 2).expect("chain edge");
+        }
+        prev = Some(t);
+    }
+    b.build().expect("fresh graph")
+}
+
+fn local_server(cfg: ServiceConfig) -> flb_service::ServiceHandle {
+    serve(&Endpoint::parse("127.0.0.1:0"), cfg).expect("bind loopback")
+}
+
+#[test]
+fn over_quota_work_is_shed_with_a_structured_overloaded_reply() {
+    // A tiny strict quota: 1 req/s with a burst of 2. The third rapid
+    // submission must come back `overloaded` (not `busy`, not a hang),
+    // carrying a usable retry hint.
+    let handle = local_server(ServiceConfig {
+        workers: 1,
+        tenant_rate: 1.0,
+        tenant_burst: 2.0,
+        shed_policy: ShedPolicy::Strict,
+        ..ServiceConfig::default()
+    });
+    let mut client = Client::connect_as(&handle.endpoint(), "team-a").unwrap();
+
+    let mut outcomes = Vec::new();
+    for _ in 0..4 {
+        outcomes.push(
+            client
+                .schedule(
+                    AlgorithmId::Flb,
+                    fresh_graph("quota", 4),
+                    Machine::new(2),
+                    0,
+                )
+                .unwrap(),
+        );
+    }
+    let done = outcomes
+        .iter()
+        .filter(|o| matches!(o, Submission::Done(_)))
+        .count();
+    let shed: Vec<u64> = outcomes
+        .iter()
+        .filter_map(|o| match o {
+            Submission::Overloaded { retry_after_ms } => Some(*retry_after_ms),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(done, 2, "exactly the burst is admitted: {outcomes:?}");
+    assert_eq!(shed.len(), 2, "the rest is shed: {outcomes:?}");
+    assert!(shed.iter().all(|&ms| ms > 0), "shed replies carry a hint");
+
+    // An over-quota tenant is rate-limited, not locked out: waiting out
+    // the refill readmits it.
+    std::thread::sleep(Duration::from_millis(1_100));
+    let late = client
+        .schedule(
+            AlgorithmId::Flb,
+            fresh_graph("quota", 4),
+            Machine::new(2),
+            0,
+        )
+        .unwrap();
+    assert!(
+        matches!(late, Submission::Done(_)),
+        "refilled bucket must admit again, got {late:?}"
+    );
+
+    // And the quota is per-tenant: a different tenant on the same server
+    // has its own untouched bucket.
+    let mut other = Client::connect_as(&handle.endpoint(), "team-b").unwrap();
+    let fresh = other
+        .schedule(
+            AlgorithmId::Flb,
+            fresh_graph("other", 4),
+            Machine::new(2),
+            0,
+        )
+        .unwrap();
+    assert!(matches!(fresh, Submission::Done(_)), "got {fresh:?}");
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn breaker_trips_on_repeated_panics_and_heals_half_open() {
+    let handle = local_server(ServiceConfig {
+        workers: 2,
+        panic_injection: true,
+        breaker_threshold: 3,
+        breaker_cooldown_ms: 200,
+        ..ServiceConfig::default()
+    });
+    let endpoint = handle.endpoint();
+    let mut flappy = Client::connect_as(&endpoint, "flappy").unwrap();
+
+    // Panic markers carry huge unique costs so they never cache-hit.
+    let panic_graph = |i: u64| {
+        let mut b = TaskGraphBuilder::named(PANIC_MARKER);
+        b.add_task(30_000_000 + i);
+        b.build().expect("panic graph")
+    };
+    let mut breaker_seen = false;
+    for i in 0..8 {
+        match flappy.schedule(AlgorithmId::Flb, panic_graph(i), Machine::new(2), 0) {
+            Err(e) if e.to_string().contains("circuit breaker open") => {
+                breaker_seen = true;
+                assert_eq!(e.kind(), std::io::ErrorKind::PermissionDenied);
+                break;
+            }
+            Err(e) if e.to_string().contains("panicked") => {}
+            other => panic!("expected panic error then breaker-open, got {other:?}"),
+        }
+    }
+    assert!(breaker_seen, "3 consecutive panics must trip the breaker");
+
+    // The quarantine is per-tenant: a well-behaved tenant is served.
+    let mut steady = Client::connect_as(&endpoint, "steady").unwrap();
+    let ok = steady
+        .schedule(
+            AlgorithmId::Flb,
+            fresh_graph("steady", 4),
+            Machine::new(2),
+            0,
+        )
+        .unwrap();
+    assert!(matches!(ok, Submission::Done(_)), "got {ok:?}");
+
+    // After the cooldown the half-open probe readmits the tenant; one
+    // good request closes the breaker again.
+    let deadline = Instant::now() + Duration::from_secs(3);
+    loop {
+        std::thread::sleep(Duration::from_millis(50));
+        match flappy.schedule(
+            AlgorithmId::Flb,
+            fresh_graph("flappy-heal", 4),
+            Machine::new(2),
+            0,
+        ) {
+            Ok(Submission::Done(_)) => break,
+            _ if Instant::now() < deadline => {}
+            other => panic!("breaker never healed after cooldown: {other:?}"),
+        }
+    }
+
+    // The breaker activity is visible in stats.
+    let stats = steady.stats().unwrap();
+    assert!(stats.breaker_rejected >= 1);
+    let row = stats
+        .per_tenant
+        .iter()
+        .find(|t| t.name == "flappy")
+        .expect("flappy has a stats row");
+    assert!(row.breaker_rejected >= 1);
+    assert!(!row.breaker_open, "healed breaker must read closed");
+
+    steady.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn per_tenant_counters_round_trip_through_stats() {
+    let handle = local_server(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    let endpoint = handle.endpoint();
+
+    let mut a = Client::connect_as(&endpoint, "team-a").unwrap();
+    let mut b = Client::connect_as(&endpoint, "team-b").unwrap();
+    for _ in 0..3 {
+        let r = a
+            .schedule(AlgorithmId::Flb, fresh_graph("a", 4), Machine::new(2), 0)
+            .unwrap();
+        assert!(matches!(r, Submission::Done(_)));
+    }
+    let r = b
+        .schedule(AlgorithmId::Etf, fresh_graph("b", 4), Machine::new(2), 0)
+        .unwrap();
+    assert!(matches!(r, Submission::Done(_)));
+
+    let stats = a.stats().unwrap();
+    assert_eq!(stats.overload_state, OverloadState::Healthy);
+    let row_a = stats
+        .per_tenant
+        .iter()
+        .find(|t| t.name == "team-a")
+        .expect("team-a row");
+    let row_b = stats
+        .per_tenant
+        .iter()
+        .find(|t| t.name == "team-b")
+        .expect("team-b row");
+    assert_eq!(row_a.admitted, 3);
+    assert_eq!(row_b.admitted, 1);
+    assert_eq!(row_a.shed, 0);
+    // The rendered block carries the tenant rows too.
+    let rendered = stats.render();
+    assert!(rendered.contains("team-a"), "render:\n{rendered}");
+    assert!(
+        rendered.contains("overload state  healthy"),
+        "render:\n{rendered}"
+    );
+
+    a.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn anonymous_connections_are_distinct_tenants() {
+    // Two quota-limited anonymous connections: each gets its own bucket,
+    // so one connection burning its burst must not shed the other.
+    let handle = local_server(ServiceConfig {
+        workers: 1,
+        tenant_rate: 1.0,
+        tenant_burst: 1.0,
+        shed_policy: ShedPolicy::Strict,
+        ..ServiceConfig::default()
+    });
+    let endpoint = handle.endpoint();
+    let mut first = Client::connect(&endpoint).unwrap();
+    let mut second = Client::connect(&endpoint).unwrap();
+
+    let r = first
+        .schedule(
+            AlgorithmId::Flb,
+            fresh_graph("anon1", 4),
+            Machine::new(2),
+            0,
+        )
+        .unwrap();
+    assert!(matches!(r, Submission::Done(_)), "got {r:?}");
+    let r = first
+        .schedule(
+            AlgorithmId::Flb,
+            fresh_graph("anon1", 4),
+            Machine::new(2),
+            0,
+        )
+        .unwrap();
+    assert!(
+        matches!(r, Submission::Overloaded { .. }),
+        "burst of 1 spent, got {r:?}"
+    );
+    // The second connection's bucket is untouched.
+    let r = second
+        .schedule(
+            AlgorithmId::Flb,
+            fresh_graph("anon2", 4),
+            Machine::new(2),
+            0,
+        )
+        .unwrap();
+    assert!(matches!(r, Submission::Done(_)), "got {r:?}");
+
+    first.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn retry_policy_rides_out_overload_within_its_budget() {
+    // Quota of 2/s, burst 1: the second request is shed, but the retry
+    // policy sleeps through the hint and lands in the refilled bucket.
+    let handle = local_server(ServiceConfig {
+        workers: 1,
+        tenant_rate: 2.0,
+        tenant_burst: 1.0,
+        shed_policy: ShedPolicy::Strict,
+        ..ServiceConfig::default()
+    });
+    let mut client = Client::connect_as(&handle.endpoint(), "retrier").unwrap();
+
+    let r = client
+        .schedule(AlgorithmId::Flb, fresh_graph("r", 4), Machine::new(2), 0)
+        .unwrap();
+    assert!(matches!(r, Submission::Done(_)));
+    let graph = fresh_graph("r", 4);
+    let r = client
+        .schedule_with_retry(AlgorithmId::Flb, &graph, &Machine::new(2), 0, 8)
+        .unwrap();
+    assert!(
+        matches!(r, Submission::Done(_)),
+        "retries must ride out the shed window, got {r:?}"
+    );
+
+    client.shutdown().unwrap();
+    handle.join();
+}

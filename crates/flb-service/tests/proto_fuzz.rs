@@ -10,22 +10,26 @@ use flb_service::proto::{self, Request, MAGIC, MAX_FRAME};
 use proptest::prelude::*;
 use std::io::Read;
 
-/// An arbitrary protocol request (all four kinds, varied graph shapes).
+/// An arbitrary protocol request (all four kinds, varied graph shapes,
+/// anonymous and named tenants up to the wire's 64-byte name cap).
 fn request_strategy() -> impl Strategy<Value = Request> {
     prop_oneof![
         Just(Request::Ping),
         Just(Request::Stats),
         Just(Request::Shutdown),
-        (2usize..10, 1usize..4, 0u64..100).prop_map(|(n, procs, deadline_ms)| {
-            Request::Schedule {
-                request: Box::new(ScheduleRequest::new(
-                    AlgorithmId::Flb,
-                    gen::chain(n),
-                    Machine::new(procs),
-                )),
-                deadline_ms,
+        (2usize..10, 1usize..4, 0u64..100, 0usize..65).prop_map(
+            |(n, procs, deadline_ms, tenant_len)| {
+                Request::Schedule {
+                    request: Box::new(ScheduleRequest::new(
+                        AlgorithmId::Flb,
+                        gen::chain(n),
+                        Machine::new(procs),
+                    )),
+                    deadline_ms,
+                    tenant: "t".repeat(tenant_len),
+                }
             }
-        }),
+        ),
     ]
 }
 

@@ -116,6 +116,9 @@ fn full_queue_answers_busy_instead_of_hanging() {
                 }
                 Submission::Done(reply) => assert!(!reply.cached),
                 Submission::Expired => panic!("no deadline was set"),
+                Submission::Overloaded { .. } => {
+                    panic!("anonymous tenants are unquota'd: shedding must not replace busy")
+                }
             }
         }
     }
