@@ -16,6 +16,7 @@
 //! Run: `cargo run -p flb-bench --release --bin complexity [--quick]`
 
 use flb_baselines::{Etf, Fcp, Mcp};
+use flb_bench::mem::{fmt_peak_rss, peak_rss_kb};
 use flb_bench::report::{fmt_seconds, table};
 use flb_core::{Flb, FlbRun, TieBreak};
 use flb_graph::costs::CostModel;
@@ -145,4 +146,5 @@ fn main() {
         "insert/task stays O(1) and max ready tracks the graph width, independent of V's growth —"
     );
     println!("the measured basis of the O(V (log W + log P) + E) bound.");
+    println!("\npeak RSS: {}", fmt_peak_rss(peak_rss_kb()));
 }

@@ -9,6 +9,7 @@
 //!
 //! Run: `cargo run -p flb-bench --release --bin runtime [--quick]`
 
+use flb_bench::mem::{fmt_peak_rss, peak_rss_kb};
 use flb_bench::report::{fmt_ratio, table};
 use flb_bench::suite_from_args;
 use flb_core::Flb;
@@ -62,4 +63,5 @@ fn main() {
     println!("\nvalues are runtime-dispatch makespan / compile-time FLB makespan (>1: FLB wins).");
     println!("The gap should widen with CCR: lookahead lets FLB overlap the very");
     println!("communication a runtime dispatcher can only start after dispatch.");
+    println!("\npeak RSS: {}", fmt_peak_rss(peak_rss_kb()));
 }

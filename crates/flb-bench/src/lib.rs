@@ -18,6 +18,9 @@
 #![warn(missing_docs)]
 
 pub mod csv;
+pub mod json;
+pub mod kernel_bench;
+pub mod mem;
 pub mod registry;
 pub mod report;
 pub mod runner;

@@ -1,0 +1,53 @@
+//! Process memory introspection for benchmark reporting.
+
+/// Peak resident-set size of the current process in kilobytes, read from
+/// `/proc/self/status` (`VmHWM`, the high-water mark). Returns `None` on
+/// platforms without procfs or when the field is missing — callers report
+/// the figure as unavailable rather than guessing.
+#[must_use]
+pub fn peak_rss_kb() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                return rest.trim().trim_end_matches("kB").trim().parse().ok();
+            }
+        }
+        None
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// Formats a peak-RSS reading for table output (`"unavailable"` off-Linux).
+#[must_use]
+pub fn fmt_peak_rss(kb: Option<u64>) -> String {
+    match kb {
+        Some(kb) => format!("{:.1} MB", kb as f64 / 1024.0),
+        None => "unavailable".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn peak_rss_is_positive_on_linux() {
+        // Touch some memory so the high-water mark is clearly nonzero.
+        let v = vec![1u8; 1 << 20];
+        assert!(v.iter().map(|&b| b as u64).sum::<u64>() > 0);
+        let kb = peak_rss_kb().expect("procfs available");
+        assert!(kb > 1024, "peak RSS {kb} kB implausibly small");
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_peak_rss(Some(2048)), "2.0 MB");
+        assert_eq!(fmt_peak_rss(None), "unavailable");
+    }
+}

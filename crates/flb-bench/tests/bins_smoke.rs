@@ -117,6 +117,44 @@ fn faults_quick() {
 }
 
 #[test]
+fn kernel_quick() {
+    let out = run_quick(env!("CARGO_BIN_EXE_kernel"));
+    assert!(out.contains("X15"));
+    assert!(out.contains("lu-20k"));
+    assert!(out.contains("tasks/s"));
+    // Quick mode replays through the reference: exactness must hold.
+    assert!(out.contains("1.0000"));
+}
+
+#[test]
+fn kernel_json_artifact_round_trips_through_the_gate() {
+    // Emit an artifact at a tiny size, then gate a second identical run
+    // against it: measures the full CI code path end to end.
+    let dir = std::env::temp_dir().join("flb-kernel-bench-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let artifact = dir.join("BENCH_test.json");
+    let run = |extra: &[&str]| {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_kernel"));
+        cmd.args(["--tasks", "5000", "--procs", "8", "--no-reference"]);
+        cmd.args(extra);
+        cmd.output().expect("launch kernel bin")
+    };
+    let emit = run(&["--json", artifact.to_str().unwrap()]);
+    assert!(emit.status.success(), "emit failed: {emit:?}");
+    let gate = run(&["--baseline", artifact.to_str().unwrap()]);
+    assert!(
+        gate.status.success(),
+        "gate failed\nstdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&gate.stdout),
+        String::from_utf8_lossy(&gate.stderr)
+    );
+    let text = String::from_utf8_lossy(&gate.stdout);
+    assert!(text.contains("regression gate"));
+    assert!(text.contains("ok"));
+    std::fs::remove_file(&artifact).ok();
+}
+
+#[test]
 fn hetero_quick() {
     let out = run_quick(env!("CARGO_BIN_EXE_hetero"));
     assert!(out.contains("uniform (1x)"));

@@ -32,7 +32,12 @@
 //!   against a running daemon: torn frames, corruption, disconnects,
 //!   floods, deadline storms and (with `--inject-panics`, against a
 //!   `--chaos-markers` server) scheduler panics and worker kills, while
-//!   verifying the daemon keeps serving well-formed clients.
+//!   verifying the daemon keeps serving well-formed clients;
+//! * `kernel-bench` — measure the flat scheduling kernel
+//!   (`flb-kernel`) on a streaming workload: build/schedule time,
+//!   tasks/second, peak RSS and the bit-exactness canary against the
+//!   reference scheduler; `--format json` emits one datapoint in the
+//!   `BENCH_*.json` trajectory schema.
 //!
 //! The heavy lifting lives in library functions returning `Result<String>`
 //! so the whole surface is unit-testable; `main` only forwards `std::env`
@@ -102,6 +107,8 @@ USAGE:
                 [--probe-every N] [--inject-panics] [--expect-workers N]
                 [--tenant-chaos] [--flood-threads N] [--flood-ms T]
                 [--probe-requests N]
+  flb kernel-bench [--tasks N] [--family lu|cholesky|layered] [--procs P]
+                [--ccr X] [--seed S] [--no-reference] [--format text|json]
 
 SERVICE OPTIONS: --listen takes `HOST:PORT` (default 127.0.0.1:7171) or
   `unix:/path/to.sock` for a Unix-domain socket. `serve --cache-file`
@@ -262,6 +269,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "serve" => cmd_serve(&a),
         "submit" => cmd_submit(&a),
         "chaos" => cmd_chaos(&a),
+        "kernel-bench" => cmd_kernel_bench(&a),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
@@ -1010,6 +1018,63 @@ fn cmd_compare(a: &Args<'_>) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn cmd_kernel_bench(a: &Args<'_>) -> Result<String, CliError> {
+    use flb_bench::kernel_bench::{self, KernelBenchSpec};
+    use flb_bench::mem::fmt_peak_rss;
+    use flb_bench::report::fmt_seconds;
+
+    let tasks: usize = a.parsed("--tasks", 100_000)?;
+    if tasks == 0 {
+        return Err(err("--tasks must be at least 1"));
+    }
+    let mut spec = KernelBenchSpec::at_scale(tasks);
+    if let Some(f) = a.value("--family") {
+        spec.family = f.parse().map_err(err)?;
+    }
+    spec.procs = a.parsed("--procs", spec.procs)?;
+    if spec.procs == 0 {
+        return Err(err("--procs must be at least 1"));
+    }
+    spec.ccr = a.parsed("--ccr", spec.ccr)?;
+    spec.seed = a.parsed("--seed", spec.seed)?;
+    if a.flag("--no-reference") {
+        spec.reference = false;
+    }
+    let dp = kernel_bench::run(&spec);
+    if let Some(r) = dp.makespan_ratio_vs_reference {
+        if r != 1.0 {
+            return Err(err(format!(
+                "kernel disagrees with the reference scheduler: makespan ratio {r}"
+            )));
+        }
+    }
+    match a.value("--format").unwrap_or("text") {
+        "json" => Ok(kernel_bench::to_json(std::slice::from_ref(&dp))),
+        "text" => {
+            let mut out = String::new();
+            let _ = writeln!(out, "datapoint       {}", dp.name);
+            let _ = writeln!(out, "tasks (V)       {}", dp.tasks);
+            let _ = writeln!(out, "edges (E)       {}", dp.edges);
+            let _ = writeln!(out, "procs (P)       {}", dp.procs);
+            let _ = writeln!(out, "CCR             {}", dp.ccr);
+            let _ = writeln!(out, "seed            {}", dp.seed);
+            let _ = writeln!(out, "build           {}", fmt_seconds(dp.build_seconds));
+            let _ = writeln!(out, "schedule        {}", fmt_seconds(dp.schedule_seconds));
+            let _ = writeln!(out, "tasks/s         {:.0}", dp.tasks_per_second);
+            let _ = writeln!(out, "makespan        {}", dp.makespan);
+            let _ = writeln!(
+                out,
+                "vs reference    {}",
+                dp.makespan_ratio_vs_reference
+                    .map_or("skipped".to_string(), |r| format!("{r:.4}"))
+            );
+            let _ = writeln!(out, "peak RSS        {}", fmt_peak_rss(dp.peak_rss_kb));
+            Ok(out)
+        }
+        other => Err(err(format!("unknown --format {other:?} (text|json)"))),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1643,5 +1708,56 @@ mod tests {
         assert!(run_str(&["info"]).is_err());
         assert!(run_str(&["info", "--input", "/definitely/missing.tg"]).is_err());
         assert!(run_str(&["schedule", "--fig1", "--alg", "nope"]).is_err());
+    }
+
+    #[test]
+    fn kernel_bench_text() {
+        let out = run_str(&[
+            "kernel-bench",
+            "--tasks",
+            "2000",
+            "--procs",
+            "8",
+            "--seed",
+            "7",
+        ])
+        .unwrap();
+        assert!(out.contains("datapoint       lu-2k"), "{out}");
+        assert!(out.contains("tasks/s"), "{out}");
+        // The reference replay ran and the kernel is bit-exact.
+        assert!(out.contains("vs reference    1.0000"), "{out}");
+    }
+
+    #[test]
+    fn kernel_bench_json_round_trips() {
+        let out = run_str(&[
+            "kernel-bench",
+            "--tasks",
+            "1500",
+            "--family",
+            "cholesky",
+            "--procs",
+            "4",
+            "--ccr",
+            "0.2",
+            "--no-reference",
+            "--format",
+            "json",
+        ])
+        .unwrap();
+        let points = flb_bench::kernel_bench::parse_report(&out).unwrap();
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].family, "cholesky");
+        assert!(points[0].tasks >= 1500);
+        assert_eq!(points[0].procs, 4);
+        assert_eq!(points[0].makespan_ratio_vs_reference, None);
+    }
+
+    #[test]
+    fn kernel_bench_flag_validation() {
+        assert!(run_str(&["kernel-bench", "--tasks", "0"]).is_err());
+        assert!(run_str(&["kernel-bench", "--family", "nope"]).is_err());
+        assert!(run_str(&["kernel-bench", "--tasks", "100", "--procs", "0"]).is_err());
+        assert!(run_str(&["kernel-bench", "--tasks", "100", "--format", "xml"]).is_err());
     }
 }

@@ -145,8 +145,11 @@ pub fn check_theorem3(inst: &Instance) -> Vec<Violation> {
     ] {
         let mut run = FlbRun::new(&inst.graph, &inst.machine, tb);
         let mut step = 0usize;
+        // Reused across steps: the ready set is re-derived every decision,
+        // so this loop would otherwise allocate O(V) vectors per instance.
+        let mut ready = Vec::new();
         loop {
-            let ready = run.ready_tasks();
+            run.ready_tasks_into(&mut ready);
             let oracle = min_est(run.builder(), &ready);
             let Some(s) = run.step() else {
                 break;

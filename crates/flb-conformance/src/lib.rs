@@ -7,7 +7,7 @@
 //! that claim — and everything around it — into mechanical, seed-replayable
 //! checks that survive aggressive refactoring:
 //!
-//! * [`registry`] — the ten schedulers under test, each tagged with how
+//! * [`registry`] — the eleven schedulers under test, each tagged with how
 //!   faithfully the discrete-event simulator must replay its output;
 //! * [`differential`] — oracles comparing two independent computations of
 //!   the same quantity: schedule validity ([`flb_sched::validate`]),

@@ -9,6 +9,7 @@
 
 use flb_baselines::{Dls, DscLlb, Etf, Fcp, Heft, Hlfet, Mcp};
 use flb_core::{Flb, TieBreak};
+use flb_kernel::FlbKernel;
 use flb_sched::Scheduler;
 
 /// How faithfully the simulator must reproduce a scheduler's static times.
@@ -31,7 +32,7 @@ pub struct Entry {
     pub replay: Replay,
 }
 
-/// All ten registered schedulers, in comparison order.
+/// All eleven registered schedulers, in comparison order.
 #[must_use]
 pub fn all() -> Vec<Entry> {
     fn e(name: &'static str, scheduler: Box<dyn Scheduler>, replay: Replay) -> Entry {
@@ -48,6 +49,10 @@ pub fn all() -> Vec<Entry> {
             Box::new(Flb::with_tie_break(TieBreak::TaskId)),
             Replay::Exact,
         ),
+        // The data-oriented kernel must be indistinguishable from "flb":
+        // registering it subjects it to every differential and metamorphic
+        // oracle, and the sim-replay check holds it to exact times.
+        e("flb-kernel", Box::new(FlbKernel::new()), Replay::Exact),
         e("etf", Box::new(Etf), Replay::Exact),
         e("mcp", Box::new(Mcp::default()), Replay::Exact),
         e("mcp-ins", Box::new(Mcp::original()), Replay::NoLater),
@@ -70,13 +75,28 @@ mod tests {
     use super::*;
 
     #[test]
-    fn exactly_ten_schedulers_with_unique_names() {
+    fn exactly_eleven_schedulers_with_unique_names() {
         let entries = all();
-        assert_eq!(entries.len(), 10);
+        assert_eq!(entries.len(), 11);
         let mut names: Vec<&str> = entries.iter().map(|e| e.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 10, "duplicate registry names");
+        assert_eq!(names.len(), 11, "duplicate registry names");
+    }
+
+    /// The kernel and the reference produce identical schedules (the fuzz
+    /// suite enforces this across many instances; this pins the wiring).
+    #[test]
+    fn kernel_is_registered_and_matches_flb() {
+        let g = flb_graph::paper::fig1();
+        let m = flb_sched::Machine::new(2);
+        let kernel = by_name("flb-kernel").expect("kernel registered");
+        let reference = by_name("flb").expect("reference registered");
+        assert_eq!(kernel.replay, Replay::Exact);
+        assert_eq!(
+            kernel.scheduler.schedule(&g, &m).placements(),
+            reference.scheduler.schedule(&g, &m).placements()
+        );
     }
 
     #[test]

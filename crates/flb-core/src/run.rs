@@ -258,41 +258,57 @@ impl<'g> FlbRun<'g> {
     /// ascending id order. `O(W)`; intended for tests and tracing.
     #[must_use]
     pub fn ready_tasks(&self) -> Vec<TaskId> {
-        let mut out: Vec<TaskId> = self
-            .non_ep
-            .iter()
-            .map(|(id, _)| TaskId(id))
-            .chain(
-                self.emt_ep
-                    .iter()
-                    .flat_map(|h| h.iter().map(|(id, _)| TaskId(id))),
-            )
-            .collect();
-        out.sort_unstable();
+        let mut out = Vec::new();
+        self.ready_tasks_into(&mut out);
         out
+    }
+
+    /// [`ready_tasks`](Self::ready_tasks) into a caller-provided buffer —
+    /// the allocation-free variant for per-step observation loops (the
+    /// Theorem 3 oracle calls this once per scheduling decision).
+    pub fn ready_tasks_into(&self, out: &mut Vec<TaskId>) {
+        out.clear();
+        out.extend(self.non_ep.iter().map(|(id, _)| TaskId(id)));
+        for h in &self.emt_ep {
+            out.extend(h.iter().map(|(id, _)| TaskId(id)));
+        }
+        out.sort_unstable();
     }
 
     /// EP-type tasks enabled by `p`, sorted ascending by `EMT(t, EP(t))`
     /// (the order of the paper's `EMT_EP_task_l`). For tracing.
     #[must_use]
     pub fn ep_tasks_of(&self, p: ProcId) -> Vec<TaskId> {
-        self.emt_ep[p.0]
-            .clone()
-            .into_sorted_vec()
-            .into_iter()
-            .map(|(id, _)| TaskId(id))
-            .collect()
+        let mut out = Vec::new();
+        self.ep_tasks_of_into(p, &mut out);
+        out
+    }
+
+    /// [`ep_tasks_of`](Self::ep_tasks_of) into a caller-provided buffer.
+    /// Unlike the owning variant's old implementation this never clones
+    /// the heap: entries are copied and sorted in place by the heap key
+    /// (then id, matching the heap's own tie-break).
+    pub fn ep_tasks_of_into(&self, p: ProcId, out: &mut Vec<TaskId>) {
+        let h = &self.emt_ep[p.0];
+        out.clear();
+        out.extend(h.iter().map(|(id, _)| TaskId(id)));
+        out.sort_unstable_by_key(|t| (*h.key(t.0).expect("listed id is present"), t.0));
     }
 
     /// Non-EP-type ready tasks sorted ascending by `LMT(t)`. For tracing.
     #[must_use]
     pub fn non_ep_tasks(&self) -> Vec<TaskId> {
-        self.non_ep
-            .clone()
-            .into_sorted_vec()
-            .into_iter()
-            .map(|(id, _)| TaskId(id))
-            .collect()
+        let mut out = Vec::new();
+        self.non_ep_tasks_into(&mut out);
+        out
+    }
+
+    /// [`non_ep_tasks`](Self::non_ep_tasks) into a caller-provided buffer
+    /// (no heap clone).
+    pub fn non_ep_tasks_into(&self, out: &mut Vec<TaskId>) {
+        out.clear();
+        out.extend(self.non_ep.iter().map(|(id, _)| TaskId(id)));
+        out.sort_unstable_by_key(|t| (*self.non_ep.key(t.0).expect("listed id is present"), t.0));
     }
 
     /// `LMT(t)` of a ready task.

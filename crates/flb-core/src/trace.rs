@@ -60,8 +60,12 @@ pub fn trace(
 ) -> (Schedule, Vec<TraceRow>) {
     let mut run = FlbRun::new(graph, machine, tie_break);
     let mut rows = Vec::with_capacity(graph.num_tasks());
+    // One scratch buffer reused across every per-step snapshot, so the
+    // tracing loop adds no per-step list allocations beyond the rows it
+    // actually returns (the `_into` observer variants never clone a heap).
+    let mut scratch: Vec<TaskId> = Vec::new();
     loop {
-        let snapshot = snapshot_lists(&run, machine);
+        let snapshot = snapshot_lists(&run, machine, &mut scratch);
         match run.step() {
             Some(step) => rows.push(TraceRow {
                 ep_lists: snapshot.0,
@@ -74,13 +78,18 @@ pub fn trace(
     (run.finish(), rows)
 }
 
-fn snapshot_lists(run: &FlbRun<'_>, machine: &Machine) -> (Vec<Vec<EpEntry>>, Vec<NonEpEntry>) {
+fn snapshot_lists(
+    run: &FlbRun<'_>,
+    machine: &Machine,
+    scratch: &mut Vec<TaskId>,
+) -> (Vec<Vec<EpEntry>>, Vec<NonEpEntry>) {
     let ep_lists = machine
         .procs()
         .map(|p| {
-            run.ep_tasks_of(p)
-                .into_iter()
-                .map(|t| EpEntry {
+            run.ep_tasks_of_into(p, scratch);
+            scratch
+                .iter()
+                .map(|&t| EpEntry {
                     task: t,
                     est_on_ep: run.emt_on_ep_of(t).max(run.builder().prt(p)),
                     bottom_level: run.bottom_level_of(t),
@@ -89,10 +98,10 @@ fn snapshot_lists(run: &FlbRun<'_>, machine: &Machine) -> (Vec<Vec<EpEntry>>, Ve
                 .collect()
         })
         .collect();
-    let non_ep = run
-        .non_ep_tasks()
-        .into_iter()
-        .map(|t| NonEpEntry {
+    run.non_ep_tasks_into(scratch);
+    let non_ep = scratch
+        .iter()
+        .map(|&t| NonEpEntry {
             task: t,
             lmt: run.lmt_of(t),
         })

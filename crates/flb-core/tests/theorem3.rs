@@ -58,8 +58,9 @@ proptest! {
     ) {
         let m = Machine::new(procs);
         let mut run = FlbRun::new(&g, &m, tie);
+        let mut ready = Vec::new();
         loop {
-            let ready = run.ready_tasks();
+            run.ready_tasks_into(&mut ready);
             let oracle_min = oracle::min_est(run.builder(), &ready);
             match run.step() {
                 Some(step) => {

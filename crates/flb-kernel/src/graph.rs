@@ -1,0 +1,330 @@
+//! `FlatGraph`: a dense, `u32`-indexed CSR task graph.
+//!
+//! The reference [`flb_graph::TaskGraph`] is built through a validating
+//! builder (duplicate detection, cycle check, adjacency sort) and addresses
+//! tasks with `usize` ids wrapped in [`TaskId`]. That is the right interface
+//! for correctness work, but at a million tasks the kernel wants something
+//! leaner: plain `u32` ids, two CSR halves (successors and predecessors)
+//! in six flat arrays, and a construction path that streams edges straight
+//! into those arrays with no intermediate edge list.
+//!
+//! Two ways in:
+//!
+//! * [`FlatGraph::from_emitter`] — streaming construction for generators:
+//!   the emitter closure is invoked twice, once to count degrees and once
+//!   to fill the CSR arrays (two-pass counting sort). Edges must point from
+//!   a smaller to a larger id, so task ids double as a topological order
+//!   and no cycle check or sort is needed.
+//! * [`FlatGraph::from_task_graph`] — conversion from any validated
+//!   [`TaskGraph`] (arbitrary id order; the topological order is copied).
+
+use flb_graph::{TaskGraph, TaskGraphBuilder, TaskId, Time};
+
+/// Sentinel for "no node" in every `u32`-indexed structure of this crate.
+pub const NONE: u32 = u32::MAX;
+
+/// A weighted DAG in compressed-sparse-row form, both directions.
+#[derive(Clone, Debug)]
+pub struct FlatGraph {
+    name: String,
+    comp: Vec<Time>,
+    succ_off: Vec<u32>,
+    succ_dst: Vec<u32>,
+    succ_w: Vec<Time>,
+    pred_off: Vec<u32>,
+    pred_src: Vec<u32>,
+    pred_w: Vec<Time>,
+    /// A topological order of the ids (identity for streamed graphs).
+    topo: Vec<u32>,
+}
+
+impl FlatGraph {
+    /// Streaming constructor. `emit` must be deterministic: it is called
+    /// twice with an edge sink, first to count per-node degrees, then to
+    /// fill the CSR arrays. Every edge must satisfy `src < dst` (ids are
+    /// the topological order, which all regular workload generators
+    /// produce naturally), and both passes must emit exactly `num_edges`
+    /// edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an edge with `src >= dst` or out of range, on an edge
+    /// count mismatch between the passes and `num_edges`, or when
+    /// `num_edges` does not fit `u32` offsets.
+    #[must_use]
+    pub fn from_emitter(
+        name: impl Into<String>,
+        comp: Vec<Time>,
+        num_edges: usize,
+        emit: impl Fn(&mut dyn FnMut(u32, u32, Time)),
+    ) -> Self {
+        let v = comp.len();
+        assert!(
+            num_edges < NONE as usize && v < NONE as usize,
+            "graph too large for u32 indices"
+        );
+        // Pass 1: count degrees into the (future) offset arrays.
+        let mut succ_off = vec![0u32; v + 1];
+        let mut pred_off = vec![0u32; v + 1];
+        let mut seen = 0usize;
+        emit(&mut |src, dst, _w| {
+            assert!(
+                (dst as usize) < v && src < dst,
+                "edge {src} -> {dst} must go forward within {v} tasks"
+            );
+            succ_off[src as usize + 1] += 1;
+            pred_off[dst as usize + 1] += 1;
+            seen += 1;
+        });
+        assert_eq!(seen, num_edges, "first pass emitted a different edge count");
+        for i in 0..v {
+            succ_off[i + 1] += succ_off[i];
+            pred_off[i + 1] += pred_off[i];
+        }
+        // Pass 2: fill, using cursor copies of the offsets.
+        let mut succ_dst = vec![0u32; num_edges];
+        let mut succ_w = vec![0; num_edges];
+        let mut pred_src = vec![0u32; num_edges];
+        let mut pred_w = vec![0; num_edges];
+        let mut succ_cur: Vec<u32> = succ_off[..v].to_vec();
+        let mut pred_cur: Vec<u32> = pred_off[..v].to_vec();
+        let mut seen2 = 0usize;
+        emit(&mut |src, dst, w| {
+            let si = succ_cur[src as usize] as usize;
+            succ_dst[si] = dst;
+            succ_w[si] = w;
+            succ_cur[src as usize] += 1;
+            let pi = pred_cur[dst as usize] as usize;
+            pred_src[pi] = src;
+            pred_w[pi] = w;
+            pred_cur[dst as usize] += 1;
+            seen2 += 1;
+        });
+        assert_eq!(seen2, num_edges, "emitter passes disagree on edge count");
+        FlatGraph {
+            name: name.into(),
+            comp,
+            succ_off,
+            succ_dst,
+            succ_w,
+            pred_off,
+            pred_src,
+            pred_w,
+            topo: (0..v as u32).collect(),
+        }
+    }
+
+    /// Converts a validated [`TaskGraph`] (any id order).
+    #[must_use]
+    pub fn from_task_graph(g: &TaskGraph) -> Self {
+        let v = g.num_tasks();
+        let e = g.num_edges();
+        assert!(
+            e < NONE as usize && v < NONE as usize,
+            "graph too large for u32 indices"
+        );
+        let mut fg = FlatGraph {
+            name: g.name().to_string(),
+            comp: (0..v).map(|i| g.comp(TaskId(i))).collect(),
+            succ_off: Vec::with_capacity(v + 1),
+            succ_dst: Vec::with_capacity(e),
+            succ_w: Vec::with_capacity(e),
+            pred_off: Vec::with_capacity(v + 1),
+            pred_src: Vec::with_capacity(e),
+            pred_w: Vec::with_capacity(e),
+            topo: g.topological_order().iter().map(|t| t.0 as u32).collect(),
+        };
+        fg.succ_off.push(0);
+        fg.pred_off.push(0);
+        for i in 0..v {
+            for &(s, w) in g.succs(TaskId(i)) {
+                fg.succ_dst.push(s.0 as u32);
+                fg.succ_w.push(w);
+            }
+            fg.succ_off.push(fg.succ_dst.len() as u32);
+            for &(p, w) in g.preds(TaskId(i)) {
+                fg.pred_src.push(p.0 as u32);
+                fg.pred_w.push(w);
+            }
+            fg.pred_off.push(fg.pred_src.len() as u32);
+        }
+        fg
+    }
+
+    /// Graph name (carried into conversions and bench labels).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of tasks `V`.
+    #[must_use]
+    pub fn num_tasks(&self) -> usize {
+        self.comp.len()
+    }
+
+    /// Number of edges `E`.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.succ_dst.len()
+    }
+
+    /// Computation cost of task `v`.
+    #[inline]
+    #[must_use]
+    pub fn comp(&self, v: u32) -> Time {
+        self.comp[v as usize]
+    }
+
+    /// Successors of `v` with edge weights. Allocation-free.
+    #[inline]
+    pub fn succs(&self, v: u32) -> impl Iterator<Item = (u32, Time)> + '_ {
+        let lo = self.succ_off[v as usize] as usize;
+        let hi = self.succ_off[v as usize + 1] as usize;
+        self.succ_dst[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.succ_w[lo..hi].iter().copied())
+    }
+
+    /// Predecessors of `v` with edge weights. Allocation-free.
+    #[inline]
+    pub fn preds(&self, v: u32) -> impl Iterator<Item = (u32, Time)> + '_ {
+        let lo = self.pred_off[v as usize] as usize;
+        let hi = self.pred_off[v as usize + 1] as usize;
+        self.pred_src[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.pred_w[lo..hi].iter().copied())
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    #[must_use]
+    pub fn in_degree(&self, v: u32) -> u32 {
+        self.pred_off[v as usize + 1] - self.pred_off[v as usize]
+    }
+
+    /// Sum of all computation costs (sequential time on a unit machine).
+    #[must_use]
+    pub fn total_comp(&self) -> Time {
+        self.comp.iter().sum()
+    }
+
+    /// Sum of all communication costs (for measured-CCR reporting).
+    #[must_use]
+    pub fn total_comm(&self) -> Time {
+        self.succ_w.iter().sum()
+    }
+
+    /// Static bottom levels over the stored topological order:
+    /// `bl(t) = comp(t) + max over (t,s) in E of (comm(t,s) + bl(s))` —
+    /// identical values to [`flb_graph::levels::bottom_levels`].
+    #[must_use]
+    pub fn bottom_levels(&self) -> Vec<Time> {
+        let mut bl = vec![0; self.num_tasks()];
+        for &t in self.topo.iter().rev() {
+            let tail = self
+                .succs(t)
+                .map(|(s, w)| w + bl[s as usize])
+                .max()
+                .unwrap_or(0);
+            bl[t as usize] = self.comp(t) + tail;
+        }
+        bl
+    }
+
+    /// Converts back into a validated [`TaskGraph`] (used when a reference
+    /// scheduler or checker needs the builder-based representation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is somehow invalid — impossible for graphs built
+    /// by this crate's constructors.
+    #[must_use]
+    pub fn to_task_graph(&self) -> TaskGraph {
+        let mut b = TaskGraphBuilder::named(self.name.clone());
+        b.reserve(self.num_tasks(), self.num_edges());
+        for &c in &self.comp {
+            b.add_task(c);
+        }
+        for v in 0..self.num_tasks() as u32 {
+            for (s, w) in self.succs(v) {
+                b.add_edge(TaskId(v as usize), TaskId(s as usize), w)
+                    .expect("flat graph edges are valid");
+            }
+        }
+        b.build().expect("flat graph is acyclic")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flb_graph::levels::bottom_levels;
+    use flb_graph::paper::fig1;
+
+    #[test]
+    fn from_task_graph_round_trips() {
+        let g = fig1();
+        let fg = FlatGraph::from_task_graph(&g);
+        assert_eq!(fg.num_tasks(), g.num_tasks());
+        assert_eq!(fg.num_edges(), g.num_edges());
+        for i in 0..g.num_tasks() {
+            assert_eq!(fg.comp(i as u32), g.comp(TaskId(i)));
+            let succs: Vec<_> = fg.succs(i as u32).collect();
+            let expect: Vec<_> = g
+                .succs(TaskId(i))
+                .iter()
+                .map(|&(s, w)| (s.0 as u32, w))
+                .collect();
+            assert_eq!(succs, expect);
+            let preds: Vec<_> = fg.preds(i as u32).collect();
+            assert_eq!(preds.len(), g.preds(TaskId(i)).len());
+        }
+        let back = fg.to_task_graph();
+        assert_eq!(back.num_tasks(), g.num_tasks());
+        assert_eq!(back.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn bottom_levels_match_reference() {
+        let g = fig1();
+        let fg = FlatGraph::from_task_graph(&g);
+        assert_eq!(fg.bottom_levels(), bottom_levels(&g));
+        // Also on a permuted (non-identity topological order) graph.
+        let lu = flb_graph::gen::lu(7);
+        let perm: Vec<TaskId> = (0..lu.num_tasks())
+            .map(|i| TaskId((i * 13 + 5) % lu.num_tasks()))
+            .collect();
+        let shuffled = flb_graph::transform::permute(&lu, &perm);
+        let fs = FlatGraph::from_task_graph(&shuffled);
+        assert_eq!(fs.bottom_levels(), bottom_levels(&shuffled));
+    }
+
+    #[test]
+    fn from_emitter_builds_the_diamond() {
+        // 0 -> {1, 2} -> 3
+        let edges = [(0u32, 1u32, 5u64), (0, 2, 6), (1, 3, 7), (2, 3, 8)];
+        let fg = FlatGraph::from_emitter("diamond", vec![1, 2, 3, 4], edges.len(), |sink| {
+            for &(s, d, w) in &edges {
+                sink(s, d, w);
+            }
+        });
+        assert_eq!(fg.num_tasks(), 4);
+        assert_eq!(fg.num_edges(), 4);
+        assert_eq!(fg.succs(0).collect::<Vec<_>>(), vec![(1, 5), (2, 6)]);
+        assert_eq!(fg.preds(3).collect::<Vec<_>>(), vec![(1, 7), (2, 8)]);
+        assert_eq!(fg.in_degree(0), 0);
+        assert_eq!(fg.in_degree(3), 2);
+        assert_eq!(fg.total_comp(), 10);
+        // bl(3)=4, bl(1)=2+7+4=13, bl(2)=3+8+4=15, bl(0)=1+6+15=22
+        assert_eq!(fg.bottom_levels(), vec![22, 13, 15, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must go forward")]
+    fn from_emitter_rejects_backward_edges() {
+        let _ = FlatGraph::from_emitter("bad", vec![1, 1], 1, |sink| sink(1, 0, 1));
+    }
+}

@@ -1,0 +1,441 @@
+//! The FLB inner loop over SoA arenas — allocation-free after construction.
+//!
+//! [`KernelRun`] is a re-implementation of `flb_core::FlbRun` (the paper's
+//! §4.1 pseudocode) designed for million-task graphs. It makes exactly the
+//! same scheduling decisions — same candidate pairs, same tie-breaks, same
+//! demotion order — which the conformance registry and the bit-identity
+//! property tests enforce. What differs is the representation:
+//!
+//! * task and processor ids are `u32`; per-task state (`bl`, `LMT`,
+//!   `EMT(t, EP(t))`, `EP`, readiness countdown, placement) lives in
+//!   struct-of-arrays arenas indexed by id;
+//! * the per-processor `EMT_EP_task_l` / `LMT_EP_task_l` lists are two
+//!   [`PairingForest`]s sharing flat link arrays (a task is enabled by at
+//!   most one processor, so all `P` heaps fit one universe);
+//! * the non-EP list and both processor lists are [`FlatHeap`]s with
+//!   capacity fixed at init;
+//! * there is no `ScheduleBuilder`: placements are three flat arrays, and
+//!   every quantity (`LMT`, `EP`, `EMT`) is computed by a direct CSR scan.
+//!
+//! Everything is sized once from `V`, `E` and `P` in [`KernelRun::new`];
+//! the steady-state loop performs **zero heap allocations** (verified by a
+//! counting-allocator integration test).
+
+use crate::graph::{FlatGraph, NONE};
+use crate::list::{FlatHeap, PairingForest};
+use flb_core::{RunStats, TieBreak};
+use flb_graph::Time;
+use std::cmp::Reverse;
+
+/// Heap key of the non-EP list: `(LMT, Reverse(bottom level))`; the heap
+/// itself breaks remaining ties toward the smaller id.
+type TaskKey = (Time, Reverse<Time>);
+
+/// One scheduling decision made by [`KernelRun::step`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KernelStep {
+    /// The scheduled task.
+    pub task: u32,
+    /// Destination processor.
+    pub proc: u32,
+    /// Start time.
+    pub start: Time,
+    /// Finish time.
+    pub finish: Time,
+    /// Whether the EP pair (true) or the non-EP pair (false) won.
+    pub from_ep_list: bool,
+}
+
+/// A resumable FLB execution over a [`FlatGraph`].
+pub struct KernelRun<'g> {
+    g: &'g FlatGraph,
+    /// Per-processor slowdown factors (all 1 on homogeneous machines).
+    slow: Vec<Time>,
+    tie_break: TieBreak,
+    /// Static bottom levels (tie-break priority).
+    bl: Vec<Time>,
+    /// Remaining unplaced predecessors per task.
+    missing_preds: Vec<u32>,
+    /// `LMT(t)` for ready tasks.
+    lmt: Vec<Time>,
+    /// `EMT(t, EP(t))` for ready tasks.
+    emt_on_ep: Vec<Time>,
+    /// `EP(t)` for ready tasks (`NONE` = entry task).
+    ep: Vec<u32>,
+    /// Placement arenas (`proc_of[t] == NONE` = unplaced).
+    proc_of: Vec<u32>,
+    start: Vec<Time>,
+    finish: Vec<Time>,
+    /// Processor ready times `PRT(p)`.
+    prt: Vec<Time>,
+    n_placed: usize,
+    /// Per-processor EP lists keyed by `EMT(t, EP(t))` / by `LMT(t)`.
+    emt_forest: PairingForest,
+    lmt_forest: PairingForest,
+    emt_root: Vec<u32>,
+    lmt_root: Vec<u32>,
+    /// Total tasks across all EP lists (for the `max_ready` counter).
+    ep_in_lists: usize,
+    /// Non-EP ready tasks keyed by `(LMT, ⁻bl)`.
+    non_ep: FlatHeap<TaskKey>,
+    /// Active processors keyed by the minimum EST of their EP tasks.
+    active: FlatHeap<Time>,
+    /// All processors keyed by `PRT(p)`.
+    all_procs: FlatHeap<Time>,
+    stats: RunStats,
+}
+
+impl<'g> KernelRun<'g> {
+    /// Initialises every arena and list from `V`, `E` and `P`. This is the
+    /// only allocating phase; `slow[p]` is processor `p`'s slowdown factor
+    /// (use `&[1; P]`-style vectors for the paper's homogeneous machines).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slow` is empty.
+    #[must_use]
+    pub fn new(g: &'g FlatGraph, slow: &[Time], tie_break: TieBreak) -> Self {
+        let v = g.num_tasks();
+        let p = slow.len();
+        assert!(p > 0, "a machine needs at least one processor");
+        let bl = match tie_break {
+            TieBreak::BottomLevel => g.bottom_levels(),
+            TieBreak::TaskId => vec![0; v],
+        };
+        let mut run = KernelRun {
+            g,
+            slow: slow.to_vec(),
+            tie_break,
+            bl,
+            missing_preds: (0..v).map(|i| g.in_degree(i as u32)).collect(),
+            lmt: vec![0; v],
+            emt_on_ep: vec![0; v],
+            ep: vec![NONE; v],
+            proc_of: vec![NONE; v],
+            start: vec![0; v],
+            finish: vec![0; v],
+            prt: vec![0; p],
+            n_placed: 0,
+            emt_forest: PairingForest::new(v),
+            lmt_forest: PairingForest::new(v),
+            emt_root: vec![NONE; p],
+            lmt_root: vec![NONE; p],
+            ep_in_lists: 0,
+            non_ep: FlatHeap::new(v, (0, Reverse(0))),
+            active: FlatHeap::new(p, 0),
+            all_procs: FlatHeap::new(p, 0),
+            stats: RunStats::default(),
+        };
+        for t in 0..v as u32 {
+            if run.missing_preds[t as usize] == 0 {
+                run.enqueue_ready(t);
+            }
+        }
+        run.stats.max_ready = run.ready_len();
+        for q in 0..p as u32 {
+            run.all_procs.insert(q, 0);
+        }
+        run
+    }
+
+    /// Counters accumulated so far (field-identical to the reference run).
+    #[must_use]
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// The tie-break rule this run uses.
+    #[must_use]
+    pub fn tie_break(&self) -> TieBreak {
+        self.tie_break
+    }
+
+    /// Whether every task has been placed.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.n_placed == self.g.num_tasks()
+    }
+
+    /// Processor of each task (`NONE` while unplaced).
+    #[must_use]
+    pub fn procs(&self) -> &[u32] {
+        &self.proc_of
+    }
+
+    /// Start time of each task (valid once placed).
+    #[must_use]
+    pub fn starts(&self) -> &[Time] {
+        &self.start
+    }
+
+    /// Finish time of each task (valid once placed).
+    #[must_use]
+    pub fn finishes(&self) -> &[Time] {
+        &self.finish
+    }
+
+    /// Parallel completion time of the (complete) run.
+    #[must_use]
+    pub fn makespan(&self) -> Time {
+        self.prt.iter().copied().max().unwrap_or(0)
+    }
+
+    fn ready_len(&self) -> usize {
+        self.non_ep.len() + self.ep_in_lists
+    }
+
+    /// Runs to completion. Allocation-free.
+    pub fn run(&mut self) {
+        while self.step().is_some() {}
+    }
+
+    /// Schedules one task — the paper's `ScheduleTask` plus the three
+    /// update procedures. Returns `None` once every task is placed.
+    /// Allocation-free.
+    pub fn step(&mut self) -> Option<KernelStep> {
+        if self.n_placed == self.g.num_tasks() {
+            return None;
+        }
+
+        // Candidate (a): EP-type task with minimum EST on its enabling
+        // processor — head of the head-of-active-processors' EMT list.
+        let ep_pair = self.active.peek().map(|(p, est)| {
+            let t = self.emt_root[p as usize];
+            debug_assert_ne!(t, NONE, "active processor has EP tasks");
+            debug_assert_eq!(
+                est,
+                self.emt_on_ep[t as usize].max(self.prt[p as usize]),
+                "stale active-processor key"
+            );
+            (t, p, est)
+        });
+
+        // Candidate (b): non-EP-type task with minimum LMT on the
+        // processor becoming idle the earliest.
+        let non_ep_pair = self.non_ep.peek().map(|(t, (lmt, _))| {
+            let (p, prt) = self.all_procs.peek().expect("machine has processors");
+            (t, p, lmt.max(prt))
+        });
+
+        // The EP pair wins only with a strictly smaller EST.
+        let (task, proc, start, from_ep_list) = match (ep_pair, non_ep_pair) {
+            (Some((t1, p1, e1)), Some((_, _, e2))) if e1 < e2 => (t1, p1, e1, true),
+            (_, Some((t2, p2, e2))) => (t2, p2, e2, false),
+            (Some((t1, p1, e1)), None) => (t1, p1, e1, true),
+            (None, None) => unreachable!("unscheduled tasks but no ready task"),
+        };
+
+        // Remove the winner from its lists.
+        if from_ep_list {
+            self.emt_root[proc as usize] = self.emt_forest.remove(
+                &self.emt_on_ep,
+                &self.bl,
+                self.emt_root[proc as usize],
+                task,
+            );
+            self.lmt_root[proc as usize] =
+                self.lmt_forest
+                    .remove(&self.lmt, &self.bl, self.lmt_root[proc as usize], task);
+            self.ep_in_lists -= 1;
+            self.stats.ep_selections += 1;
+        } else {
+            let removed = self.non_ep.remove(task);
+            debug_assert!(removed.is_some());
+            self.stats.non_ep_selections += 1;
+        }
+
+        // Place: append on `proc` (FLB never inserts into gaps).
+        debug_assert!(start >= self.prt[proc as usize], "append before PRT");
+        let finish = start + self.g.comp(task) * self.slow[proc as usize];
+        self.proc_of[task as usize] = proc;
+        self.start[task as usize] = start;
+        self.finish[task as usize] = finish;
+        self.prt[proc as usize] = finish;
+        self.n_placed += 1;
+
+        self.all_procs.update(proc, finish);
+        self.update_task_lists(proc);
+        self.update_proc_lists(proc);
+        self.update_ready_tasks(task);
+
+        Some(KernelStep {
+            task,
+            proc,
+            start,
+            finish,
+            from_ep_list,
+        })
+    }
+
+    /// Paper's `UpdateTaskLists`: demote EP tasks whose `LMT` fell below
+    /// the grown `PRT(p)` to the non-EP list, in LMT order.
+    fn update_task_lists(&mut self, p: u32) {
+        let prt = self.prt[p as usize];
+        loop {
+            let head = self.lmt_root[p as usize];
+            if head == NONE {
+                break;
+            }
+            let lmt = self.lmt[head as usize];
+            if lmt >= prt {
+                break;
+            }
+            self.lmt_root[p as usize] = self.lmt_forest.pop_min(&self.lmt, &self.bl, head);
+            self.emt_root[p as usize] =
+                self.emt_forest
+                    .remove(&self.emt_on_ep, &self.bl, self.emt_root[p as usize], head);
+            self.ep_in_lists -= 1;
+            self.non_ep
+                .insert(head, (lmt, Reverse(self.bl[head as usize])));
+            self.stats.demotions += 1;
+        }
+    }
+
+    /// Paper's `UpdateProcLists`: refresh `p`'s priority in the active
+    /// list (minimum EST of its EP tasks) or drop it when empty.
+    fn update_proc_lists(&mut self, p: u32) {
+        let head = self.emt_root[p as usize];
+        if head == NONE {
+            self.active.remove(p);
+        } else {
+            let est = self.emt_on_ep[head as usize].max(self.prt[p as usize]);
+            self.active.insert_or_update(p, est);
+        }
+    }
+
+    /// Paper's `UpdateReadyTasks`: successors that became ready are
+    /// classified EP / non-EP and enqueued.
+    fn update_ready_tasks(&mut self, scheduled: u32) {
+        let g = self.g;
+        for (s, _) in g.succs(scheduled) {
+            self.missing_preds[s as usize] -= 1;
+            if self.missing_preds[s as usize] == 0 {
+                self.enqueue_ready(s);
+            }
+        }
+        self.stats.max_ready = self.stats.max_ready.max(self.ready_len());
+    }
+
+    /// Classifies and enqueues a ready task. `LMT`, `EP` and `EMT` are
+    /// computed by two predecessor CSR scans (the reference computes the
+    /// same quantities through its `ScheduleBuilder`): the EP is the
+    /// processor of the maximum arrival, ties toward the smallest
+    /// processor id then the smallest predecessor id.
+    fn enqueue_ready(&mut self, s: u32) {
+        let g = self.g;
+        // Scan 1: LMT and EP.
+        let mut best: Option<(Time, Reverse<u32>, Reverse<u32>)> = None;
+        for (q, w) in g.preds(s) {
+            let arrival = self.finish[q as usize] + w;
+            let cand = (arrival, Reverse(self.proc_of[q as usize]), Reverse(q));
+            if best.is_none_or(|b| cand > b) {
+                best = Some(cand);
+            }
+        }
+        match best {
+            // Entry task: no enabling processor, LMT = 0.
+            None => {
+                self.lmt[s as usize] = 0;
+                self.non_ep.insert(s, (0, Reverse(self.bl[s as usize])));
+                self.stats.non_ep_promotions += 1;
+            }
+            Some((lmt, Reverse(ep), _)) => {
+                self.lmt[s as usize] = lmt;
+                // Scan 2: EMT on the enabling processor (messages from
+                // predecessors already on `ep` are free).
+                let mut emt = 0;
+                for (q, w) in g.preds(s) {
+                    let ft = self.finish[q as usize];
+                    let arrives = if self.proc_of[q as usize] == ep {
+                        ft
+                    } else {
+                        ft + w
+                    };
+                    emt = emt.max(arrives);
+                }
+                self.ep[s as usize] = ep;
+                self.emt_on_ep[s as usize] = emt;
+                if lmt < self.prt[ep as usize] {
+                    self.non_ep.insert(s, (lmt, Reverse(self.bl[s as usize])));
+                    self.stats.non_ep_promotions += 1;
+                } else {
+                    self.emt_root[ep as usize] = self.emt_forest.insert(
+                        &self.emt_on_ep,
+                        &self.bl,
+                        self.emt_root[ep as usize],
+                        s,
+                    );
+                    self.lmt_root[ep as usize] =
+                        self.lmt_forest
+                            .insert(&self.lmt, &self.bl, self.lmt_root[ep as usize], s);
+                    self.ep_in_lists += 1;
+                    self.update_proc_lists(ep);
+                    self.stats.ep_promotions += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::FlatGraph;
+    use flb_graph::paper::fig1;
+
+    /// The paper's Table 1 trace, decision for decision.
+    #[test]
+    fn fig1_reproduces_table1_decisions() {
+        let g = FlatGraph::from_task_graph(&fig1());
+        let mut run = KernelRun::new(&g, &[1, 1], TieBreak::BottomLevel);
+        let expected = [
+            (0, 0, 0, 2),
+            (3, 0, 2, 5),
+            (1, 1, 3, 5),
+            (2, 0, 5, 7),
+            (4, 1, 5, 8),
+            (5, 0, 7, 10),
+            (6, 1, 8, 10),
+            (7, 0, 12, 14),
+        ];
+        for (i, &(t, p, st, ft)) in expected.iter().enumerate() {
+            let step = run.step().expect("more steps expected");
+            assert_eq!(
+                (step.task, step.proc, step.start, step.finish),
+                (t, p, st, ft),
+                "iteration {i} diverged from Table 1"
+            );
+        }
+        assert!(run.step().is_none());
+        assert!(run.is_complete());
+        assert_eq!(run.makespan(), 14);
+    }
+
+    #[test]
+    fn stats_match_the_reference_counts() {
+        let g = FlatGraph::from_task_graph(&fig1());
+        let mut run = KernelRun::new(&g, &[1, 1], TieBreak::BottomLevel);
+        run.run();
+        let st = run.stats();
+        assert_eq!(st.ep_selections, 4);
+        assert_eq!(st.non_ep_selections, 4);
+        assert_eq!(st.ep_promotions, 7);
+        assert_eq!(st.non_ep_promotions, 1);
+        assert_eq!(st.demotions, 3);
+        assert_eq!(st.max_ready, 3);
+    }
+
+    #[test]
+    fn related_machine_scales_execution_times() {
+        let g = FlatGraph::from_task_graph(&fig1());
+        let mut run = KernelRun::new(&g, &[2, 3], TieBreak::BottomLevel);
+        run.run();
+        for t in 0..g.num_tasks() as u32 {
+            let p = run.procs()[t as usize] as usize;
+            assert_eq!(
+                run.finishes()[t as usize] - run.starts()[t as usize],
+                g.comp(t) * [2, 3][p]
+            );
+        }
+    }
+}

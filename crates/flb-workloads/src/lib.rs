@@ -13,6 +13,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod million;
 pub mod stats;
 
 use flb_graph::costs::{CostModel, Dist};

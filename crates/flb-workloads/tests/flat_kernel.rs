@@ -1,0 +1,67 @@
+//! End-to-end check of the streaming path: graphs built by the flat
+//! generators (identity topological order, emission-ordered CSR) scheduled
+//! by the kernel must match the reference FLB run on the converted
+//! `TaskGraph` exactly — placements, start times and makespan.
+
+use flb_core::{FlbRun, TieBreak};
+use flb_graph::costs::{CostModel, Dist};
+use flb_graph::gen::RandomLayeredSpec;
+use flb_kernel::{FlatGraph, KernelRun};
+use flb_sched::{Machine, ProcId};
+use flb_workloads::million::{cholesky_flat, lu_flat, random_layered_flat};
+
+fn assert_kernel_matches_reference(flat: &FlatGraph, machine: &Machine) {
+    let slow: Vec<_> = (0..machine.num_procs())
+        .map(|p| machine.slowdown(ProcId(p)))
+        .collect();
+    let mut kernel = KernelRun::new(flat, &slow, TieBreak::BottomLevel);
+    kernel.run();
+
+    let g = flat.to_task_graph();
+    let mut reference = FlbRun::new(&g, machine, TieBreak::BottomLevel);
+    while reference.step().is_some() {}
+    let schedule = reference.finish();
+
+    for t in 0..flat.num_tasks() {
+        let p = schedule.placement(flb_graph::TaskId(t));
+        assert_eq!(kernel.procs()[t] as usize, p.proc.0, "task {t} processor");
+        assert_eq!(kernel.starts()[t], p.start, "task {t} start");
+    }
+    assert_eq!(kernel.makespan(), schedule.makespan());
+}
+
+#[test]
+fn lu_flat_schedules_match_reference() {
+    let model = CostModel {
+        comp: Dist::UniformMean(100),
+        ccr: 5.0,
+    };
+    let flat = lu_flat(25, &model, 1999);
+    assert_kernel_matches_reference(&flat, &Machine::new(8));
+}
+
+#[test]
+fn cholesky_flat_schedules_match_reference_on_related_machine() {
+    let model = CostModel {
+        comp: Dist::UniformMean(100),
+        ccr: 0.2,
+    };
+    let flat = cholesky_flat(12, &model, 7);
+    assert_kernel_matches_reference(&flat, &Machine::related(vec![1, 2, 2, 3]));
+}
+
+#[test]
+fn random_layered_flat_schedules_match_reference() {
+    let model = CostModel {
+        comp: Dist::Exponential(50),
+        ccr: 1.0,
+    };
+    let spec = RandomLayeredSpec {
+        tasks: 400,
+        layers: 12,
+        edge_prob: 0.1,
+        max_skip: 2,
+    };
+    let flat = random_layered_flat(&spec, &model, 3);
+    assert_kernel_matches_reference(&flat, &Machine::new(4));
+}
