@@ -1,0 +1,395 @@
+//! Per-file analysis context: line table, pragmas, regions, function
+//! spans and test-code detection, shared by every rule.
+
+use crate::lexer::{lex, TokKind, Token};
+use crate::pragma::{parse_pragmas, Pragmas};
+
+/// A function found by the token scanner.
+#[derive(Clone, Debug)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// Byte offset of the `fn` keyword.
+    pub start: usize,
+    /// Byte range of the body (inside the braces, inclusive of them);
+    /// `start..start` for bodyless trait signatures.
+    pub body: std::ops::Range<usize>,
+    /// Token index range of the body in [`FileCtx::tokens`].
+    pub body_tokens: std::ops::Range<usize>,
+    /// Whether the function (or an enclosing module) is test-only code.
+    pub is_test: bool,
+}
+
+/// Everything the rules need to know about one source file.
+pub struct FileCtx {
+    /// Workspace-relative path, `/`-separated.
+    pub rel_path: String,
+    /// The file's text.
+    pub text: String,
+    /// All tokens, comments included.
+    pub tokens: Vec<Token>,
+    /// Byte offset of the start of each line (line 0 starts at 0).
+    line_starts: Vec<usize>,
+    /// Waiver pragmas and named regions.
+    pub pragmas: Pragmas,
+    /// Every function in the file, in source order.
+    pub fns: Vec<FnSpan>,
+    /// Byte ranges of test-only code (`#[cfg(test)] mod`s, `#[test]`
+    /// functions); whole-file for `tests/` integration files.
+    pub test_spans: Vec<std::ops::Range<usize>>,
+}
+
+impl FileCtx {
+    /// Lexes and indexes one file.
+    #[must_use]
+    pub fn new(rel_path: String, text: String) -> Self {
+        let tokens = lex(&text);
+        let line_starts = line_starts(&text);
+        let pragmas = parse_pragmas(&text, &tokens, &line_starts);
+        let mut test_spans = find_test_spans(&text, &tokens);
+        if rel_path.contains("/tests/") || rel_path.starts_with("tests/") {
+            test_spans = std::iter::once(0..text.len()).collect();
+        }
+        let fns = find_functions(&text, &tokens, &test_spans);
+        FileCtx {
+            rel_path,
+            text,
+            tokens,
+            line_starts,
+            pragmas,
+            fns,
+            test_spans,
+        }
+    }
+
+    /// 1-based line number of a byte offset.
+    #[must_use]
+    pub fn line_of(&self, offset: usize) -> u32 {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i as u32 + 1,
+            Err(i) => i as u32,
+        }
+    }
+
+    /// 1-based column of a byte offset.
+    #[must_use]
+    pub fn col_of(&self, offset: usize) -> u32 {
+        let line = self.line_of(offset) as usize - 1;
+        (offset - self.line_starts[line]) as u32 + 1
+    }
+
+    /// The trimmed text of the line containing `offset`.
+    #[must_use]
+    pub fn line_text(&self, offset: usize) -> &str {
+        let line = self.line_of(offset) as usize - 1;
+        let start = self.line_starts[line];
+        let end = self
+            .line_starts
+            .get(line + 1)
+            .copied()
+            .unwrap_or(self.text.len());
+        self.text.get(start..end).unwrap_or("").trim_end()
+    }
+
+    /// Whether a byte offset lies inside test-only code.
+    #[must_use]
+    pub fn in_test(&self, offset: usize) -> bool {
+        self.test_spans.iter().any(|s| s.contains(&offset))
+    }
+
+    /// Whether a byte offset lies inside a named region.
+    #[must_use]
+    pub fn in_region(&self, name: &str, offset: usize) -> bool {
+        let line = self.line_of(offset);
+        self.pragmas
+            .regions
+            .iter()
+            .any(|r| r.name == name && line > r.open_line && line < r.close_line)
+    }
+
+    /// Indices of non-comment tokens.
+    pub fn code_tokens(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.tokens.len()).filter(move |&i| {
+            !matches!(
+                self.tokens[i].kind,
+                TokKind::LineComment | TokKind::BlockComment
+            )
+        })
+    }
+
+    /// The previous / next non-comment token index, if any.
+    #[must_use]
+    pub fn prev_code(&self, mut i: usize) -> Option<usize> {
+        while i > 0 {
+            i -= 1;
+            if !matches!(
+                self.tokens[i].kind,
+                TokKind::LineComment | TokKind::BlockComment
+            ) {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// See [`prev_code`](Self::prev_code).
+    #[must_use]
+    pub fn next_code(&self, mut i: usize) -> Option<usize> {
+        loop {
+            i += 1;
+            match self.tokens.get(i) {
+                None => return None,
+                Some(t) if matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) => {}
+                Some(_) => return Some(i),
+            }
+        }
+    }
+
+    /// Whether token `i` is an identifier with this exact text.
+    #[must_use]
+    pub fn is_ident(&self, i: usize, text: &str) -> bool {
+        self.tokens
+            .get(i)
+            .is_some_and(|t| t.kind == TokKind::Ident && t.text(&self.text) == text)
+    }
+
+    /// Whether token `i` is this punctuation byte.
+    #[must_use]
+    pub fn is_punct(&self, i: usize, p: u8) -> bool {
+        self.tokens
+            .get(i)
+            .is_some_and(|t| t.kind == TokKind::Punct(p))
+    }
+}
+
+fn line_starts(text: &str) -> Vec<usize> {
+    let mut v = vec![0];
+    for (i, b) in text.bytes().enumerate() {
+        if b == b'\n' {
+            v.push(i + 1);
+        }
+    }
+    v
+}
+
+/// Collects the contiguous attribute/modifier text immediately before
+/// token `idx` (attributes, doc comments and item keywords), used to
+/// spot `#[test]` / `#[cfg(test)]`.
+fn attrs_before(text: &str, tokens: &[Token], idx: usize) -> String {
+    const MODIFIERS: [&str; 8] = [
+        "pub", "const", "unsafe", "extern", "async", "crate", "in", "default",
+    ];
+    let mut out = String::new();
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let t = tokens[i];
+        match t.kind {
+            TokKind::LineComment | TokKind::BlockComment => continue,
+            TokKind::Ident if MODIFIERS.contains(&t.text(text)) => continue,
+            TokKind::Str => continue, // extern "C"
+            // A closing paren/bracket: could be `pub(crate)` or the end
+            // of an attribute `#[…]`; swallow the balanced group.
+            TokKind::Punct(b')') | TokKind::Punct(b']') => {
+                let open = match t.kind {
+                    TokKind::Punct(b')') => b'(',
+                    _ => b'[',
+                };
+                let close = match t.kind {
+                    TokKind::Punct(b')') => b')',
+                    _ => b']',
+                };
+                let mut depth = 1usize;
+                let group_end = t.end;
+                while i > 0 && depth > 0 {
+                    i -= 1;
+                    match tokens[i].kind {
+                        TokKind::Punct(p) if p == close => depth += 1,
+                        TokKind::Punct(p) if p == open => depth -= 1,
+                        _ => {}
+                    }
+                }
+                // `#[…]`: include the hash; `pub(…)`: just a modifier.
+                if close == b']' && i > 0 && tokens[i - 1].kind == TokKind::Punct(b'#') {
+                    i -= 1;
+                    out.push(' ');
+                    out.push_str(text.get(tokens[i].start..group_end).unwrap_or(""));
+                }
+            }
+            _ => break,
+        }
+    }
+    out
+}
+
+/// Finds `#[cfg(test)] mod … { … }` bodies.
+fn find_test_spans(text: &str, tokens: &[Token]) -> Vec<std::ops::Range<usize>> {
+    let mut spans = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text(text) != "mod" {
+            continue;
+        }
+        let attrs = attrs_before(text, tokens, i);
+        if !(attrs.contains("cfg") && attrs.contains("test")) {
+            continue;
+        }
+        // Find the module body `{ … }` (a `mod x;` declaration has none).
+        let mut j = i + 1;
+        let mut depth = 0usize;
+        let mut open = None;
+        while j < tokens.len() {
+            match tokens[j].kind {
+                TokKind::Punct(b';') if depth == 0 => break,
+                TokKind::Punct(b'{') => {
+                    if depth == 0 {
+                        open = Some(tokens[j].start);
+                    }
+                    depth += 1;
+                }
+                TokKind::Punct(b'}') => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        if let Some(s) = open {
+                            spans.push(s..tokens[j].end);
+                        }
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    spans
+}
+
+/// Finds every `fn` item and its body span.
+fn find_functions(
+    text: &str,
+    tokens: &[Token],
+    test_spans: &[std::ops::Range<usize>],
+) -> Vec<FnSpan> {
+    let mut fns = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = tokens[i];
+        if t.kind != TokKind::Ident || t.text(text) != "fn" {
+            i += 1;
+            continue;
+        }
+        // The name is the next identifier (skipping comments).
+        let mut j = i + 1;
+        while j < tokens.len()
+            && matches!(tokens[j].kind, TokKind::LineComment | TokKind::BlockComment)
+        {
+            j += 1;
+        }
+        let Some(name_tok) = tokens.get(j).filter(|t| t.kind == TokKind::Ident) else {
+            i += 1;
+            continue; // `fn` in a type position (`Fn()` lexes differently anyway)
+        };
+        let name = name_tok.text(text).to_owned();
+        // Scan to the body `{` at paren/bracket depth 0, or a `;`
+        // (bodyless trait method / extern decl).
+        let mut depth = 0usize;
+        let mut k = j + 1;
+        let mut body = None;
+        while k < tokens.len() {
+            match tokens[k].kind {
+                TokKind::Punct(b'(') | TokKind::Punct(b'[') => depth += 1,
+                TokKind::Punct(b')') | TokKind::Punct(b']') => depth = depth.saturating_sub(1),
+                TokKind::Punct(b';') if depth == 0 => break,
+                TokKind::Punct(b'{') if depth == 0 => {
+                    // Found the body; match braces to its close.
+                    let open_tok = k;
+                    let mut braces = 1usize;
+                    let mut m = k + 1;
+                    while m < tokens.len() && braces > 0 {
+                        match tokens[m].kind {
+                            TokKind::Punct(b'{') => braces += 1,
+                            TokKind::Punct(b'}') => braces -= 1,
+                            _ => {}
+                        }
+                        m += 1;
+                    }
+                    body = Some((tokens[open_tok].start..tokens[m - 1].end, open_tok..m));
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let is_test_attr = attrs_before(text, tokens, i).contains("test");
+        let (body, body_tokens) = body.unwrap_or((t.start..t.start, i..i));
+        let is_test = is_test_attr || test_spans.iter().any(|s| s.contains(&t.start));
+        let next_scan = body_tokens.start.max(i) + 1;
+        fns.push(FnSpan {
+            name,
+            start: t.start,
+            body,
+            body_tokens,
+            is_test,
+        });
+        // Continue *inside* the body too: nested fns are items as well.
+        i = next_scan;
+    }
+    fns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_and_columns() {
+        let ctx = FileCtx::new("a.rs".into(), "ab\ncd\n".into());
+        assert_eq!(ctx.line_of(0), 1);
+        assert_eq!(ctx.line_of(3), 2);
+        assert_eq!(ctx.col_of(4), 2);
+        assert_eq!(ctx.line_text(4), "cd");
+    }
+
+    #[test]
+    fn functions_and_test_mods_are_found() {
+        let src = r#"
+pub fn alpha(x: usize) -> usize { x + 1 }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn beta() { assert!(true); }
+}
+"#;
+        let ctx = FileCtx::new("crates/x/src/lib.rs".into(), src.into());
+        let names: Vec<_> = ctx.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["alpha", "beta"]);
+        assert!(!ctx.fns[0].is_test);
+        assert!(ctx.fns[1].is_test);
+        assert!(ctx.in_test(ctx.fns[1].start));
+        assert!(!ctx.in_test(ctx.fns[0].start));
+    }
+
+    #[test]
+    fn integration_test_files_are_all_test_code() {
+        let ctx = FileCtx::new("crates/x/tests/e2e.rs".into(), "fn f() {}".into());
+        assert!(ctx.fns[0].is_test);
+    }
+
+    #[test]
+    fn generic_fns_find_their_body() {
+        let src = "fn g<T: Into<String>>(t: T) -> Vec<u8> where T: Clone { Vec::new() }";
+        let ctx = FileCtx::new("x.rs".into(), src.into());
+        assert_eq!(ctx.fns.len(), 1);
+        assert!(ctx.text[ctx.fns[0].body.clone()].contains("Vec::new"));
+    }
+
+    #[test]
+    fn bodyless_trait_methods_are_recorded() {
+        let src = "trait T { fn a(&self); fn b(&self) { } }";
+        let ctx = FileCtx::new("x.rs".into(), src.into());
+        let names: Vec<_> = ctx.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+        assert!(ctx.fns[0].body.is_empty());
+        assert!(!ctx.fns[1].body.is_empty());
+    }
+}

@@ -1,0 +1,396 @@
+//! A hand-rolled Rust lexer over raw bytes.
+//!
+//! The workspace is built offline with no access to `syn` or `rustc`
+//! internals, so the analysis engine carries its own tokenizer. It is a
+//! *lossless* lexer: every non-whitespace byte of the input belongs to
+//! exactly one token, tokens never overlap, and they are emitted in
+//! source order — properties the lexer property suite pins down on
+//! arbitrary byte soup. It never panics and never rejects input; stray
+//! bytes become one-byte [`TokKind::Punct`] tokens.
+//!
+//! The subtle parts of Rust's lexical grammar that the rules depend on
+//! are handled faithfully:
+//!
+//! * strings with escapes (`"a\"b"`), byte strings (`b"..."`),
+//! * raw strings with arbitrary hash fences (`r##"…"##`, `br#"…"#`),
+//! * char and byte literals vs lifetimes (`'a'` vs `'a`, `'\''`, `b'x'`),
+//! * nested block comments (`/* /* */ */`) and doc comments,
+//! * numbers with underscores, radix prefixes, exponents and suffixes,
+//!   without eating the dots of `1..n` ranges or `1.max(2)` method calls.
+//!
+//! Comments are *kept* in the stream (the pragma layer reads them); rules
+//! that only care about code iterate via [`code_tokens`].
+
+/// The classes of token the analyzer distinguishes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (the lexer does not separate keywords).
+    Ident,
+    /// A lifetime or loop label, e.g. `'a` (without a closing quote).
+    Lifetime,
+    /// An integer or float literal, including any suffix.
+    Num,
+    /// A string literal of any flavour: `"…"`, `r#"…"#`, `b"…"`, `br"…"`.
+    Str,
+    /// A char or byte literal: `'x'`, `b'\n'`.
+    Char,
+    /// A `//` comment (incl. `///` and `//!` doc comments), sans newline.
+    LineComment,
+    /// A `/* … */` comment, with nesting.
+    BlockComment,
+    /// One punctuation byte (the lexer does not glue multi-byte
+    /// operators; `::` is two `Punct(b':')` tokens).
+    Punct(u8),
+}
+
+/// One token: a kind plus its byte span in the source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's text. Byte-based slicing is safe here: token
+    /// boundaries always fall on character boundaries because multi-byte
+    /// UTF-8 units are only ever consumed whole (inside idents, strings
+    /// and comments).
+    #[must_use]
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+/// Whether a byte can start an identifier. Any non-ASCII byte counts, so
+/// multi-byte UTF-8 identifiers (and stray high bytes) lex as one token
+/// instead of splitting mid-character.
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    is_ident_start(b) || b.is_ascii_digit()
+}
+
+/// Lexes `src` into tokens (whitespace is skipped, comments are kept).
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let start = i;
+        let c = b[i];
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let kind = if c == b'/' && b.get(i + 1) == Some(&b'/') {
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            TokKind::LineComment
+        } else if c == b'/' && b.get(i + 1) == Some(&b'*') {
+            i += 2;
+            let mut depth = 1usize;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            TokKind::BlockComment
+        } else if let Some(next) = raw_string_end(b, i) {
+            // r"…", r#"…"#, b r#"…"# — raw strings with any hash fence.
+            i = next;
+            TokKind::Str
+        } else if (c == b'b' && b.get(i + 1) == Some(&b'"')) || c == b'"' {
+            i += if c == b'b' { 2 } else { 1 };
+            i = skip_quoted(b, i, b'"');
+            TokKind::Str
+        } else if c == b'b' && b.get(i + 1) == Some(&b'\'') {
+            i += 2;
+            i = skip_quoted(b, i, b'\'');
+            TokKind::Char
+        } else if c == b'\'' {
+            // Lifetime or char literal. `'` + ident-start + `'` is a char
+            // (`'a'`); `'` + ident chars without a closing quote is a
+            // lifetime (`'static`); `'\…'` is always a char.
+            if b.get(i + 1) == Some(&b'\\') {
+                // Land on the backslash so skip_quoted consumes the
+                // escape pair whole (`'\''` must not close early).
+                i += 1;
+                i = skip_quoted(b, i, b'\'');
+                TokKind::Char
+            } else if b.get(i + 1).copied().is_some_and(is_ident_start) {
+                let mut j = i + 1;
+                while j < b.len() && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                if b.get(j) == Some(&b'\'') && j == i + utf8_char_len(b, i + 1) + 1 {
+                    // Exactly one character between the quotes: `'a'`,
+                    // `'é'`. (`'ab'` is not valid Rust; lex the likelier
+                    // lifetime.)
+                    i = j + 1;
+                    TokKind::Char
+                } else {
+                    i = j;
+                    TokKind::Lifetime
+                }
+            } else if b.get(i + 2) == Some(&b'\'') && b.get(i + 1).is_some() {
+                // A single non-ident char: `'+'`, `' '`.
+                i += 3;
+                TokKind::Char
+            } else {
+                i += 1;
+                TokKind::Punct(b'\'')
+            }
+        } else if is_ident_start(c) {
+            while i < b.len() && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            TokKind::Ident
+        } else if c.is_ascii_digit() {
+            i = lex_number(b, i);
+            TokKind::Num
+        } else {
+            i += 1;
+            TokKind::Punct(c)
+        };
+        toks.push(Token {
+            kind,
+            start,
+            end: i.max(start + 1),
+        });
+    }
+    toks
+}
+
+/// Length in bytes of the UTF-8 character starting at `i` (1 for ASCII
+/// and for bytes that are not a valid start).
+fn utf8_char_len(b: &[u8], i: usize) -> usize {
+    match b.get(i) {
+        Some(&c) if c >= 0xF0 => 4,
+        Some(&c) if c >= 0xE0 => 3,
+        Some(&c) if c >= 0xC0 => 2,
+        _ => 1,
+    }
+}
+
+/// If a raw string starts at `i` (`r`/`b` prefixes plus `#` fence),
+/// returns the offset one past its end; `None` if this is not one.
+fn raw_string_end(b: &[u8], i: usize) -> Option<usize> {
+    let mut j = i;
+    let mut saw_r = false;
+    for _ in 0..2 {
+        match b.get(j) {
+            Some(&b'r') if !saw_r => {
+                saw_r = true;
+                j += 1;
+            }
+            Some(&b'b') if j == i => j += 1,
+            _ => break,
+        }
+    }
+    if !saw_r {
+        return None;
+    }
+    let mut hashes = 0usize;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) != Some(&b'"') {
+        return None;
+    }
+    j += 1;
+    // Scan for `"` followed by `hashes` hash marks; unterminated raw
+    // strings run to end of input.
+    while j < b.len() {
+        if b[j] == b'"'
+            && b[j + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&h| h == b'#')
+                .count()
+                == hashes
+        {
+            return Some(j + 1 + hashes);
+        }
+        j += 1;
+    }
+    Some(b.len())
+}
+
+/// Advances past a quoted literal body (after the opening quote),
+/// honouring `\` escapes; unterminated literals run to end of input.
+fn skip_quoted(b: &[u8], mut i: usize, quote: u8) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            c if c == quote => return i + 1,
+            _ => i += 1,
+        }
+    }
+    b.len()
+}
+
+/// Advances past a numeric literal starting at a digit: radix prefixes,
+/// `_` separators, one fractional dot (never a `..` range or a method
+/// dot), exponents, and alphanumeric suffixes.
+fn lex_number(b: &[u8], mut i: usize) -> usize {
+    let radix_prefix = b[i] == b'0'
+        && matches!(
+            b.get(i + 1),
+            Some(&b'x') | Some(&b'X') | Some(&b'o') | Some(&b'O') | Some(&b'b') | Some(&b'B')
+        );
+    if radix_prefix {
+        i += 2;
+    }
+    let digits = |c: u8| c.is_ascii_alphanumeric() || c == b'_';
+    while i < b.len() && digits(b[i]) {
+        // `1e+5` / `1E-5`: the sign belongs to the literal only right
+        // after an exponent marker (and not in radix literals, where
+        // `e` is a hex digit).
+        if (b[i] == b'e' || b[i] == b'E')
+            && !radix_prefix
+            && matches!(b.get(i + 1), Some(&b'+') | Some(&b'-'))
+            && b.get(i + 2).is_some_and(u8::is_ascii_digit)
+        {
+            i += 2;
+        }
+        i += 1;
+    }
+    // One fractional dot: `1.5` and trailing `1.`, but not `1..3` and
+    // not `1.max()`.
+    if !radix_prefix
+        && b.get(i) == Some(&b'.')
+        && b.get(i + 1) != Some(&b'.')
+        && !b.get(i + 1).copied().is_some_and(is_ident_start)
+    {
+        i += 1;
+        while i < b.len() && digits(b[i]) {
+            if (b[i] == b'e' || b[i] == b'E')
+                && matches!(b.get(i + 1), Some(&b'+') | Some(&b'-'))
+                && b.get(i + 2).is_some_and(u8::is_ascii_digit)
+            {
+                i += 2;
+            }
+            i += 1;
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src)))
+            .collect::<Vec<_>>()
+    }
+
+    #[test]
+    fn idents_keywords_and_puncts() {
+        let ks = kinds("fn f(x: u32) -> u32 { x + 1 }");
+        assert_eq!(ks[0], (TokKind::Ident, "fn"));
+        assert_eq!(ks[1], (TokKind::Ident, "f"));
+        assert!(ks.contains(&(TokKind::Punct(b'{'), "{")));
+        assert!(ks.contains(&(TokKind::Num, "1")));
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(kinds(r#" "a\"b" x "#)[0].0, TokKind::Str);
+        assert_eq!(kinds(r#" b"bytes\x00" "#)[0].0, TokKind::Str);
+        let ks = kinds(r#" "a\"b" x "#);
+        assert_eq!(ks[1], (TokKind::Ident, "x"));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = r####"r##"has "# inside"## tail"####;
+        let ks = kinds(src);
+        assert_eq!(ks[0].0, TokKind::Str);
+        assert_eq!(ks[1], (TokKind::Ident, "tail"));
+        assert_eq!(kinds(r###"br#"x"# y"###)[1], (TokKind::Ident, "y"));
+        // Unterminated raw string consumes the rest without panicking.
+        assert_eq!(kinds("r#\"open").len(), 1);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        assert_eq!(
+            kinds(
+                "'a
+"
+            )[0]
+            .0,
+            TokKind::Lifetime
+        );
+        assert_eq!(kinds("'a'")[0].0, TokKind::Char);
+        assert_eq!(kinds("'static>")[0].0, TokKind::Lifetime);
+        assert_eq!(kinds(r"'\''")[0].0, TokKind::Char);
+        assert_eq!(kinds("'é'")[0].0, TokKind::Char);
+        assert_eq!(kinds("b'x'")[0].0, TokKind::Char);
+        assert_eq!(kinds("'+'")[0].0, TokKind::Char);
+        // A lone quote degrades to punctuation.
+        assert_eq!(kinds("' ")[0].0, TokKind::Punct(b'\''));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let ks = kinds("/* outer /* inner */ still */ after");
+        assert_eq!(ks[0].0, TokKind::BlockComment);
+        assert_eq!(ks[1], (TokKind::Ident, "after"));
+        // Unterminated nesting runs to EOF.
+        assert_eq!(kinds("/* /* */").len(), 1);
+    }
+
+    #[test]
+    fn numbers_dots_and_ranges() {
+        assert_eq!(kinds("1..5").len(), 4); // 1 . . 5
+        assert_eq!(kinds("1.5e-3")[0], (TokKind::Num, "1.5e-3"));
+        assert_eq!(kinds("1.max(2)")[0], (TokKind::Num, "1"));
+        assert_eq!(kinds("0xFF_u32")[0], (TokKind::Num, "0xFF_u32"));
+        assert_eq!(kinds("1_000.")[0], (TokKind::Num, "1_000."));
+        assert_eq!(kinds("0b1010")[0], (TokKind::Num, "0b1010"));
+    }
+
+    #[test]
+    fn spans_cover_all_non_whitespace_bytes() {
+        let src = "let s = \"x\"; // c\n/* b */ 'a' 1.0";
+        let toks = lex(src);
+        let mut covered = vec![false; src.len()];
+        let mut prev_end = 0;
+        for t in &toks {
+            assert!(t.start >= prev_end, "tokens must not overlap");
+            assert!(t.end > t.start);
+            prev_end = t.end;
+            for c in covered.iter_mut().take(t.end).skip(t.start) {
+                *c = true;
+            }
+        }
+        // Every non-whitespace byte is inside a token; uncovered bytes
+        // are whitespace between tokens. (Whitespace *inside* strings
+        // and comments is covered, so the converse does not hold.)
+        for (i, &byte) in src.as_bytes().iter().enumerate() {
+            assert!(
+                covered[i] || byte.is_ascii_whitespace(),
+                "non-whitespace byte {i} not covered"
+            );
+        }
+    }
+}

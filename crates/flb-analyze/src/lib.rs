@@ -1,0 +1,280 @@
+//! flb-analyze: project-invariant static analysis for the FLB
+//! workspace.
+//!
+//! A hand-rolled lossless Rust lexer ([`lexer`]) feeds per-file
+//! contexts ([`context`]) to a registry of FLB-specific rules
+//! ([`rules`]): allocation fences, panic-free request paths, simulator
+//! determinism, lock ordering, and bounded decode allocations.
+//! Findings can be waived inline with reasoned pragmas ([`pragma`])
+//! and are rendered for humans or as stable `flb-analyze/v1` JSON
+//! ([`report`]). `flb lint` and the `lint-smoke` CI job are thin
+//! wrappers over [`analyze_workspace`].
+
+pub mod context;
+pub mod lexer;
+pub mod pragma;
+pub mod report;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use context::FileCtx;
+use report::{Finding, Report};
+
+/// Hygiene rule: a malformed `flb-analyze:` pragma (cannot be waived —
+/// a typo here would otherwise silently disable a waiver).
+pub const RULE_BAD_PRAGMA: &str = "bad-pragma";
+
+/// Hygiene rule: an `allow` that matched no finding (cannot be waived —
+/// stale waivers hide future regressions).
+pub const RULE_STALE_WAIVER: &str = "stale-waiver";
+
+/// Directory names never descended into during a workspace walk.
+const SKIP_DIRS: [&str; 5] = ["target", "vendor", ".git", "golden", "node_modules"];
+
+/// Analyzes in-memory `(workspace-relative path, text)` pairs.
+///
+/// Pure entry point used by the golden tests; [`analyze_workspace`]
+/// reads from disk and delegates here.
+#[must_use]
+pub fn analyze_files(files: Vec<(String, String)>) -> Report {
+    let ctxs: Vec<FileCtx> = files
+        .into_iter()
+        .map(|(path, text)| FileCtx::new(path, text))
+        .collect();
+
+    let mut findings = Vec::new();
+    for ctx in &ctxs {
+        rules::run_file_rules(ctx, &mut findings);
+    }
+
+    // Crate-level pass: union lock edges per crate, then check cycles.
+    let mut crates: Vec<(String, Vec<rules::lock_order::Edge>)> = Vec::new();
+    for ctx in &ctxs {
+        let key = crate_key(&ctx.rel_path);
+        let edges = rules::lock_order::collect_edges(ctx);
+        match crates.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => v.extend(edges),
+            None => crates.push((key, edges)),
+        }
+    }
+    for (_, edges) in &crates {
+        rules::lock_order::check_crate(edges, &mut findings);
+    }
+
+    // Waiver application: an allow matches findings of its rule on the
+    // line it applies to, in its own file.
+    let mut used = Vec::new();
+    for f in &mut findings {
+        let Some(ctx) = ctxs.iter().find(|c| c.rel_path == f.file) else {
+            continue;
+        };
+        for (ai, a) in ctx.pragmas.allows.iter().enumerate() {
+            if a.rule == f.rule && a.applies_line == f.line {
+                f.waived = Some(a.reason.clone());
+                used.push((f.file.clone(), ai));
+                break;
+            }
+        }
+    }
+
+    // Hygiene findings (never waivable).
+    for ctx in &ctxs {
+        for b in &ctx.pragmas.bad {
+            findings.push(Finding {
+                rule: RULE_BAD_PRAGMA.to_owned(),
+                file: ctx.rel_path.clone(),
+                line: b.line,
+                col: 1,
+                message: b.message.clone(),
+                snippet: line_at(ctx, b.line),
+                waived: None,
+            });
+        }
+        for (ai, a) in ctx.pragmas.allows.iter().enumerate() {
+            if !used.contains(&(ctx.rel_path.clone(), ai)) {
+                findings.push(Finding {
+                    rule: RULE_STALE_WAIVER.to_owned(),
+                    file: ctx.rel_path.clone(),
+                    line: a.line,
+                    col: 1,
+                    message: format!(
+                        "allow({}) matched no finding on line {}; remove the stale waiver",
+                        a.rule, a.applies_line
+                    ),
+                    snippet: line_at(ctx, a.line),
+                    waived: None,
+                });
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.col,
+            b.rule.as_str(),
+        ))
+    });
+    Report {
+        findings,
+        files_scanned: ctxs.len(),
+    }
+}
+
+/// Walks `root` for `.rs` files (skipping [`SKIP_DIRS`]) and analyzes
+/// them.
+pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
+    let mut paths = Vec::new();
+    walk(root, root, &mut paths)?;
+    paths.sort();
+    let mut files = Vec::new();
+    for rel in paths {
+        let text = fs::read_to_string(root.join(&rel))?;
+        files.push((rel, text));
+    }
+    Ok(analyze_files(files))
+}
+
+/// Names of functions whose bodies lie entirely inside a
+/// `region(name)` … `region-end(name)` fence, in source order.
+///
+/// The flb-kernel counting-allocator test uses this to assert that the
+/// dynamically-verified allocation-free functions are exactly the ones
+/// the `no-alloc-in-hot-loop` rule watches — one source of truth for
+/// the fence boundaries.
+#[must_use]
+pub fn fenced_functions(text: &str, region: &str) -> Vec<String> {
+    let ctx = FileCtx::new("fenced.rs".to_owned(), text.to_owned());
+    ctx.fns
+        .iter()
+        .filter(|f| {
+            !f.body.is_empty()
+                && ctx.pragmas.regions.iter().any(|r| {
+                    r.name == region
+                        && ctx.line_of(f.start) > r.open_line
+                        && ctx.line_of(f.body.end - 1) < r.close_line
+                })
+        })
+        .map(|f| f.name.clone())
+        .collect()
+}
+
+/// Groups files into their owning crate for cross-file passes.
+fn crate_key(rel_path: &str) -> String {
+    match rel_path.find("/src/") {
+        Some(i) => rel_path[..i].to_owned(),
+        None => rel_path
+            .rsplit_once('/')
+            .map_or_else(|| rel_path.to_owned(), |(d, _)| d.to_owned()),
+    }
+}
+
+fn line_at(ctx: &FileCtx, line: u32) -> String {
+    ctx.text
+        .lines()
+        .nth(line as usize - 1)
+        .unwrap_or("")
+        .trim()
+        .to_owned()
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(rel_str(root, &path));
+        }
+    }
+    Ok(())
+}
+
+fn rel_str(root: &Path, path: &Path) -> String {
+    let rel: PathBuf = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waivers_suppress_and_stale_ones_are_flagged() {
+        let src = "\
+fn f(v: &[u8]) -> u8 {
+    v[0] // flb-analyze: allow(no-panic-in-request-path, reason=\"caller checks len\")
+}
+// flb-analyze: allow(no-panic-in-request-path, reason=\"nothing here\")
+fn g() {}
+";
+        let report = analyze_files(vec![(
+            "crates/flb-service/src/proto.rs".to_owned(),
+            src.to_owned(),
+        )]);
+        let waived: Vec<_> = report
+            .findings
+            .iter()
+            .filter(|f| f.waived.is_some())
+            .collect();
+        assert_eq!(waived.len(), 1);
+        assert_eq!(waived[0].rule, "no-panic-in-request-path");
+        let unwaived: Vec<_> = report.unwaived().collect();
+        assert_eq!(unwaived.len(), 1);
+        assert_eq!(unwaived[0].rule, RULE_STALE_WAIVER);
+    }
+
+    #[test]
+    fn bad_pragmas_become_findings() {
+        let src = "// flb-analyze: allow(no-panic-in-request-path)\nfn f() {}\n";
+        let report = analyze_files(vec![("crates/x/src/lib.rs".to_owned(), src.to_owned())]);
+        assert_eq!(report.unwaived().count(), 1);
+        assert_eq!(report.findings[0].rule, RULE_BAD_PRAGMA);
+    }
+
+    #[test]
+    fn lock_edges_union_across_files_of_one_crate() {
+        let a =
+            "pub fn f(s: &S) { let a = s.alpha.lock(); let b = s.beta.lock(); drop(b); drop(a); }";
+        let b =
+            "pub fn g(s: &S) { let b = s.beta.lock(); let a = s.alpha.lock(); drop(a); drop(b); }";
+        let report = analyze_files(vec![
+            ("crates/x/src/a.rs".to_owned(), a.to_owned()),
+            ("crates/x/src/b.rs".to_owned(), b.to_owned()),
+        ]);
+        assert_eq!(report.unwaived().count(), 2);
+        // The same two files in different crates share no graph.
+        let report = analyze_files(vec![
+            ("crates/x/src/a.rs".to_owned(), a.to_owned()),
+            ("crates/y/src/b.rs".to_owned(), b.to_owned()),
+        ]);
+        assert_eq!(report.unwaived().count(), 0);
+    }
+
+    #[test]
+    fn fenced_functions_reports_fully_enclosed_fns() {
+        let src = "\
+fn outside() {}
+// flb-analyze: region(no-alloc)
+fn a() {}
+fn b() {}
+// flb-analyze: region-end(no-alloc)
+fn after() {}
+";
+        assert_eq!(fenced_functions(src, "no-alloc"), ["a", "b"]);
+        assert!(fenced_functions(src, "other").is_empty());
+    }
+}

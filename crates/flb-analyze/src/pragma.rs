@@ -1,0 +1,247 @@
+//! `flb-analyze:` pragma comments: waivers and named regions.
+//!
+//! Grammar (one pragma per line comment):
+//!
+//! ```text
+//! // flb-analyze: allow(rule-id, reason="why this is safe")
+//! // flb-analyze: region(name)
+//! // flb-analyze: region-end(name)
+//! ```
+//!
+//! An `allow` waives findings of `rule-id` on the same line (trailing
+//! comment) or on the next code line (standalone comment line).
+//! Regions open/close named spans; `no-alloc-in-hot-loop` only looks
+//! inside `region(no-alloc)` fences.
+
+use crate::lexer::{TokKind, Token};
+
+/// One parsed `allow(...)` waiver.
+#[derive(Clone, Debug)]
+pub struct Allow {
+    /// Rule being waived.
+    pub rule: String,
+    /// Mandatory justification.
+    pub reason: String,
+    /// 1-based line the pragma comment sits on.
+    pub line: u32,
+    /// 1-based line the waiver applies to (same line for trailing
+    /// comments, next line for standalone ones).
+    pub applies_line: u32,
+}
+
+/// One matched `region(name)` … `region-end(name)` pair.
+#[derive(Clone, Debug)]
+pub struct Region {
+    pub name: String,
+    /// 1-based line of the opening pragma.
+    pub open_line: u32,
+    /// 1-based line of the closing pragma.
+    pub close_line: u32,
+}
+
+/// A malformed pragma (reported as a finding by the engine so typos
+/// cannot silently disable a waiver).
+#[derive(Clone, Debug)]
+pub struct BadPragma {
+    pub line: u32,
+    pub message: String,
+}
+
+/// All pragmas found in one file.
+#[derive(Default)]
+pub struct Pragmas {
+    pub allows: Vec<Allow>,
+    pub regions: Vec<Region>,
+    pub bad: Vec<BadPragma>,
+}
+
+/// Extracts pragmas from a file's line comments.
+#[must_use]
+pub fn parse_pragmas(text: &str, tokens: &[Token], line_starts: &[usize]) -> Pragmas {
+    let mut out = Pragmas::default();
+    // name -> stack of open lines, to pair region/region-end.
+    let mut open: Vec<(String, u32)> = Vec::new();
+
+    for tok in tokens {
+        if tok.kind != TokKind::LineComment {
+            continue;
+        }
+        let body = tok.text(text).trim_start_matches('/').trim();
+        let Some(rest) = body.strip_prefix("flb-analyze:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let line = line_of(line_starts, tok.start);
+        let trailing = !is_line_start(text, line_starts, tok.start);
+
+        if let Some(args) = directive(rest, "allow") {
+            match parse_allow(args) {
+                Ok((rule, reason)) => out.allows.push(Allow {
+                    rule,
+                    reason,
+                    line,
+                    applies_line: if trailing { line } else { line + 1 },
+                }),
+                Err(message) => out.bad.push(BadPragma { line, message }),
+            }
+        } else if let Some(args) = directive(rest, "region-end") {
+            let name = args.trim().to_owned();
+            match open.iter().rposition(|(n, _)| *n == name) {
+                Some(i) => {
+                    let (name, open_line) = open.remove(i);
+                    out.regions.push(Region {
+                        name,
+                        open_line,
+                        close_line: line,
+                    });
+                }
+                None => out.bad.push(BadPragma {
+                    line,
+                    message: format!("region-end({name}) without a matching region({name})"),
+                }),
+            }
+        } else if let Some(args) = directive(rest, "region") {
+            let name = args.trim().to_owned();
+            if name.is_empty() {
+                out.bad.push(BadPragma {
+                    line,
+                    message: "region() needs a name".into(),
+                });
+            } else {
+                open.push((name, line));
+            }
+        } else {
+            out.bad.push(BadPragma {
+                line,
+                message: format!(
+                    "unknown flb-analyze pragma `{rest}` (expected allow/region/region-end)"
+                ),
+            });
+        }
+    }
+
+    for (name, open_line) in open {
+        out.bad.push(BadPragma {
+            line: open_line,
+            message: format!("region({name}) is never closed by region-end({name})"),
+        });
+    }
+    out
+}
+
+/// `directive("allow(x, y)", "allow")` → `Some("x, y")`.
+fn directive<'a>(rest: &'a str, name: &str) -> Option<&'a str> {
+    let after = rest.strip_prefix(name)?;
+    let after = after.trim_start();
+    let inner = after.strip_prefix('(')?;
+    // The argument list runs to the *last* closing paren so reasons may
+    // contain parentheses.
+    let close = inner.rfind(')')?;
+    if !inner[close + 1..].trim().is_empty() {
+        return None;
+    }
+    Some(&inner[..close])
+}
+
+/// Parses `rule-id, reason="..."`; the reason is mandatory.
+fn parse_allow(args: &str) -> Result<(String, String), String> {
+    let (rule, rest) = match args.split_once(',') {
+        Some((r, rest)) => (r.trim(), rest.trim()),
+        None => (args.trim(), ""),
+    };
+    if rule.is_empty() {
+        return Err("allow() needs a rule id".into());
+    }
+    let Some(reason) = rest.strip_prefix("reason=") else {
+        return Err(format!(
+            "allow({rule}) is missing the mandatory reason=\"...\" argument"
+        ));
+    };
+    let reason = reason.trim();
+    let reason = reason
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| format!("allow({rule}): reason must be a double-quoted string"))?;
+    if reason.trim().is_empty() {
+        return Err(format!("allow({rule}): reason must not be empty"));
+    }
+    Ok((rule.to_owned(), reason.to_owned()))
+}
+
+fn line_of(line_starts: &[usize], offset: usize) -> u32 {
+    match line_starts.binary_search(&offset) {
+        Ok(i) => i as u32 + 1,
+        Err(i) => i as u32,
+    }
+}
+
+/// Whether the comment is the first non-whitespace thing on its line.
+fn is_line_start(text: &str, line_starts: &[usize], offset: usize) -> bool {
+    let line = line_of(line_starts, offset) as usize - 1;
+    text[line_starts[line]..offset]
+        .bytes()
+        .all(|b| b == b' ' || b == b'\t')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn pragmas(src: &str) -> Pragmas {
+        let tokens = lex(src);
+        let mut starts = vec![0];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                starts.push(i + 1);
+            }
+        }
+        parse_pragmas(src, &tokens, &starts)
+    }
+
+    #[test]
+    fn trailing_and_standalone_allows() {
+        let p = pragmas(
+            "let x = v[0]; // flb-analyze: allow(no-panic-in-request-path, reason=\"len checked\")\n\
+             // flb-analyze: allow(lock-order, reason=\"single lock\")\n\
+             let g = m.lock();\n",
+        );
+        assert_eq!(p.allows.len(), 2);
+        assert!(p.bad.is_empty());
+        assert_eq!(p.allows[0].applies_line, 1);
+        assert_eq!(p.allows[1].line, 2);
+        assert_eq!(p.allows[1].applies_line, 3);
+        assert_eq!(p.allows[1].reason, "single lock");
+    }
+
+    #[test]
+    fn regions_pair_up() {
+        let p = pragmas(
+            "// flb-analyze: region(no-alloc)\nfn f() {}\n// flb-analyze: region-end(no-alloc)\n",
+        );
+        assert_eq!(p.regions.len(), 1);
+        assert_eq!(p.regions[0].open_line, 1);
+        assert_eq!(p.regions[0].close_line, 3);
+        assert!(p.bad.is_empty());
+    }
+
+    #[test]
+    fn malformed_pragmas_are_reported() {
+        let p = pragmas(
+            "// flb-analyze: allow(no-panic-in-request-path)\n\
+             // flb-analyze: region(x)\n\
+             // flb-analyze: frobnicate(y)\n",
+        );
+        assert_eq!(p.allows.len(), 0);
+        assert_eq!(p.bad.len(), 3); // missing reason, unclosed region, unknown directive
+    }
+
+    #[test]
+    fn reason_may_contain_parens_and_commas() {
+        let p = pragmas(
+            "// flb-analyze: allow(bounded-decode-alloc, reason=\"clamped by min(a, b) above\")\nx;\n",
+        );
+        assert_eq!(p.allows.len(), 1);
+        assert_eq!(p.allows[0].reason, "clamped by min(a, b) above");
+    }
+}

@@ -1,0 +1,179 @@
+//! Findings and their human / JSON renderings.
+//!
+//! The JSON layout is a stable contract (`flb-analyze/v1`): CI parses
+//! it with the flb-bench hand-rolled JSON parser, so field names and
+//! nesting must not change without bumping the schema string.
+
+/// Identifier of the JSON layout emitted by [`render_json`].
+pub const SCHEMA: &str = "flb-analyze/v1";
+
+/// One rule violation (possibly waived).
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Rule id, e.g. `no-alloc-in-hot-loop`.
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What went wrong.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+    /// `Some(reason)` if an `allow` pragma waived this finding.
+    pub waived: Option<String>,
+}
+
+/// The result of an analysis run.
+#[derive(Default)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings not covered by a waiver.
+    pub fn unwaived(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.waived.is_none())
+    }
+
+    /// Human-readable rendering, unwaived findings first.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in self.unwaived() {
+            out.push_str(&format!(
+                "{}:{}:{}: [{}] {}\n    {}\n",
+                f.file, f.line, f.col, f.rule, f.message, f.snippet
+            ));
+        }
+        let waived = self.findings.len() - self.unwaived().count();
+        if waived > 0 {
+            out.push_str(&format!("waived ({waived}):\n"));
+            for f in self.findings.iter().filter(|f| f.waived.is_some()) {
+                out.push_str(&format!(
+                    "    {}:{}: [{}] {}\n",
+                    f.file,
+                    f.line,
+                    f.rule,
+                    f.waived.as_deref().unwrap_or("")
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "{} file(s) scanned, {} finding(s), {} unwaived\n",
+            self.files_scanned,
+            self.findings.len(),
+            self.unwaived().count()
+        ));
+        out
+    }
+
+    /// Stable machine-readable rendering (schema [`SCHEMA`]).
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{{\n  \"schema\": {},\n", quote(SCHEMA)));
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"rule\": {}, ", quote(&f.rule)));
+            out.push_str(&format!("\"file\": {}, ", quote(&f.file)));
+            out.push_str(&format!("\"line\": {}, ", f.line));
+            out.push_str(&format!("\"col\": {}, ", f.col));
+            out.push_str(&format!("\"message\": {}, ", quote(&f.message)));
+            out.push_str(&format!("\"snippet\": {}, ", quote(&f.snippet)));
+            match &f.waived {
+                Some(r) => out.push_str(&format!("\"waived\": true, \"reason\": {}", quote(r))),
+                None => out.push_str("\"waived\": false, \"reason\": null"),
+            }
+            out.push('}');
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        let waived = self.findings.len() - self.unwaived().count();
+        out.push_str(&format!(
+            "  \"summary\": {{\"files_scanned\": {}, \"total\": {}, \"waived\": {}, \"unwaived\": {}}}\n}}\n",
+            self.files_scanned,
+            self.findings.len(),
+            waived,
+            self.unwaived().count()
+        ));
+        out
+    }
+}
+
+/// JSON string escaping.
+#[must_use]
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            findings: vec![
+                Finding {
+                    rule: "no-wallclock-in-sim".into(),
+                    file: "crates/flb-sim/src/lib.rs".into(),
+                    line: 10,
+                    col: 5,
+                    message: "wall-clock read in deterministic code".into(),
+                    snippet: "let t = Instant::now();".into(),
+                    waived: None,
+                },
+                Finding {
+                    rule: "lock-order".into(),
+                    file: "crates/flb-service/src/server.rs".into(),
+                    line: 42,
+                    col: 9,
+                    message: "cycle".into(),
+                    snippet: "b.lock()".into(),
+                    waived: Some("startup only".into()),
+                },
+            ],
+            files_scanned: 2,
+        }
+    }
+
+    #[test]
+    fn text_output_lists_unwaived_then_waived() {
+        let text = sample().render_text();
+        assert!(text.contains("[no-wallclock-in-sim]"));
+        assert!(text.contains("waived (1):"));
+        assert!(text.contains("2 finding(s), 1 unwaived"));
+    }
+
+    #[test]
+    fn json_output_has_schema_and_escapes() {
+        let json = sample().render_json();
+        assert!(json.contains("\"schema\": \"flb-analyze/v1\""));
+        assert!(json.contains("\"waived\": false"));
+        assert!(json.contains("\"reason\": \"startup only\""));
+        assert_eq!(quote("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

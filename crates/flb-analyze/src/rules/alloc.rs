@@ -1,0 +1,150 @@
+//! `no-alloc-in-hot-loop`: heap allocation inside a
+//! `// flb-analyze: region(no-alloc)` fence.
+//!
+//! The fence marks steady-state scheduling code (the flb-kernel run
+//! loop and flat-list operations) whose allocation-freedom is also
+//! pinned dynamically by a counting-allocator test; this rule catches
+//! regressions at lint time and in code paths the test misses.
+
+use crate::context::FileCtx;
+use crate::lexer::TokKind;
+use crate::report::Finding;
+
+pub const ID: &str = "no-alloc-in-hot-loop";
+
+/// Methods that (re)allocate on common std types.
+const ALLOC_METHODS: [&str; 6] = [
+    "push",
+    "collect",
+    "to_vec",
+    "clone",
+    "to_owned",
+    "to_string",
+];
+
+/// Macros that build owned containers.
+const ALLOC_MACROS: [&str; 2] = ["format", "vec"];
+
+/// `Type::ctor` pairs that allocate eagerly.
+const ALLOC_CTORS: [(&str, &str); 4] = [
+    ("Box", "new"),
+    ("Vec", "with_capacity"),
+    ("String", "from"),
+    ("String", "with_capacity"),
+];
+
+pub fn run(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if ctx.pragmas.regions.iter().all(|r| r.name != "no-alloc") {
+        return;
+    }
+    for i in ctx.code_tokens() {
+        let tok = ctx.tokens[i];
+        if tok.kind != TokKind::Ident
+            || !ctx.in_region("no-alloc", tok.start)
+            || ctx.in_test(tok.start)
+        {
+            continue;
+        }
+        let text = tok.text(&ctx.text);
+
+        // `x.push(…)`, `iter.collect…`
+        if ALLOC_METHODS.contains(&text)
+            && ctx.prev_code(i).is_some_and(|p| ctx.is_punct(p, b'.'))
+            && ctx
+                .next_code(i)
+                .is_some_and(|n| ctx.is_punct(n, b'(') || ctx.is_punct(n, b':'))
+        {
+            out.push(super::finding(
+                ctx,
+                ID,
+                tok.start,
+                format!("`.{text}()` allocates inside a region(no-alloc) fence"),
+            ));
+            continue;
+        }
+
+        // `format!(…)`, `vec![…]`
+        if ALLOC_MACROS.contains(&text) && ctx.next_code(i).is_some_and(|n| ctx.is_punct(n, b'!')) {
+            out.push(super::finding(
+                ctx,
+                ID,
+                tok.start,
+                format!("`{text}!` allocates inside a region(no-alloc) fence"),
+            ));
+            continue;
+        }
+
+        // `Box::new(…)`, `Vec::with_capacity(…)`
+        if let Some(j) = path_ctor(ctx, i, text) {
+            out.push(super::finding(
+                ctx,
+                ID,
+                tok.start,
+                format!(
+                    "`{text}::{}` allocates inside a region(no-alloc) fence",
+                    ctx.tokens[j].text(&ctx.text)
+                ),
+            ));
+        }
+    }
+}
+
+/// If token `i` is the type of a known allocating `Type::ctor` path,
+/// returns the ctor token index.
+fn path_ctor(ctx: &FileCtx, i: usize, text: &str) -> Option<usize> {
+    if !ALLOC_CTORS.iter().any(|(t, _)| *t == text) {
+        return None;
+    }
+    let c1 = ctx.next_code(i)?;
+    let c2 = ctx.next_code(c1)?;
+    let m = ctx.next_code(c2)?;
+    if !(ctx.is_punct(c1, b':') && ctx.is_punct(c2, b':')) {
+        return None;
+    }
+    let mtext = ctx.tokens.get(m)?.text(&ctx.text);
+    ALLOC_CTORS
+        .iter()
+        .any(|(t, c)| *t == text && *c == mtext)
+        .then_some(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_on(src: &str) -> Vec<Finding> {
+        let ctx = FileCtx::new("crates/x/src/lib.rs".into(), src.into());
+        let mut out = Vec::new();
+        run(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_only_inside_the_fence() {
+        let src = "\
+fn cold(v: &mut Vec<u32>) { v.push(1); }
+// flb-analyze: region(no-alloc)
+fn hot(v: &mut Vec<u32>) {
+    v.push(1);
+    let b = Box::new(2);
+    let s = format!(\"x\");
+}
+// flb-analyze: region-end(no-alloc)
+fn cold2() -> Vec<u32> { vec![1] }
+";
+        let out = run_on(src);
+        let lines: Vec<u32> = out.iter().map(|f| f.line).collect();
+        assert_eq!(lines, [4, 5, 6]);
+        assert!(out.iter().all(|f| f.rule == ID));
+    }
+
+    #[test]
+    fn collect_turbofish_is_flagged() {
+        let src = "\
+// flb-analyze: region(no-alloc)
+fn hot(it: std::slice::Iter<u32>) -> Vec<u32> { it.copied().collect::<Vec<u32>>() }
+// flb-analyze: region-end(no-alloc)
+";
+        assert_eq!(run_on(src).len(), 1);
+    }
+}

@@ -1,0 +1,322 @@
+//! `bounded-decode-alloc`: allocations sized by unclamped input.
+//!
+//! `Vec::with_capacity(n)` / `vec![x; n]` where `n` comes straight out
+//! of a decoded header lets a 16-byte frame request a multi-gigabyte
+//! allocation. The rule demands that the size expression show evidence
+//! of a bound: a literal, a `.min(...)` clamp, a `len`-style source, a
+//! prior range comparison, or a caller-supplied parameter.
+
+use crate::context::FileCtx;
+use crate::lexer::TokKind;
+use crate::report::Finding;
+
+pub const ID: &str = "bounded-decode-alloc";
+
+/// Identifier fragments that mark a size expression as bounded: either
+/// an explicit clamp or a length derived from data already in memory
+/// (`len()`, `num_tasks()`-style counts of existing structures).
+const BOUNDED_MARKERS: [&str; 6] = ["min", "len", "capacity", "remaining", "MAX", "num_"];
+
+/// Type-ish / keyword identifiers that carry no size information.
+const NEUTRAL_IDENTS: [&str; 12] = [
+    "as",
+    "usize",
+    "u8",
+    "u16",
+    "u32",
+    "u64",
+    "i32",
+    "i64",
+    "self",
+    "std",
+    "cmp",
+    "saturating_add",
+];
+
+pub fn run(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    for i in ctx.code_tokens() {
+        let tok = ctx.tokens[i];
+        if tok.kind != TokKind::Ident || ctx.in_test(tok.start) {
+            continue;
+        }
+        let text = tok.text(&ctx.text);
+        let arg = if text == "with_capacity" {
+            // `Vec::with_capacity(ARG)` / `self.buf.with_capacity…`
+            let Some(open) = ctx.next_code(i).filter(|&n| ctx.is_punct(n, b'(')) else {
+                continue;
+            };
+            balanced_span(ctx, open, b'(', b')')
+        } else if text == "vec" && ctx.next_code(i).is_some_and(|n| ctx.is_punct(n, b'!')) {
+            // `vec![ELEM; ARG]` — the size is after the `;`.
+            let bang = ctx.next_code(i).unwrap_or(i);
+            let Some(open) = ctx.next_code(bang).filter(|&n| ctx.is_punct(n, b'[')) else {
+                continue;
+            };
+            let Some(span) = balanced_span(ctx, open, b'[', b']') else {
+                continue;
+            };
+            match split_at_semicolon(ctx, span.clone()) {
+                Some(size_span) => Some(size_span),
+                None => continue, // `vec![a, b]`: size is the literal element count
+            }
+        } else {
+            continue;
+        };
+        let Some(arg) = arg else { continue };
+
+        if let Some(culprit) = unbounded_ident(ctx, arg, tok.start) {
+            out.push(super::finding(
+                ctx,
+                ID,
+                tok.start,
+                format!(
+                    "allocation sized by `{culprit}` with no visible bound; clamp it (e.g. `.min(MAX_…)`) before allocating"
+                ),
+            ));
+        }
+    }
+}
+
+/// Token index range strictly inside the group opened at `open`.
+fn balanced_span(ctx: &FileCtx, open: usize, ob: u8, cb: u8) -> Option<std::ops::Range<usize>> {
+    let mut depth = 1usize;
+    let mut j = open;
+    while depth > 0 {
+        j = ctx.next_code(j)?;
+        if ctx.is_punct(j, ob) {
+            depth += 1;
+        } else if ctx.is_punct(j, cb) {
+            depth -= 1;
+        }
+    }
+    Some(open + 1..j)
+}
+
+/// The part of `span` after a depth-0 `;`, if there is one.
+fn split_at_semicolon(
+    ctx: &FileCtx,
+    span: std::ops::Range<usize>,
+) -> Option<std::ops::Range<usize>> {
+    let mut depth = 0usize;
+    for j in span.clone() {
+        match ctx.tokens[j].kind {
+            TokKind::Punct(b'(') | TokKind::Punct(b'[') | TokKind::Punct(b'{') => depth += 1,
+            TokKind::Punct(b')') | TokKind::Punct(b']') | TokKind::Punct(b'}') => {
+                depth = depth.saturating_sub(1);
+            }
+            TokKind::Punct(b';') if depth == 0 => return Some(j + 1..span.end),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Returns the first identifier in the size expression with no
+/// evidence of a bound, or `None` if the expression looks clamped.
+fn unbounded_ident(ctx: &FileCtx, arg: std::ops::Range<usize>, site: usize) -> Option<String> {
+    let mut vars: Vec<&str> = Vec::new();
+    for j in arg {
+        let t = ctx.tokens[j];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let text = t.text(&ctx.text);
+        if BOUNDED_MARKERS.iter().any(|m| text.contains(m)) {
+            return None; // explicit clamp or length source in the expression
+        }
+        // Method/field names after `.` carry no size of their own
+        // (`n.div_ceil(64)`, `spec.procs`): the receiver governs.
+        if ctx.prev_code(j).is_some_and(|p| ctx.is_punct(p, b'.')) {
+            continue;
+        }
+        if !NEUTRAL_IDENTS.contains(&text) {
+            vars.push(text);
+        }
+    }
+    vars.into_iter()
+        .find(|v| !ident_is_bounded(ctx, v, site, 0))
+        .map(str::to_owned)
+}
+
+/// How many `let` hops boundedness may be traced through
+/// (`let v = g.num_tasks(); let words = v.div_ceil(64);`).
+const MAX_TRACE_DEPTH: u32 = 2;
+
+/// Evidence that `var` is bounded before `site` inside its function.
+fn ident_is_bounded(ctx: &FileCtx, var: &str, site: usize, depth: u32) -> bool {
+    // Innermost function containing the site; allocations outside any
+    // function (consts) are compile-time and fine.
+    let Some(f) = ctx
+        .fns
+        .iter()
+        .filter(|f| f.body.contains(&site))
+        .max_by_key(|f| f.start)
+    else {
+        return true;
+    };
+    // (a) Caller-supplied parameter: the signature names it.
+    let sig = ctx.text.get(f.start..f.body.start).unwrap_or("");
+    if has_word(sig, var) {
+        return true;
+    }
+    for i in f.body_tokens.clone() {
+        let t = ctx.tokens[i];
+        if t.start >= site {
+            break;
+        }
+        if t.kind != TokKind::Ident || t.text(&ctx.text) != var {
+            continue;
+        }
+        // (b) `let var = …;` whose right side is itself bounded.
+        if ctx.prev_code(i).is_some_and(|p| ctx.is_ident(p, "let"))
+            && let_rhs_is_bounded(ctx, i, f.body_tokens.end, depth)
+        {
+            return true;
+        }
+        // (c) A prior range comparison: `var >`/`var <`/`> var`/`< var`.
+        let next_cmp = ctx
+            .next_code(i)
+            .is_some_and(|n| ctx.is_punct(n, b'>') || ctx.is_punct(n, b'<'));
+        let prev_cmp = ctx
+            .prev_code(i)
+            .is_some_and(|p| ctx.is_punct(p, b'>') || ctx.is_punct(p, b'<'));
+        if next_cmp || prev_cmp {
+            return true;
+        }
+    }
+    false
+}
+
+/// Whether the RHS of the `let` starting before ident token `i` shows
+/// a bound: a marker identifier, or (up to [`MAX_TRACE_DEPTH`] hops) a
+/// variable that is itself bounded.
+fn let_rhs_is_bounded(ctx: &FileCtx, i: usize, body_end: usize, trace: u32) -> bool {
+    let mut depth = 0usize;
+    let mut vars: Vec<(usize, &str)> = Vec::new();
+    for j in i + 1..body_end {
+        match ctx.tokens[j].kind {
+            TokKind::Punct(b'(') | TokKind::Punct(b'[') | TokKind::Punct(b'{') => depth += 1,
+            TokKind::Punct(b')') | TokKind::Punct(b']') | TokKind::Punct(b'}') => {
+                depth = depth.saturating_sub(1);
+            }
+            TokKind::Punct(b';') if depth == 0 => break,
+            TokKind::Ident => {
+                let text = ctx.tokens[j].text(&ctx.text);
+                if BOUNDED_MARKERS.iter().any(|m| text.contains(m)) {
+                    return true;
+                }
+                if !NEUTRAL_IDENTS.contains(&text)
+                    && !ctx.prev_code(j).is_some_and(|p| ctx.is_punct(p, b'.'))
+                {
+                    vars.push((ctx.tokens[j].start, text));
+                }
+            }
+            _ => {}
+        }
+    }
+    if vars.is_empty() {
+        return true; // literal arithmetic RHS
+    }
+    trace < MAX_TRACE_DEPTH
+        && vars
+            .iter()
+            .all(|(at, v)| ident_is_bounded(ctx, v, *at, trace + 1))
+}
+
+/// Word-boundary substring match on raw text.
+fn has_word(hay: &str, word: &str) -> bool {
+    let bytes = hay.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let ok_before = start == 0 || !is_word_byte(bytes[start - 1]);
+        let ok_after = end == bytes.len() || !is_word_byte(bytes[end]);
+        if ok_before && ok_after {
+            return true;
+        }
+        from = start + 1;
+    }
+    false
+}
+
+fn is_word_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_on(src: &str) -> Vec<Finding> {
+        let ctx = FileCtx::new("crates/x/src/lib.rs".into(), src.into());
+        let mut out = Vec::new();
+        run(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn unclamped_decoded_length_is_flagged() {
+        let src = "\
+fn decode(buf: &[u8]) -> Vec<u8> {
+    let n = read_u32(buf) as usize;
+    let mut v = Vec::with_capacity(n);
+    v
+}
+";
+        let out = run_on(src);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("`n`"));
+    }
+
+    #[test]
+    fn min_clamp_len_source_and_literals_pass() {
+        let src = "\
+const MAX_FRAME: usize = 1024;
+fn a(buf: &[u8]) -> Vec<u8> { Vec::with_capacity(read(buf).min(MAX_FRAME)) }
+fn b(items: &[u8]) -> Vec<u8> { Vec::with_capacity(items.len()) }
+fn c() -> Vec<u8> { Vec::with_capacity(64 * 1024) }
+fn d(buf: &[u8]) -> Vec<u8> {
+    let n = header_len(buf);
+    Vec::with_capacity(n)
+}
+";
+        assert!(run_on(src).is_empty());
+    }
+
+    #[test]
+    fn prior_comparison_counts_as_a_bound() {
+        let src = "\
+fn decode(buf: &[u8]) -> Option<Vec<u8>> {
+    let count = read_u32(buf) as usize;
+    if count > buf.len() / 12 { return None; }
+    Some(Vec::with_capacity(count))
+}
+";
+        assert!(run_on(src).is_empty());
+    }
+
+    #[test]
+    fn caller_parameters_are_trusted() {
+        let src = "fn new(universe: usize) -> Vec<u32> { Vec::with_capacity(universe) }";
+        assert!(run_on(src).is_empty());
+    }
+
+    #[test]
+    fn vec_macro_repeat_size_is_checked() {
+        let src = "\
+fn decode(buf: &[u8]) -> Vec<u64> {
+    let n = read_u32(buf) as usize;
+    vec![0u64; n]
+}
+fn fine(entries: &[u8]) -> Vec<u64> {
+    let n = entries.len();
+    vec![0u64; n]
+}
+fn list() -> Vec<u64> { vec![1, 2, 3] }
+";
+        let out = run_on(src);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 3);
+    }
+}

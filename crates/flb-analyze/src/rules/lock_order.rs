@@ -1,0 +1,312 @@
+//! `lock-order`: deadlock-prone lock acquisition cycles.
+//!
+//! The static half of race readiness: every `.lock()` / zero-argument
+//! `.read()` / `.write()` on a named place (`self.queue.lock()` →
+//! class `queue`) is an acquisition. Within a function, a let-bound
+//! guard is held to the end of its enclosing block, an inline temporary
+//! to the end of its statement; acquiring `b` while `a` is held adds
+//! the edge `a → b`. Edges union across the crate, and every edge that
+//! lies on a cycle is flagged at its acquisition site. The dynamic
+//! half is the `lockcheck` feature of the vendored parking_lot stub.
+
+use crate::context::FileCtx;
+use crate::lexer::TokKind;
+use crate::report::Finding;
+
+pub const ID: &str = "lock-order";
+
+/// One observed ordered acquisition: `acquired` was taken at
+/// `file:line` while `held` was held.
+#[derive(Clone, Debug)]
+pub struct Edge {
+    pub held: String,
+    pub acquired: String,
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+    pub snippet: String,
+    pub fn_name: String,
+}
+
+/// Collects intra-function ordering edges from one file.
+#[must_use]
+pub fn collect_edges(ctx: &FileCtx) -> Vec<Edge> {
+    let mut edges = Vec::new();
+    for f in &ctx.fns {
+        if f.is_test || f.body_tokens.is_empty() {
+            continue;
+        }
+        // (class, token index past which the guard is dropped)
+        let mut held: Vec<(String, usize)> = Vec::new();
+        for i in f.body_tokens.clone() {
+            held.retain(|h| h.1 > i);
+            let Some(class) = acquisition_class(ctx, i) else {
+                continue;
+            };
+            let tok = ctx.tokens[i];
+            for (h, _) in &held {
+                if *h != class {
+                    edges.push(Edge {
+                        held: h.clone(),
+                        acquired: class.clone(),
+                        file: ctx.rel_path.clone(),
+                        line: ctx.line_of(tok.start),
+                        col: ctx.col_of(tok.start),
+                        snippet: ctx.line_text(tok.start).trim().to_owned(),
+                        fn_name: f.name.clone(),
+                    });
+                }
+            }
+            let scope_end = if is_let_bound(ctx, i, f.body_tokens.start) {
+                enclosing_block_close(ctx, i, f.body_tokens.end)
+            } else {
+                statement_end(ctx, i, f.body_tokens.end)
+            };
+            held.push((class, scope_end));
+        }
+    }
+    edges
+}
+
+/// Flags every edge lying on a cycle of the unioned crate graph.
+pub fn check_crate(edges: &[Edge], out: &mut Vec<Finding>) {
+    for e in edges {
+        if reaches(edges, &e.acquired, &e.held) {
+            out.push(Finding {
+                rule: ID.to_owned(),
+                file: e.file.clone(),
+                line: e.line,
+                col: e.col,
+                message: format!(
+                    "lock-order cycle: `{}` acquired while holding `{}` (in `{}`), but the crate also acquires them in the opposite order",
+                    e.acquired, e.held, e.fn_name
+                ),
+                snippet: e.snippet.clone(),
+                waived: None,
+            });
+        }
+    }
+}
+
+/// Whether `from` can reach `to` along the edge set.
+fn reaches(edges: &[Edge], from: &str, to: &str) -> bool {
+    let mut stack = vec![from];
+    let mut seen: Vec<&str> = Vec::new();
+    while let Some(n) = stack.pop() {
+        if n == to {
+            return true;
+        }
+        if seen.contains(&n) {
+            continue;
+        }
+        seen.push(n);
+        for e in edges {
+            if e.held == n {
+                stack.push(&e.acquired);
+            }
+        }
+    }
+    false
+}
+
+/// If token `i` is a zero-argument `.lock()`/`.read()`/`.write()`
+/// call, returns the lock class (the place name it was called on).
+fn acquisition_class(ctx: &FileCtx, i: usize) -> Option<String> {
+    let tok = *ctx.tokens.get(i)?;
+    if tok.kind != TokKind::Ident {
+        return None;
+    }
+    let text = tok.text(&ctx.text);
+    if !matches!(text, "lock" | "read" | "write") {
+        return None;
+    }
+    let dot = ctx.prev_code(i)?;
+    let open = ctx.next_code(i)?;
+    let close = ctx.next_code(open)?;
+    if !(ctx.is_punct(dot, b'.') && ctx.is_punct(open, b'(') && ctx.is_punct(close, b')')) {
+        return None;
+    }
+    // Walk back from the `.` to the place name, skipping one balanced
+    // `(…)` / `[…]` group (`shards[i].lock()`, `self.shard(i).lock()`).
+    let mut j = ctx.prev_code(dot)?;
+    if ctx.is_punct(j, b')') || ctx.is_punct(j, b']') {
+        let open_b = if ctx.is_punct(j, b')') { b'(' } else { b'[' };
+        let close_b = if ctx.is_punct(j, b')') { b')' } else { b']' };
+        let mut depth = 1usize;
+        while depth > 0 {
+            j = ctx.prev_code(j)?;
+            if ctx.is_punct(j, close_b) {
+                depth += 1;
+            } else if ctx.is_punct(j, open_b) {
+                depth -= 1;
+            }
+        }
+        j = ctx.prev_code(j)?;
+    }
+    let name = *ctx.tokens.get(j)?;
+    (name.kind == TokKind::Ident).then(|| name.text(&ctx.text).to_owned())
+}
+
+/// Whether the statement containing token `i` starts with `let`.
+fn is_let_bound(ctx: &FileCtx, i: usize, body_start: usize) -> bool {
+    let mut j = i;
+    while j > body_start {
+        j -= 1;
+        match ctx.tokens[j].kind {
+            TokKind::Punct(b';') | TokKind::Punct(b'{') | TokKind::Punct(b'}') => return false,
+            TokKind::Ident if ctx.tokens[j].text(&ctx.text) == "let" => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Token index of the `;` (or closing `}`) ending the statement
+/// containing `i`.
+fn statement_end(ctx: &FileCtx, i: usize, body_end: usize) -> usize {
+    let mut depth = 0usize;
+    for j in i..body_end {
+        match ctx.tokens[j].kind {
+            TokKind::Punct(b'{') | TokKind::Punct(b'(') | TokKind::Punct(b'[') => depth += 1,
+            TokKind::Punct(b'}') | TokKind::Punct(b')') | TokKind::Punct(b']') => {
+                if depth == 0 {
+                    return j;
+                }
+                depth -= 1;
+            }
+            TokKind::Punct(b';') if depth == 0 => return j,
+            _ => {}
+        }
+    }
+    body_end
+}
+
+/// Token index of the `}` closing the innermost block containing `i`.
+fn enclosing_block_close(ctx: &FileCtx, i: usize, body_end: usize) -> usize {
+    let mut depth = 0usize;
+    for j in i..body_end {
+        match ctx.tokens[j].kind {
+            TokKind::Punct(b'{') => depth += 1,
+            TokKind::Punct(b'}') => {
+                if depth == 0 {
+                    return j;
+                }
+                depth -= 1;
+            }
+            _ => {}
+        }
+    }
+    body_end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edges_of(src: &str) -> Vec<Edge> {
+        collect_edges(&FileCtx::new("crates/x/src/lib.rs".into(), src.into()))
+    }
+
+    #[test]
+    fn nested_let_guards_make_an_edge() {
+        let src = "\
+fn f(&self) {
+    let a = self.alpha.lock();
+    let b = self.beta.lock();
+    drop(b); drop(a);
+}
+";
+        let e = edges_of(src);
+        assert_eq!(e.len(), 1);
+        assert_eq!(
+            (e[0].held.as_str(), e[0].acquired.as_str()),
+            ("alpha", "beta")
+        );
+    }
+
+    #[test]
+    fn inline_temporary_is_released_at_statement_end() {
+        let src = "\
+fn f(&self) {
+    self.alpha.lock().push_back(1);
+    let b = self.beta.lock();
+    drop(b);
+}
+";
+        assert!(edges_of(src).is_empty());
+    }
+
+    #[test]
+    fn let_guard_is_released_at_block_end() {
+        let src = "\
+fn f(&self) {
+    { let a = self.alpha.lock(); drop(a); }
+    let b = self.beta.lock();
+    drop(b);
+}
+";
+        assert!(edges_of(src).is_empty());
+    }
+
+    #[test]
+    fn io_read_with_arguments_is_not_an_acquisition() {
+        let src = "\
+fn f(&self, stream: &mut std::net::TcpStream, buf: &mut [u8]) {
+    let a = self.alpha.lock();
+    stream.read(buf).ok();
+    drop(a);
+}
+";
+        assert!(edges_of(src).is_empty());
+    }
+
+    #[test]
+    fn opposite_orders_form_a_cycle() {
+        let src = "\
+fn f(&self) {
+    let a = self.alpha.lock();
+    let b = self.beta.lock();
+    drop(b); drop(a);
+}
+fn g(&self) {
+    let b = self.beta.lock();
+    let a = self.alpha.lock();
+    drop(a); drop(b);
+}
+";
+        let edges = edges_of(src);
+        let mut out = Vec::new();
+        check_crate(&edges, &mut out);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|f| f.rule == ID));
+    }
+
+    #[test]
+    fn consistent_order_across_functions_is_fine() {
+        let src = "\
+fn f(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); drop(b); drop(a); }
+fn g(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); drop(b); drop(a); }
+";
+        let edges = edges_of(src);
+        let mut out = Vec::new();
+        check_crate(&edges, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn indexed_and_call_receivers_get_a_class() {
+        let src = "\
+fn f(&self) {
+    let a = self.shards[0].lock();
+    let b = self.table(1).lock();
+    drop(b); drop(a);
+}
+";
+        let e = edges_of(src);
+        assert_eq!(e.len(), 1);
+        assert_eq!(
+            (e[0].held.as_str(), e[0].acquired.as_str()),
+            ("shards", "table")
+        );
+    }
+}

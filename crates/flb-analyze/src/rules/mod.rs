@@ -1,0 +1,40 @@
+//! The rule registry.
+//!
+//! A rule is a function from a [`FileCtx`] to findings. Adding a rule:
+//! write a module exposing `ID` and `run(&FileCtx, &mut Vec<Finding>)`,
+//! list it in [`run_file_rules`] (or in the crate-level pass in
+//! `lib.rs` if it needs cross-file state, like `lock_order`), and add a
+//! firing + waived golden pair under `tests/golden/`.
+
+pub mod alloc;
+pub mod decode_alloc;
+pub mod lock_order;
+pub mod panics;
+pub mod wallclock;
+
+use crate::context::FileCtx;
+use crate::report::Finding;
+
+/// All per-file rule ids, in the order they run.
+pub const FILE_RULE_IDS: [&str; 4] = [alloc::ID, panics::ID, wallclock::ID, decode_alloc::ID];
+
+/// Builds a finding anchored at a byte offset of `ctx`.
+pub(crate) fn finding(ctx: &FileCtx, rule: &str, offset: usize, message: String) -> Finding {
+    Finding {
+        rule: rule.to_owned(),
+        file: ctx.rel_path.clone(),
+        line: ctx.line_of(offset),
+        col: ctx.col_of(offset),
+        message,
+        snippet: ctx.line_text(offset).trim().to_owned(),
+        waived: None,
+    }
+}
+
+/// Runs every per-file rule over one file.
+pub fn run_file_rules(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    alloc::run(ctx, out);
+    panics::run(ctx, out);
+    wallclock::run(ctx, out);
+    decode_alloc::run(ctx, out);
+}

@@ -1,0 +1,100 @@
+//! `no-wallclock-in-sim`: wall-clock reads in deterministic code.
+//!
+//! flb-sim, flb-core and flb-kernel must be bit-reproducible: the
+//! simulator's virtual clock is the only time source, and kernel
+//! decisions must depend only on inputs. `Instant::now()` or
+//! `SystemTime::now()` there breaks replayability.
+
+use crate::context::FileCtx;
+use crate::lexer::TokKind;
+use crate::report::Finding;
+
+pub const ID: &str = "no-wallclock-in-sim";
+
+/// Path prefixes where wall-clock reads are forbidden.
+const SCOPES: [&str; 3] = [
+    "crates/flb-sim/src/",
+    "crates/flb-core/src/",
+    "crates/flb-kernel/src/",
+];
+
+const CLOCK_TYPES: [&str; 2] = ["Instant", "SystemTime"];
+
+pub fn run(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if !SCOPES.iter().any(|s| ctx.rel_path.starts_with(s)) {
+        return;
+    }
+    for i in ctx.code_tokens() {
+        let tok = ctx.tokens[i];
+        if tok.kind != TokKind::Ident || tok.text(&ctx.text) != "now" || ctx.in_test(tok.start) {
+            continue;
+        }
+        // Walk back over `::` to the type name.
+        let Some(c2) = ctx.prev_code(i) else { continue };
+        let Some(c1) = ctx.prev_code(c2) else {
+            continue;
+        };
+        let Some(ty) = ctx.prev_code(c1) else {
+            continue;
+        };
+        if ctx.is_punct(c2, b':')
+            && ctx.is_punct(c1, b':')
+            && CLOCK_TYPES.iter().any(|t| ctx.is_ident(ty, t))
+        {
+            out.push(super::finding(
+                ctx,
+                ID,
+                ctx.tokens[ty].start,
+                format!(
+                    "`{}::now()` reads the wall clock in deterministic code",
+                    ctx.tokens[ty].text(&ctx.text)
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_on(path: &str, src: &str) -> Vec<Finding> {
+        let ctx = FileCtx::new(path.into(), src.into());
+        let mut out = Vec::new();
+        run(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_both_clock_types_in_scoped_crates() {
+        let src = "\
+fn f() {
+    let a = std::time::Instant::now();
+    let b = SystemTime::now();
+}
+";
+        let out = run_on("crates/flb-sim/src/lib.rs", src);
+        assert_eq!(out.len(), 2);
+        assert!(out[0].message.contains("Instant::now()"));
+    }
+
+    #[test]
+    fn service_crate_and_tests_may_read_the_clock() {
+        let src = "fn f() { let _ = std::time::Instant::now(); }";
+        assert!(run_on("crates/flb-service/src/server.rs", src).is_empty());
+        let test_src = "\
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { let _ = std::time::Instant::now(); }
+}
+";
+        assert!(run_on("crates/flb-core/src/lib.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn unrelated_now_idents_are_fine() {
+        let src = "fn f(now: u64) -> u64 { now + self.now }";
+        assert!(run_on("crates/flb-kernel/src/run.rs", src).is_empty());
+    }
+}

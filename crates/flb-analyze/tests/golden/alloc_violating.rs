@@ -1,0 +1,23 @@
+//! Golden input: allocations inside a `no-alloc` fence.
+//! Analyzed as `crates/flb-kernel/src/hot.rs`.
+
+pub struct Hot {
+    buf: Vec<u32>,
+}
+
+impl Hot {
+    // flb-analyze: region(no-alloc)
+
+    pub fn step(&mut self, x: u32) -> String {
+        self.buf.push(x); // finding: push allocates
+        let all: Vec<u32> = self.buf.iter().copied().collect(); // finding: collect
+        let boxed = Box::new(all.len()); // finding: Box::new
+        format!("{boxed}") // finding: format!
+    }
+
+    // flb-analyze: region-end(no-alloc)
+
+    pub fn outside(&mut self, x: u32) {
+        self.buf.push(x); // clean: outside the fence
+    }
+}

@@ -1,0 +1,17 @@
+//! Golden input: the same fence, with the push waived.
+//! Analyzed as `crates/flb-kernel/src/hot.rs`.
+
+pub struct Hot {
+    buf: Vec<u32>,
+}
+
+impl Hot {
+    // flb-analyze: region(no-alloc)
+
+    pub fn step(&mut self, x: u32) {
+        // flb-analyze: allow(no-alloc-in-hot-loop, reason="buf is preallocated to the task universe in the constructor")
+        self.buf.push(x);
+    }
+
+    // flb-analyze: region-end(no-alloc)
+}

@@ -1,0 +1,9 @@
+//! Golden input: allocations sized straight from decoded wire values.
+//! Analyzed as `crates/flb-service/src/frame.rs`.
+
+pub fn decode(buf: &[u8]) -> (Vec<u8>, Vec<u64>) {
+    let count = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    let body = Vec::with_capacity(count); // finding: unclamped count
+    let table = vec![0u64; count]; // finding: unclamped vec! size
+    (body, table)
+}

@@ -1,0 +1,8 @@
+//! Golden input: an unclamped decode allocation carrying a waiver.
+//! Analyzed as `crates/flb-service/src/frame.rs`.
+
+pub fn decode(buf: &[u8]) -> Vec<u8> {
+    let count = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    // flb-analyze: allow(bounded-decode-alloc, reason="the transport layer already rejects frames over MAX_FRAME before this decoder runs")
+    Vec::with_capacity(count)
+}

@@ -1,0 +1,12 @@
+//! Golden input: pragma hygiene — a reasonless waiver, an unknown
+//! directive, an unclosed region, and a waiver that matches nothing.
+//! Analyzed as `crates/flb-kernel/src/hygiene.rs`.
+
+// flb-analyze: allow(no-alloc-in-hot-loop)
+// flb-analyze: frobnicate(all-the-things)
+// flb-analyze: region(no-alloc)
+
+pub fn clean() -> u32 {
+    // flb-analyze: allow(no-wallclock-in-sim, reason="stale: nothing here reads a clock")
+    41 + 1
+}

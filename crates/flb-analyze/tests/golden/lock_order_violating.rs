@@ -1,0 +1,24 @@
+//! Golden input: two functions acquiring the same locks in opposite
+//! orders — a deadlock waiting for the right interleaving.
+//! Analyzed as `crates/flb-service/src/workers.rs`.
+
+use parking_lot::Mutex;
+
+pub struct Pool {
+    queue: Mutex<Vec<u32>>,
+    handles: Mutex<Vec<u32>>,
+}
+
+impl Pool {
+    pub fn submit(&self, job: u32) {
+        let mut q = self.queue.lock();
+        let h = self.handles.lock(); // edge: queue -> handles
+        q.push(job + h.len() as u32);
+    }
+
+    pub fn drain(&self) {
+        let mut h = self.handles.lock();
+        let q = self.queue.lock(); // edge: handles -> queue (cycle!)
+        h.extend(q.iter().copied());
+    }
+}

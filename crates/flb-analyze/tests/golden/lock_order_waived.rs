@@ -1,0 +1,28 @@
+//! Golden input: the same inversion, waived. A cycle is reported at
+//! *every* acquisition that participates in it, so each direction
+//! carries its own justification — silencing one end must not hide
+//! the other.
+//! Analyzed as `crates/flb-service/src/workers.rs`.
+
+use parking_lot::Mutex;
+
+pub struct Pool {
+    queue: Mutex<Vec<u32>>,
+    handles: Mutex<Vec<u32>>,
+}
+
+impl Pool {
+    pub fn submit(&self, job: u32) {
+        let mut q = self.queue.lock();
+        // flb-analyze: allow(lock-order, reason="submit only runs before the pool starts; drain's inversion cannot interleave with it")
+        let h = self.handles.lock();
+        q.push(job + h.len() as u32);
+    }
+
+    pub fn drain(&self) {
+        let mut h = self.handles.lock();
+        // flb-analyze: allow(lock-order, reason="drain only runs after shutdown when no submitter thread is alive; the inversion cannot interleave")
+        let q = self.queue.lock();
+        h.extend(q.iter().copied());
+    }
+}

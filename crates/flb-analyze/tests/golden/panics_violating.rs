@@ -1,0 +1,13 @@
+//! Golden input: panics in the request path.
+//! Analyzed as `crates/flb-service/src/proto.rs` (a wire-facing file,
+//! so `[]` indexing is flagged too).
+
+pub fn decode(buf: &[u8]) -> u32 {
+    let first = buf.first().unwrap(); // finding: unwrap
+    let second = buf.get(1).expect("second byte"); // finding: expect
+    if *first == 0xFF {
+        panic!("reserved marker"); // finding: panic!
+    }
+    let third = buf[2]; // finding: wire indexing
+    u32::from(*first) + u32::from(*second) + u32::from(third)
+}

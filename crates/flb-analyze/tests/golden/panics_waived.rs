@@ -1,0 +1,11 @@
+//! Golden input: an indexing site with a bounds argument, waived.
+//! Analyzed as `crates/flb-service/src/proto.rs`.
+
+pub fn decode(buf: &[u8]) -> Option<u32> {
+    if buf.len() < 4 {
+        return None;
+    }
+    // flb-analyze: allow(no-panic-in-request-path, reason="the len() < 4 guard above makes buf[0..4] in bounds")
+    let word = &buf[0..4];
+    Some(u32::from_le_bytes(word.try_into().ok()?))
+}

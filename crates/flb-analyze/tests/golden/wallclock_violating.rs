@@ -1,0 +1,11 @@
+//! Golden input: wall-clock reads inside deterministic code.
+//! Analyzed as `crates/flb-sim/src/clock.rs`.
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> u64 {
+    let t0 = Instant::now(); // finding: Instant::now in sim code
+    let wall = SystemTime::now(); // finding: SystemTime::now
+    drop(wall);
+    t0.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,11 @@
+//! Golden input: a waived wall-clock read (a real measurement probe).
+//! Analyzed as `crates/flb-sim/src/clock.rs`.
+
+use std::time::Instant;
+
+pub fn measure<F: FnOnce()>(f: F) -> u64 {
+    // flb-analyze: allow(no-wallclock-in-sim, reason="this is the benchmarking probe itself; it never feeds simulated time")
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,159 @@
+//! Property suite for the hand-rolled lexer.
+//!
+//! The lexer is the foundation every rule stands on, and it must accept
+//! *anything* — the workspace walk feeds it whatever `.rs` files exist,
+//! including ones mid-edit or generated. The properties pinned here:
+//!
+//! * lexing never panics, on arbitrary Unicode strings and on arbitrary
+//!   byte soup (lossily decoded);
+//! * spans are in source order, non-overlapping, and land on character
+//!   boundaries (so `Token::text` round-trips through the source);
+//! * every non-whitespace byte outside no token is impossible: the
+//!   union of spans covers all non-whitespace bytes;
+//! * the tricky corners of Rust's lexical grammar tokenize the way the
+//!   rules assume (nested comments, raw-string fences, lifetimes vs
+//!   chars, byte strings).
+
+use flb_analyze::lexer::{lex, TokKind};
+use proptest::prelude::*;
+
+/// Structural invariants every lex result must satisfy.
+fn check_invariants(src: &str) {
+    let toks = lex(src);
+    let mut prev_end = 0usize;
+    for t in &toks {
+        assert!(t.start < t.end, "empty span {t:?} in {src:?}");
+        assert!(t.start >= prev_end, "overlap at {t:?} in {src:?}");
+        assert!(t.end <= src.len(), "span past EOF {t:?} in {src:?}");
+        assert!(
+            src.is_char_boundary(t.start) && src.is_char_boundary(t.end),
+            "span off a char boundary {t:?} in {src:?}"
+        );
+        // text() round-trips: the slice is really there.
+        assert_eq!(t.text(src).len(), t.end - t.start);
+        // Bytes between tokens are whitespace only.
+        assert!(
+            src[prev_end..t.start].chars().all(char::is_whitespace),
+            "dropped non-whitespace byte before {t:?} in {src:?}"
+        );
+        prev_end = t.end;
+    }
+    assert!(
+        src[prev_end..].chars().all(char::is_whitespace),
+        "dropped trailing bytes in {src:?}"
+    );
+}
+
+proptest! {
+    /// Arbitrary well-formed Unicode strings: never panic, full
+    /// coverage. (The vendored proptest has no string strategies, so
+    /// strings are built from arbitrary scalar values.)
+    #[test]
+    fn arbitrary_strings_lex_clean(points in proptest::collection::vec(any::<u32>(), 0..256)) {
+        let src: String = points.into_iter().filter_map(char::from_u32).collect();
+        check_invariants(&src);
+    }
+
+    /// Arbitrary raw bytes, lossily decoded — simulates mangled files.
+    #[test]
+    fn arbitrary_bytes_lex_clean(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        check_invariants(&src);
+    }
+
+    /// Rust-shaped fragments stitched from the constructs the rules
+    /// walk over, including deliberately unterminated ones.
+    #[test]
+    fn rusty_fragments_lex_clean(parts in proptest::collection::vec(
+        prop_oneof![
+            Just("fn f() {}".to_owned()),
+            Just("let x = \"str with \\\" quote\";".to_owned()),
+            Just("r##\"raw \" fence\"##".to_owned()),
+            Just("br#\"bytes\"#".to_owned()),
+            Just("/* outer /* inner */ still comment */".to_owned()),
+            Just("// line comment".to_owned()),
+            Just("'a' b'\\n' 'lifetime".to_owned()),
+            Just("1_000.5e-3f64 0xFF_u8 1..n".to_owned()),
+            Just("\"unterminated".to_owned()),
+            Just("/* unterminated".to_owned()),
+            Just("r#\"unterminated raw".to_owned()),
+            proptest::collection::vec(0u8..36, 1..9).prop_map(|ds| {
+                // Random short identifier (digits remapped to letters).
+                ds.into_iter()
+                    .map(|d| (b'a' + d % 26) as char)
+                    .collect::<String>()
+            }).boxed(),
+        ],
+        0..12,
+    )) {
+        check_invariants(&parts.join(" "));
+        check_invariants(&parts.join("\n"));
+        check_invariants(&parts.concat());
+    }
+}
+
+#[test]
+fn nested_block_comments_are_one_token() {
+    let src = "a /* one /* two /* three */ */ */ b";
+    let toks = lex(src);
+    let kinds: Vec<TokKind> = toks.iter().map(|t| t.kind).collect();
+    assert_eq!(
+        kinds,
+        [TokKind::Ident, TokKind::BlockComment, TokKind::Ident]
+    );
+    assert_eq!(toks[1].text(src), "/* one /* two /* three */ */ */");
+}
+
+#[test]
+fn raw_strings_respect_hash_fences() {
+    // The inner `"#` must not close a `##`-fenced string.
+    let src = r####"let s = r##"has "# inside"## ; done"####;
+    let toks = lex(src);
+    let s = toks.iter().find(|t| t.kind == TokKind::Str).unwrap();
+    assert_eq!(s.text(src), r####"r##"has "# inside"##"####);
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && t.text(src) == "done"));
+}
+
+#[test]
+fn lifetimes_and_chars_are_distinguished() {
+    let src = "fn f<'a>(x: &'a u8) { let c = 'q'; let esc = '\\''; let b = b'z'; 'outer: loop { break 'outer; } }";
+    let toks = lex(src);
+    let lifetimes: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Lifetime)
+        .map(|t| t.text(src))
+        .collect();
+    let chars: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Char)
+        .map(|t| t.text(src))
+        .collect();
+    assert_eq!(lifetimes, ["'a", "'a", "'outer", "'outer"]);
+    assert_eq!(chars, ["'q'", "'\\''", "b'z'"]);
+}
+
+#[test]
+fn byte_strings_lex_as_strings() {
+    let src = "let b = b\"raw bytes \\\" here\"; let r = br\"no escapes\";";
+    let toks = lex(src);
+    let strs: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Str)
+        .map(|t| t.text(src))
+        .collect();
+    assert_eq!(strs, ["b\"raw bytes \\\" here\"", "br\"no escapes\""]);
+}
+
+#[test]
+fn comment_markers_inside_strings_stay_strings() {
+    let src = "let s = \"not a // comment\"; let t = \"nor /* this */\"; real();";
+    let toks = lex(src);
+    assert!(toks
+        .iter()
+        .all(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment)));
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && t.text(src) == "real"));
+}

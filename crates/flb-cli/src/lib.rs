@@ -37,7 +37,13 @@
 //!   (`flb-kernel`) on a streaming workload: build/schedule time,
 //!   tasks/second, peak RSS and the bit-exactness canary against the
 //!   reference scheduler; `--format json` emits one datapoint in the
-//!   `BENCH_*.json` trajectory schema.
+//!   `BENCH_*.json` trajectory schema;
+//! * `lint` — run the project-invariant static analyzer (`flb-analyze`)
+//!   over the workspace: allocation fences, panic-free request paths,
+//!   simulator determinism, lock ordering, bounded decode allocations;
+//!   `--deny-unwaived` makes any finding without a reasoned waiver an
+//!   error (the CI `lint-smoke` gate), `--format json` emits the stable
+//!   `flb-analyze/v1` schema.
 //!
 //! The heavy lifting lives in library functions returning `Result<String>`
 //! so the whole surface is unit-testable; `main` only forwards `std::env`
@@ -109,6 +115,7 @@ USAGE:
                 [--probe-requests N]
   flb kernel-bench [--tasks N] [--family lu|cholesky|layered] [--procs P]
                 [--ccr X] [--seed S] [--no-reference] [--format text|json]
+  flb lint      [--root DIR] [--format text|json] [--deny-unwaived]
 
 SERVICE OPTIONS: --listen takes `HOST:PORT` (default 127.0.0.1:7171) or
   `unix:/path/to.sock` for a Unix-domain socket. `serve --cache-file`
@@ -270,6 +277,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "submit" => cmd_submit(&a),
         "chaos" => cmd_chaos(&a),
         "kernel-bench" => cmd_kernel_bench(&a),
+        "lint" => cmd_lint(&a),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
@@ -1075,6 +1083,45 @@ fn cmd_kernel_bench(a: &Args<'_>) -> Result<String, CliError> {
     }
 }
 
+/// `flb lint`: run the flb-analyze rules over the workspace sources.
+fn cmd_lint(a: &Args<'_>) -> Result<String, CliError> {
+    let root = match a.value("--root") {
+        Some(r) => std::path::PathBuf::from(r),
+        None => find_workspace_root()?,
+    };
+    let report = flb_analyze::analyze_workspace(&root)
+        .map_err(|e| err(format!("lint walk of {} failed: {e}", root.display())))?;
+    let out = match a.value("--format").unwrap_or("text") {
+        "text" => report.render_text(),
+        "json" => report.render_json(),
+        other => return Err(err(format!("unknown --format {other:?} (text|json)"))),
+    };
+    let unwaived = report.unwaived().count();
+    if a.flag("--deny-unwaived") && unwaived > 0 {
+        return Err(err(format!("{out}\nlint: {unwaived} unwaived finding(s)")));
+    }
+    Ok(out)
+}
+
+/// Walks up from the current directory to the first `Cargo.toml`
+/// declaring a `[workspace]`, so `flb lint` works from any subdirectory.
+fn find_workspace_root() -> Result<std::path::PathBuf, CliError> {
+    let mut dir = std::env::current_dir().map_err(|e| err(format!("cannot read cwd: {e}")))?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file()
+            && std::fs::read_to_string(&manifest).is_ok_and(|t| t.contains("[workspace]"))
+        {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err(err(
+                "no workspace root (Cargo.toml with [workspace]) above cwd; pass --root DIR",
+            ));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1093,6 +1140,64 @@ mod tests {
     #[test]
     fn unknown_command_errors() {
         assert!(run_str(&["frob"]).is_err());
+    }
+
+    /// `flb lint --format json` emits the stable `flb-analyze/v1`
+    /// schema, parsed here with the same hand-rolled JSON reader the
+    /// bench artifacts use (CI greps for the schema tag too, but this
+    /// pins the full shape: key set, types, and summary arithmetic).
+    #[test]
+    fn lint_json_schema_is_stable() {
+        use flb_bench::json::{parse, Value};
+
+        let out = run_str(&["lint", "--format", "json"]).expect("lint runs on this workspace");
+        let v = parse(&out).expect("lint emits valid JSON");
+
+        assert_eq!(
+            v.get("schema").and_then(Value::as_str),
+            Some("flb-analyze/v1")
+        );
+
+        let findings = v
+            .get("findings")
+            .and_then(Value::as_array)
+            .expect("findings array");
+        for f in findings {
+            assert!(f.get("rule").and_then(Value::as_str).is_some());
+            assert!(f.get("file").and_then(Value::as_str).is_some());
+            assert!(f.get("line").and_then(Value::as_u64).is_some());
+            assert!(f.get("col").and_then(Value::as_u64).is_some());
+            assert!(f.get("message").and_then(Value::as_str).is_some());
+            assert!(f.get("snippet").and_then(Value::as_str).is_some());
+            let waived = f.get("waived").expect("waived key present");
+            let reason = f.get("reason").expect("reason key present");
+            match waived {
+                Value::Bool(true) => {
+                    assert!(
+                        matches!(reason, Value::Str(_)),
+                        "a waived finding carries its reason string"
+                    );
+                }
+                Value::Bool(false) => {
+                    assert_eq!(reason, &Value::Null, "unwaived findings have no reason");
+                }
+                other => panic!("waived is a bool, got {other:?}"),
+            }
+        }
+
+        let summary = v.get("summary").expect("summary object");
+        let total = summary.get("total").and_then(Value::as_u64).unwrap();
+        let waived = summary.get("waived").and_then(Value::as_u64).unwrap();
+        let unwaived = summary.get("unwaived").and_then(Value::as_u64).unwrap();
+        assert!(
+            summary
+                .get("files_scanned")
+                .and_then(Value::as_u64)
+                .unwrap()
+                > 0
+        );
+        assert_eq!(total as usize, findings.len());
+        assert_eq!(waived + unwaived, total);
     }
 
     #[test]

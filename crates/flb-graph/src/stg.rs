@@ -90,7 +90,10 @@ pub fn parse_stg_with_comm(
         comp: Cost,
         preds: Vec<usize>,
     }
-    let mut rows: Vec<Row> = Vec::with_capacity(declared);
+    // The declared count is untrusted input: a forged header must not
+    // size the allocation. Every real row takes at least two bytes of
+    // text, so this clamp never shrinks a legitimate preallocation.
+    let mut rows: Vec<Row> = Vec::with_capacity(declared.min(text.len() / 2));
     for (lineno, line) in lines {
         let mut it = line.split_ascii_whitespace();
         let parse_num = |s: Option<&str>, what: &str| -> Result<u64, StgError> {
@@ -109,7 +112,9 @@ pub fn parse_stg_with_comm(
         }
         let comp = parse_num(it.next(), "computation cost")?;
         let npred = parse_num(it.next(), "predecessor count")? as usize;
-        let mut preds = Vec::with_capacity(npred);
+        // Untrusted count: each predecessor needs at least two bytes on
+        // the line (digit + separator), so the clamp only rejects lies.
+        let mut preds = Vec::with_capacity(npred.min(line.len() / 2));
         for _ in 0..npred {
             preds.push(parse_num(it.next(), "predecessor id")? as usize);
         }

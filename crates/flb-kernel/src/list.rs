@@ -51,6 +51,11 @@ impl<K: Copy + Ord> FlatHeap<K> {
         }
     }
 
+    // flb-analyze: region(no-alloc)
+    // Every FlatHeap operation past construction is allocation-free;
+    // tests/alloc_free.rs asserts the same boundary with a counting
+    // allocator.
+
     /// Number of ids currently in the heap.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -95,6 +100,7 @@ impl<K: Copy + Ord> FlatHeap<K> {
         debug_assert!(!self.contains(id), "duplicate insert of {id}");
         self.key[id as usize] = key;
         let slot = self.heap.len();
+        // flb-analyze: allow(no-alloc-in-hot-loop, reason="heap was built with Vec::with_capacity(universe) in new(), and the duplicate-insert debug_assert keeps len <= universe, so this push never reallocates")
         self.heap.push(id);
         self.pos[id as usize] = slot as u32;
         self.sift_up(slot);
@@ -185,6 +191,8 @@ impl<K: Copy + Ord> FlatHeap<K> {
             slot = best;
         }
     }
+
+    // flb-analyze: region-end(no-alloc)
 }
 
 /// `P` pairing heaps over a shared universe of `V` nodes.
@@ -223,6 +231,10 @@ impl PairingForest {
             prev: vec![NONE; universe],
         }
     }
+
+    // flb-analyze: region(no-alloc)
+    // Pairing-heap links live in the three arrays sized at new();
+    // meld/insert/combine/pop/remove only rewrite indices.
 
     /// Melds two non-`NONE` roots; returns the winner.
     #[inline]
@@ -344,6 +356,8 @@ impl PairingForest {
         let t = self.combine_siblings(time, bl, c);
         self.meld(time, bl, root, t)
     }
+
+    // flb-analyze: region-end(no-alloc)
 }
 
 #[cfg(test)]

@@ -184,6 +184,14 @@ impl<'g> KernelRun<'g> {
         self.non_ep.len() + self.ep_in_lists
     }
 
+    // flb-analyze: region(no-alloc)
+    // The steady-state scheduling loop: everything from here to the
+    // region-end runs once per task and must not allocate. The fence is
+    // the single source of truth for the boundary — the static
+    // `no-alloc-in-hot-loop` rule checks call sites inside it, and the
+    // counting-allocator test in tests/alloc_free.rs asserts that
+    // exactly these functions are fenced.
+
     /// Runs to completion. Allocation-free.
     pub fn run(&mut self) {
         while self.step().is_some() {}
@@ -375,6 +383,8 @@ impl<'g> KernelRun<'g> {
             }
         }
     }
+
+    // flb-analyze: region-end(no-alloc)
 }
 
 #[cfg(test)]

@@ -5,6 +5,12 @@
 //! phase) and asserts it is unchanged after running a ~20k-task LU graph
 //! to completion. This file contains exactly one test so no concurrent
 //! test thread can touch the counter mid-measurement.
+//!
+//! The same test also reads the `// flb-analyze: region(no-alloc)`
+//! fences out of the kernel sources and asserts they enclose exactly
+//! the functions this allocator measurement covers — the fence the
+//! static `no-alloc-in-hot-loop` rule enforces and the dynamic check
+//! here share one source of truth, so neither can silently drift.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -67,4 +73,47 @@ fn steady_state_loop_never_allocates() {
     run2.run();
     let after = ALLOC_CALLS.load(Ordering::SeqCst);
     assert_eq!(after - before, 0, "related-machine loop allocated");
+
+    // The static fences cover exactly what this test just measured.
+    // `run.run()` drives `step`, the three update procedures and
+    // `enqueue_ready` through the FlatHeap/PairingForest operations;
+    // constructors stay outside the fences because `new` is the
+    // allocating phase by design.
+    let fenced = flb_analyze::fenced_functions(include_str!("../src/run.rs"), "no-alloc");
+    assert_eq!(
+        fenced,
+        [
+            "run",
+            "step",
+            "update_task_lists",
+            "update_proc_lists",
+            "update_ready_tasks",
+            "enqueue_ready",
+        ],
+        "run.rs no-alloc fence drifted from the measured loop"
+    );
+
+    let fenced = flb_analyze::fenced_functions(include_str!("../src/list.rs"), "no-alloc");
+    assert!(
+        !fenced.contains(&"new".to_owned()),
+        "constructors must stay outside the list.rs fences"
+    );
+    for op in [
+        "len",
+        "insert",
+        "insert_or_update",
+        "update",
+        "pop",
+        "remove",
+        "sift_up",
+        "sift_down",
+        "meld",
+        "combine_siblings",
+        "pop_min",
+    ] {
+        assert!(
+            fenced.iter().any(|f| f == op),
+            "list.rs no-alloc fence must cover `{op}`"
+        );
+    }
 }

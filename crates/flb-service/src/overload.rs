@@ -817,6 +817,7 @@ impl<T> OverloadCtl<T> {
     }
 
     fn enqueue(&mut self, id: &TenantId, item: T, now_us: u64) -> Decision {
+        // flb-analyze: allow(no-panic-in-request-path, reason="enqueue is only called from offer(), which inserts the tenant row first")
         let t = self.tenants.get_mut(id).expect("tenant exists in offer");
         t.backlog.push_back((item, now_us));
         t.admitted += 1;

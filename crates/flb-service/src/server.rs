@@ -48,6 +48,7 @@ use crate::proto::{read_request, write_response, Request, Response};
 use crate::snapshot::{self, SnapshotError};
 use flb_core::{schedule_request, ScheduleRequest};
 use flb_sched::Schedule;
+use parking_lot::{Condvar, Mutex};
 use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -55,7 +56,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -355,6 +356,8 @@ struct Shared {
     cache: ShardedLru<Arc<Schedule>>,
     metrics: Metrics,
     /// Admission control + weighted-fair queue (replaces the old FIFO).
+    /// Named lock class: acquisition order is checked by `lockcheck`
+    /// builds and the flb-analyze `lock-order` rule.
     queue: Mutex<OverloadCtl<Job>>,
     job_ready: Condvar,
     shutdown: AtomicBool,
@@ -380,7 +383,7 @@ impl Shared {
     /// so the pair is a consistent snapshot.
     fn stats_view(&self) -> (Gauges, Vec<crate::metrics::TenantStat>) {
         let now = self.now_us();
-        let q = self.queue.lock().expect("queue lock");
+        let q = self.queue.lock();
         let gauges = Gauges {
             queue_depth: q.depth() as u64,
             workers: self.live_workers.load(Ordering::SeqCst),
@@ -436,7 +439,7 @@ fn worker_loop(shared: &Arc<Shared>) {
     let _slot = WorkerSlot(Arc::clone(shared));
     loop {
         let popped = {
-            let mut q = shared.queue.lock().expect("queue lock");
+            let mut q = shared.queue.lock();
             loop {
                 if let Some(popped) = q.pop(shared.now_us()) {
                     break popped;
@@ -444,7 +447,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                q = shared.job_ready.wait(q).expect("queue lock");
+                shared.job_ready.wait(&mut q);
             }
         };
         let (tenant, job) = (popped.tenant, popped.item);
@@ -453,11 +456,7 @@ fn worker_loop(shared: &Arc<Shared>) {
             Metrics::bump(&shared.metrics.expired);
             // A deadline blown while queued counts against the tenant's
             // breaker: a tenant whose work always expires is wasting slots.
-            shared
-                .queue
-                .lock()
-                .expect("queue lock")
-                .outcome(&tenant, false, shared.now_us());
+            shared.queue.lock().outcome(&tenant, false, shared.now_us());
             let _ = job.reply.send(WorkerReply::Expired);
             continue;
         }
@@ -466,6 +465,7 @@ fn worker_loop(shared: &Arc<Shared>) {
         Metrics::bump(&shared.metrics.scheduler_invocations);
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             if inject && job.request.graph.name() == PANIC_MARKER {
+                // flb-analyze: allow(no-panic-in-request-path, reason="chaos injection, gated by cfg.panic_injection and confined by the catch_unwind below")
                 panic!("injected scheduler panic ({PANIC_MARKER})");
             }
             schedule_request(&job.request)
@@ -476,21 +476,13 @@ fn worker_loop(shared: &Arc<Shared>) {
                 shared.cache.insert(job.fingerprint, Arc::clone(&schedule));
                 let micros = job.accepted_at.elapsed().as_micros() as u64;
                 shared.metrics.latency.record(micros);
-                shared
-                    .queue
-                    .lock()
-                    .expect("queue lock")
-                    .outcome(&tenant, true, shared.now_us());
+                shared.queue.lock().outcome(&tenant, true, shared.now_us());
                 // The client may have hung up while waiting; its problem.
                 let _ = job.reply.send(WorkerReply::Done { schedule, micros });
             }
             Err(payload) => {
                 Metrics::bump(&shared.metrics.worker_panics);
-                shared
-                    .queue
-                    .lock()
-                    .expect("queue lock")
-                    .outcome(&tenant, false, shared.now_us());
+                shared.queue.lock().outcome(&tenant, false, shared.now_us());
                 let _ = job
                     .reply
                     .send(WorkerReply::Panicked(panic_message(payload.as_ref())));
@@ -511,11 +503,7 @@ fn spawn_worker(shared: &Arc<Shared>) {
         let shared = Arc::clone(shared);
         thread::spawn(move || worker_loop(&shared))
     };
-    shared
-        .worker_handles
-        .lock()
-        .expect("worker handles lock")
-        .push(worker);
+    shared.worker_handles.lock().push(worker);
 }
 
 /// Supervisor loop: tops the worker pool back up when a worker died.
@@ -595,11 +583,7 @@ fn serve_schedule(
         deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
         reply: tx,
     };
-    let decision = shared
-        .queue
-        .lock()
-        .expect("queue lock")
-        .offer(tenant, job, shared.now_us());
+    let decision = shared.queue.lock().offer(tenant, job, shared.now_us());
     match decision {
         Decision::Admitted => shared.job_ready.notify_one(),
         Decision::Busy => {
@@ -751,13 +735,7 @@ impl ServiceHandle {
             let _ = supervisor.join();
         }
         loop {
-            let handles: Vec<_> = self
-                .shared
-                .worker_handles
-                .lock()
-                .expect("worker handles lock")
-                .drain(..)
-                .collect();
+            let handles: Vec<_> = self.shared.worker_handles.lock().drain(..).collect();
             if handles.is_empty() {
                 break;
             }
@@ -916,14 +894,14 @@ pub fn serve(endpoint: &Endpoint, cfg: ServiceConfig) -> io::Result<ServiceHandl
         endpoint: resolved,
         cache: ShardedLru::new(cfg.cache_capacity, cfg.cache_shards),
         metrics: Metrics::default(),
-        queue: Mutex::new(OverloadCtl::new(overload)),
+        queue: Mutex::named("queue", OverloadCtl::new(overload)),
         job_ready: Condvar::new(),
         shutdown: AtomicBool::new(false),
         open_connections: AtomicU64::new(0),
         epoch: Instant::now(),
         next_anon: AtomicU64::new(1),
         live_workers: AtomicU64::new(0),
-        worker_handles: Mutex::new(Vec::new()),
+        worker_handles: Mutex::named("worker-handles", Vec::new()),
         cfg,
     });
 

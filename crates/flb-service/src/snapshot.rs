@@ -84,6 +84,7 @@ fn take<'a>(
         .checked_add(n)
         .filter(|&e| e <= buf.len())
         .ok_or_else(|| corrupt(format!("truncated while reading {what}")))?;
+    // flb-analyze: allow(no-panic-in-request-path, reason="end = pos + n checked against buf.len() with overflow-safe checked_add above")
     let slice = &buf[*pos..end];
     *pos = end;
     Ok(slice)
@@ -91,12 +92,14 @@ fn take<'a>(
 
 fn take_u32(buf: &[u8], pos: &mut usize, what: &str) -> Result<u32, SnapshotError> {
     Ok(u32::from_le_bytes(
+        // flb-analyze: allow(no-panic-in-request-path, reason="take() returned exactly 4 bytes; try_into to [u8; 4] is infallible")
         take(buf, pos, 4, what)?.try_into().expect("4 bytes"),
     ))
 }
 
 fn take_u64(buf: &[u8], pos: &mut usize, what: &str) -> Result<u64, SnapshotError> {
     Ok(u64::from_le_bytes(
+        // flb-analyze: allow(no-panic-in-request-path, reason="take() returned exactly 8 bytes; try_into to [u8; 8] is infallible")
         take(buf, pos, 8, what)?.try_into().expect("8 bytes"),
     ))
 }
@@ -109,7 +112,9 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<(u64, Schedule)>, SnapshotError> {
     // Checksum first: it covers everything else, so all later parse
     // errors on a checksum-clean file indicate a version/logic mismatch
     // rather than bit rot.
+    // flb-analyze: allow(no-panic-in-request-path, reason="bytes.len() >= 20 was rejected above, so len - 8 is in bounds")
     let body = &bytes[..bytes.len() - 8];
+    // flb-analyze: allow(no-panic-in-request-path, reason="same >= 20 length guard; the final 8-byte slice converts infallibly")
     let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("8 bytes"));
     let mut h = Fnv64::new();
     h.write(body);

@@ -21,6 +21,12 @@
 //!   (the simulator is eager/work-conserving given the fixed order);
 //! * infeasible orders are detected as [`SimError::Stalled`] instead of
 //!   silently producing wrong times.
+//!
+//! The simulator is bit-reproducible: its virtual clock is the only
+//! time source, so the same inputs always replay to the same trace.
+//! That invariant is machine-enforced — the `no-wallclock-in-sim` rule
+//! of `flb-analyze` (run by `flb lint` and the `lint-smoke` CI job)
+//! rejects any `Instant::now()`/`SystemTime::now()` in this crate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

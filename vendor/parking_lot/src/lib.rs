@@ -1,45 +1,430 @@
-//! Offline vendored stub of the `parking_lot` API this workspace uses: a
-//! `Mutex` whose `lock()` returns the guard directly (no poisoning), built
-//! on `std::sync::Mutex`.
+//! Offline vendored stub of the `parking_lot` API this workspace uses:
+//! `Mutex`/`RwLock` whose acquisition returns the guard directly (no
+//! poisoning) and a `Condvar` taking `&mut MutexGuard`, built on
+//! `std::sync`.
+//!
+//! # Lock discipline checking (`lockcheck` feature)
+//!
+//! Locks created with [`Mutex::named`] / [`RwLock::named`] belong to a
+//! *lock class*. With the `lockcheck` feature enabled, every
+//! acquisition records `held-class → acquired-class` edges into a
+//! global order graph and panics the acquiring thread the moment an
+//! acquisition would close a cycle (or re-enter a class it already
+//! holds) — a deterministic, single-run deadlock detector in the
+//! spirit of the kernel's lockdep. This is the dynamic half of the
+//! flb-analyze `lock-order` rule; test builds enable it via
+//! dev-dependency feature unification, release builds compile it out.
+//! Unnamed locks (plain `new`) are never tracked.
 
-use std::sync::MutexGuard;
+use std::ops::{Deref, DerefMut};
 
 /// A mutual-exclusion lock with `parking_lot`'s panic-free interface.
 #[derive(Debug, Default)]
-pub struct Mutex<T>(std::sync::Mutex<T>);
+pub struct Mutex<T> {
+    class: Option<&'static str>,
+    inner: std::sync::Mutex<T>,
+}
 
 impl<T> Mutex<T> {
-    /// Creates a mutex holding `value`.
+    /// Creates an untracked mutex holding `value`.
     pub fn new(value: T) -> Self {
-        Mutex(std::sync::Mutex::new(value))
+        Mutex {
+            class: None,
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Creates a mutex in lock class `class` (see [`lockcheck`]).
+    pub fn named(class: &'static str, value: T) -> Self {
+        Mutex {
+            class: Some(class),
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     /// Acquires the lock, blocking until available. Lock poisoning is
     /// ignored (parking_lot has no poisoning).
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        match self.0.lock() {
+        lockcheck::acquire(self.class);
+        let g = match self.inner.lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
+        };
+        MutexGuard {
+            class: self.class,
+            inner: Some(g),
         }
     }
 
     /// Consumes the mutex and returns the inner value.
     pub fn into_inner(self) -> T {
-        match self.0.into_inner() {
+        match self.inner.into_inner() {
             Ok(v) => v,
             Err(poisoned) => poisoned.into_inner(),
         }
     }
 }
 
+/// Guard returned by [`Mutex::lock`].
+///
+/// The inner std guard sits in an `Option` solely so [`Condvar::wait`]
+/// can hand it to `std::sync::Condvar` and put it back; outside that
+/// window it is always `Some`.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    class: Option<&'static str>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present outside wait")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present outside wait")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        lockcheck::release(self.class);
+    }
+}
+
+/// A readers-writer lock with `parking_lot`'s panic-free interface.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    class: Option<&'static str>,
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates an untracked rwlock holding `value`.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            class: None,
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Creates an rwlock in lock class `class` (see [`lockcheck`]).
+    pub fn named(class: &'static str, value: T) -> Self {
+        RwLock {
+            class: Some(class),
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Acquires shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        lockcheck::acquire(self.class);
+        let g = match self.inner.read() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        RwLockReadGuard {
+            class: self.class,
+            inner: g,
+        }
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        lockcheck::acquire(self.class);
+        let g = match self.inner.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        RwLockWriteGuard {
+            class: self.class,
+            inner: g,
+        }
+    }
+
+    /// Consumes the rwlock and returns the inner value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// Guard returned by [`RwLock::read`].
+#[derive(Debug)]
+pub struct RwLockReadGuard<'a, T> {
+    class: Option<&'static str>,
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+impl<T> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        lockcheck::release(self.class);
+    }
+}
+
+/// Guard returned by [`RwLock::write`].
+#[derive(Debug)]
+pub struct RwLockWriteGuard<'a, T> {
+    class: Option<&'static str>,
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        lockcheck::release(self.class);
+    }
+}
+
+/// A condition variable taking `&mut MutexGuard`, parking_lot style.
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Atomically releases `guard`'s mutex and blocks until notified;
+    /// the mutex is re-acquired before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        lockcheck::release(guard.class);
+        let g = guard.inner.take().expect("guard present outside wait");
+        let g = match self.0.wait(g) {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        lockcheck::acquire(guard.class);
+        guard.inner = Some(g);
+    }
+
+    /// Like [`wait`](Self::wait) with an upper bound on the blocking
+    /// time. Returns `true` if the wait timed out.
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: std::time::Duration) -> bool {
+        lockcheck::release(guard.class);
+        let g = guard.inner.take().expect("guard present outside wait");
+        let (g, res) = match self.0.wait_timeout(g, timeout) {
+            Ok((g, res)) => (g, res),
+            Err(poisoned) => {
+                let (g, res) = poisoned.into_inner();
+                (g, res)
+            }
+        };
+        lockcheck::acquire(guard.class);
+        guard.inner = Some(g);
+        res.timed_out()
+    }
+
+    /// Wakes one blocked waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every blocked waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+/// Runtime lock-order checking (compiled out without the `lockcheck`
+/// feature).
+pub mod lockcheck {
+    /// Records an acquisition of `class` on this thread, panicking if
+    /// it re-enters a held class or closes an ordering cycle.
+    #[cfg(feature = "lockcheck")]
+    pub fn acquire(class: Option<&'static str>) {
+        let Some(class) = class else { return };
+        imp::acquire(class);
+    }
+
+    /// No-op without the `lockcheck` feature.
+    #[cfg(not(feature = "lockcheck"))]
+    #[inline(always)]
+    pub fn acquire(_class: Option<&'static str>) {}
+
+    /// Records the release of `class` on this thread.
+    #[cfg(feature = "lockcheck")]
+    pub fn release(class: Option<&'static str>) {
+        let Some(class) = class else { return };
+        imp::release(class);
+    }
+
+    /// No-op without the `lockcheck` feature.
+    #[cfg(not(feature = "lockcheck"))]
+    #[inline(always)]
+    pub fn release(_class: Option<&'static str>) {}
+
+    #[cfg(feature = "lockcheck")]
+    mod imp {
+        use std::cell::RefCell;
+        use std::sync::{Mutex, OnceLock};
+
+        /// Directed `held → acquired` edges observed process-wide.
+        static GRAPH: OnceLock<Mutex<Vec<(&'static str, &'static str)>>> = OnceLock::new();
+
+        thread_local! {
+            /// Classes currently held by this thread, in acquisition
+            /// order (duplicates impossible: re-entry panics).
+            static HELD: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+        }
+
+        fn graph() -> &'static Mutex<Vec<(&'static str, &'static str)>> {
+            GRAPH.get_or_init(|| Mutex::new(Vec::new()))
+        }
+
+        /// Whether `from` reaches `to` along recorded edges.
+        fn reaches(edges: &[(&'static str, &'static str)], from: &str, to: &str) -> bool {
+            let mut stack = vec![from];
+            let mut seen: Vec<&str> = Vec::new();
+            while let Some(n) = stack.pop() {
+                if n == to {
+                    return true;
+                }
+                if seen.contains(&n) {
+                    continue;
+                }
+                seen.push(n);
+                for (h, a) in edges {
+                    if *h == n {
+                        stack.push(a);
+                    }
+                }
+            }
+            false
+        }
+
+        pub fn acquire(class: &'static str) {
+            HELD.with(|held| {
+                let held = held.borrow();
+                if held.contains(&class) {
+                    panic!(
+                        "lockcheck: re-acquisition of lock class `{class}` on the same \
+                         thread (held: {held:?}) — self-deadlock"
+                    );
+                }
+                let mut edges = match graph().lock() {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                for h in held.iter() {
+                    if !edges.contains(&(h, class)) {
+                        if reaches(&edges, class, h) {
+                            panic!(
+                                "lockcheck: acquiring `{class}` while holding `{h}` closes \
+                                 an ordering cycle (`{class}` → … → `{h}` was recorded \
+                                 earlier) — potential deadlock"
+                            );
+                        }
+                        edges.push((h, class));
+                    }
+                }
+            });
+            HELD.with(|held| held.borrow_mut().push(class));
+        }
+
+        pub fn release(class: &'static str) {
+            HELD.with(|held| {
+                let mut held = held.borrow_mut();
+                if let Some(i) = held.iter().rposition(|c| *c == class) {
+                    held.remove(i);
+                }
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::Mutex;
+    use super::{Condvar, Mutex, RwLock};
+    use std::sync::Arc;
+    use std::time::Duration;
 
     #[test]
     fn lock_and_into_inner() {
         let m = Mutex::new(vec![1, 2]);
         m.lock().push(3);
         assert_eq!(m.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new(5u32);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(*a + *b, 10);
+        }
+        *l.write() += 1;
+        assert_eq!(l.into_inner(), 6);
+    }
+
+    #[test]
+    fn condvar_wakes_a_waiter() {
+        let pair = Arc::new((Mutex::named("cv-test", false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut g = m.lock();
+            while !*g {
+                cv.wait(&mut g);
+            }
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        let (m, cv) = &*pair;
+        *m.lock() = true;
+        cv.notify_all();
+        t.join().expect("waiter exits");
+    }
+
+    #[test]
+    fn wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        assert!(cv.wait_for(&mut g, Duration::from_millis(5)));
+    }
+
+    #[cfg(feature = "lockcheck")]
+    #[test]
+    fn lockcheck_flags_an_inverted_order() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let a = Mutex::named("vendor-inv-a", ());
+        let b = Mutex::named("vendor-inv-b", ());
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let _gb = b.lock();
+            let _ga = a.lock();
+        }));
+        let err = result.expect_err("inverted order must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("ordering cycle"), "unexpected panic: {msg}");
     }
 }
