@@ -6,8 +6,12 @@
 //! guard is held to the end of its enclosing block, an inline temporary
 //! to the end of its statement; acquiring `b` while `a` is held adds
 //! the edge `a → b`. Edges union across the crate, and every edge that
-//! lies on a cycle is flagged at its acquisition site. The dynamic
-//! half is the `lockcheck` feature of the vendored parking_lot stub.
+//! lies on a cycle is flagged at its acquisition site. A *same-class*
+//! acquisition while held (`inboxes[a].lock()` holding `inboxes[b]` —
+//! an indexed lock collection) is a self-edge and always flagged: two
+//! threads taking different members in opposite index orders deadlock,
+//! and the analysis cannot prove indices ordered. The dynamic half is
+//! the `lockcheck` feature of the vendored parking_lot stub.
 
 use crate::context::FileCtx;
 use crate::lexer::TokKind;
@@ -45,17 +49,20 @@ pub fn collect_edges(ctx: &FileCtx) -> Vec<Edge> {
             };
             let tok = ctx.tokens[i];
             for (h, _) in &held {
-                if *h != class {
-                    edges.push(Edge {
-                        held: h.clone(),
-                        acquired: class.clone(),
-                        file: ctx.rel_path.clone(),
-                        line: ctx.line_of(tok.start),
-                        col: ctx.col_of(tok.start),
-                        snippet: ctx.line_text(tok.start).trim().to_owned(),
-                        fn_name: f.name.clone(),
-                    });
-                }
+                // A same-class pair (`h == class`) is kept as a
+                // self-edge: for indexed lock collections
+                // (`inboxes[a].lock()` holding `inboxes[b]`) two
+                // threads with opposite index orders deadlock, and no
+                // static analysis can prove the indices ordered.
+                edges.push(Edge {
+                    held: h.clone(),
+                    acquired: class.clone(),
+                    file: ctx.rel_path.clone(),
+                    line: ctx.line_of(tok.start),
+                    col: ctx.col_of(tok.start),
+                    snippet: ctx.line_text(tok.start).trim().to_owned(),
+                    fn_name: f.name.clone(),
+                });
             }
             let scope_end = if is_let_bound(ctx, i, f.body_tokens.start) {
                 enclosing_block_close(ctx, i, f.body_tokens.end)
@@ -72,15 +79,23 @@ pub fn collect_edges(ctx: &FileCtx) -> Vec<Edge> {
 pub fn check_crate(edges: &[Edge], out: &mut Vec<Finding>) {
     for e in edges {
         if reaches(edges, &e.acquired, &e.held) {
+            let message = if e.acquired == e.held {
+                format!(
+                    "lock-order re-entry: `{}` acquired while a `{}` guard is already held (in `{}`) — two threads taking different members of the class in opposite orders deadlock",
+                    e.acquired, e.held, e.fn_name
+                )
+            } else {
+                format!(
+                    "lock-order cycle: `{}` acquired while holding `{}` (in `{}`), but the crate also acquires them in the opposite order",
+                    e.acquired, e.held, e.fn_name
+                )
+            };
             out.push(Finding {
                 rule: ID.to_owned(),
                 file: e.file.clone(),
                 line: e.line,
                 col: e.col,
-                message: format!(
-                    "lock-order cycle: `{}` acquired while holding `{}` (in `{}`), but the crate also acquires them in the opposite order",
-                    e.acquired, e.held, e.fn_name
-                ),
+                message,
                 snippet: e.snippet.clone(),
                 waived: None,
             });
@@ -279,6 +294,27 @@ fn g(&self) {
         check_crate(&edges, &mut out);
         assert_eq!(out.len(), 2);
         assert!(out.iter().all(|f| f.rule == ID));
+    }
+
+    #[test]
+    fn same_class_reentry_is_a_self_edge_and_always_fires() {
+        let src = "\
+fn f(&self) {
+    let a = self.inboxes[0].lock();
+    let b = self.inboxes[1].lock();
+    drop(b); drop(a);
+}
+";
+        let edges = edges_of(src);
+        assert_eq!(edges.len(), 1);
+        assert_eq!(
+            (edges[0].held.as_str(), edges[0].acquired.as_str()),
+            ("inboxes", "inboxes")
+        );
+        let mut out = Vec::new();
+        check_crate(&edges, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("re-entry"), "{}", out[0].message);
     }
 
     #[test]

@@ -171,6 +171,42 @@ fn lock_order_rule_waiver_covers_each_acquisition_site() {
 }
 
 #[test]
+fn lock_order_rule_fires_on_same_class_reentry() {
+    let report = analyze(
+        "crates/flb-par/src/shared.rs",
+        include_str!("golden/lock_order_reentry_violating.rs"),
+    );
+    let got = unwaived(&report);
+    // The self-edge fires once, at the second acquisition.
+    assert_eq!(got, [("lock-order", 17)], "full: {:#?}", report.findings);
+    let msg = report
+        .unwaived()
+        .next()
+        .map(|f| f.message.as_str())
+        .unwrap();
+    assert!(
+        msg.contains("re-entry") && msg.contains("inboxes"),
+        "message must name the re-entered class: {msg}"
+    );
+}
+
+#[test]
+fn lock_order_reentry_waiver_names_the_index_order_argument() {
+    let report = analyze(
+        "crates/flb-par/src/shared.rs",
+        include_str!("golden/lock_order_reentry_waived.rs"),
+    );
+    assert_eq!(unwaived(&report), [], "full: {:#?}", report.findings);
+    let reasons: Vec<&str> = report
+        .findings
+        .iter()
+        .filter_map(|f| f.waived.as_deref())
+        .collect();
+    assert_eq!(reasons.len(), 1);
+    assert!(reasons[0].contains("ascending index order"));
+}
+
+#[test]
 fn decode_alloc_rule_fires_on_unclamped_wire_sizes() {
     let report = analyze(
         "crates/flb-service/src/frame.rs",

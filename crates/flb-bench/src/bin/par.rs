@@ -1,0 +1,141 @@
+//! Experiment X17: thread-scaling of the work-stealing parallel FLB.
+//!
+//! Default run measures the committed trajectory (LU at one million
+//! tasks, CCR 1.0, P = 64, at 1/2/4/8 threads) and prints a table;
+//! `--json PATH` additionally writes the `BENCH_09.json` artifact.
+//! `--check PATH` skips measuring and instead schema-validates a
+//! committed artifact, applying the thread-scaling gate to *its*
+//! datapoints (`--min-speedup`, default 1.5, at `--speedup-at` threads,
+//! default 4) — that is what CI runs, so the gate never depends on the
+//! CI host's core count.
+//!
+//! Run: `cargo run -p flb-bench --release --bin par [--quick]
+//!       [--tasks N] [--procs P] [--ccr F] [--seed S]
+//!       [--family lu|cholesky|layered] [--threads 1,2,4,8] [--reps N]
+//!       [--json PATH] [--min-speedup F] [--speedup-at T]
+//!       [--check PATH]`
+
+use flb_bench::kernel_bench::{self, FlatFamily, KernelDatapoint};
+use flb_bench::mem::fmt_peak_rss;
+use flb_bench::par_bench::{self, ParBenchSpec};
+use flb_bench::report::{fmt_seconds, table};
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_or_die<T: std::str::FromStr>(text: &str, what: &str) -> T
+where
+    T::Err: std::fmt::Display,
+{
+    text.parse().unwrap_or_else(|e| {
+        eprintln!("invalid {what} {text:?}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn gate(points: &[KernelDatapoint], spec: &ParBenchSpec, min_speedup: f64, at: usize) {
+    match par_bench::speedup_gate(points, &spec.name(1), &spec.name(at), min_speedup) {
+        Ok(line) => println!("{line}"),
+        Err(e) => {
+            eprintln!("thread-scaling gate failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+
+    let mut spec = if let Some(tasks) = flag_value(&args, "--tasks") {
+        ParBenchSpec::at_scale(parse_or_die(&tasks, "--tasks"))
+    } else if quick {
+        ParBenchSpec::at_scale(20_000)
+    } else {
+        ParBenchSpec::trajectory()
+    };
+    if let Some(v) = flag_value(&args, "--procs") {
+        spec.procs = parse_or_die(&v, "--procs");
+    }
+    if let Some(v) = flag_value(&args, "--ccr") {
+        spec.ccr = parse_or_die(&v, "--ccr");
+    }
+    if let Some(v) = flag_value(&args, "--seed") {
+        spec.seed = parse_or_die(&v, "--seed");
+    }
+    if let Some(v) = flag_value(&args, "--family") {
+        spec.family = parse_or_die::<FlatFamily>(&v, "--family");
+    }
+    if let Some(v) = flag_value(&args, "--threads") {
+        spec.threads = v
+            .split(',')
+            .map(|t| parse_or_die(t.trim(), "--threads"))
+            .collect();
+    }
+    let reps: usize = parse_or_die(&flag_value(&args, "--reps").unwrap_or("3".into()), "--reps");
+    let min_speedup: f64 = parse_or_die(
+        &flag_value(&args, "--min-speedup").unwrap_or("1.5".into()),
+        "--min-speedup",
+    );
+    let speedup_at: usize = parse_or_die(
+        &flag_value(&args, "--speedup-at").unwrap_or("4".into()),
+        "--speedup-at",
+    );
+
+    if let Some(path) = flag_value(&args, "--check") {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        let points = kernel_bench::parse_report(&text).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        });
+        println!("{path}: {} datapoint(s), schema ok", points.len());
+        gate(&points, &spec, min_speedup, speedup_at);
+        return;
+    }
+
+    println!(
+        "X17: flb-par thread scaling ({}, {} thread counts)\n",
+        spec.name(0).trim_end_matches("-t0"),
+        spec.threads.len()
+    );
+
+    let points = par_bench::run(&spec, reps);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.name.clone(),
+                p.tasks.to_string(),
+                fmt_seconds(p.schedule_seconds),
+                format!("{:.0}", p.tasks_per_second),
+                p.makespan_ratio_vs_reference
+                    .map_or("—".into(), |r| format!("{r:.4}")),
+                fmt_peak_rss(p.peak_rss_kb),
+            ]
+        })
+        .collect();
+    let header: Vec<String> = ["point", "V", "schedule", "tasks/s", "vs oracle", "peak RSS"]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    println!("{}", table(&header, &rows));
+
+    if spec.threads.contains(&1) && spec.threads.contains(&speedup_at) {
+        gate(&points, &spec, min_speedup, speedup_at);
+    }
+
+    if let Some(path) = flag_value(&args, "--json") {
+        let doc = kernel_bench::to_json_named("par", &points);
+        if let Err(e) = std::fs::write(&path, &doc) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("wrote {path}");
+    }
+}

@@ -117,7 +117,7 @@ impl KernelBenchSpec {
 
 // `usize::is_multiple_of` needs Rust 1.87; the workspace MSRV is 1.85.
 #[allow(clippy::manual_is_multiple_of)]
-fn human_count(n: usize) -> String {
+pub(crate) fn human_count(n: usize) -> String {
     if n >= 1_000_000 && n % 1_000_000 == 0 {
         format!("{}m", n / 1_000_000)
     } else if n >= 1_000 && n % 1_000 == 0 {
@@ -159,32 +159,36 @@ pub struct KernelDatapoint {
     pub peak_rss_kb: Option<u64>,
 }
 
-fn build_graph(spec: &KernelBenchSpec) -> FlatGraph {
+/// Streams a flat benchmark graph of the given family and scale (shared
+/// by the kernel and `par` bench bins, so their oracles see the same
+/// bits).
+#[must_use]
+pub fn build_flat(family: FlatFamily, tasks: usize, ccr: f64, seed: u64) -> FlatGraph {
     let model = CostModel {
         comp: Dist::UniformMean(100),
-        ccr: spec.ccr,
+        ccr,
     };
-    match spec.family {
-        FlatFamily::Lu => {
-            million::lu_flat(million::lu_order_for_tasks(spec.tasks), &model, spec.seed)
+    match family {
+        FlatFamily::Lu => million::lu_flat(million::lu_order_for_tasks(tasks), &model, seed),
+        FlatFamily::Cholesky => {
+            million::cholesky_flat(million::cholesky_tiles_for_tasks(tasks), &model, seed)
         }
-        FlatFamily::Cholesky => million::cholesky_flat(
-            million::cholesky_tiles_for_tasks(spec.tasks),
-            &model,
-            spec.seed,
-        ),
         FlatFamily::Layered => {
             // Narrow layers keep the per-task candidate-predecessor window
             // bounded, so E stays O(V) even at a million tasks.
             let spec_l = RandomLayeredSpec {
-                tasks: spec.tasks,
-                layers: (spec.tasks / 8).max(2),
+                tasks,
+                layers: (tasks / 8).max(2),
                 edge_prob: 0.15,
                 max_skip: 2,
             };
-            million::random_layered_flat(&spec_l, &model, spec.seed)
+            million::random_layered_flat(&spec_l, &model, seed)
         }
     }
+}
+
+fn build_graph(spec: &KernelBenchSpec) -> FlatGraph {
+    build_flat(spec.family, spec.tasks, spec.ccr, spec.seed)
 }
 
 /// Runs one benchmark configuration to a measured datapoint.
@@ -236,13 +240,21 @@ pub fn run(spec: &KernelBenchSpec) -> KernelDatapoint {
     }
 }
 
-/// Renders datapoints as the `BENCH_*.json` artifact document.
+/// Renders datapoints as the `BENCH_*.json` artifact document for the
+/// `kernel` bench.
 #[must_use]
 pub fn to_json(points: &[KernelDatapoint]) -> String {
+    to_json_named("kernel", points)
+}
+
+/// Renders datapoints as a `BENCH_*.json` artifact document under the
+/// given bench name (the schema is shared across bench bins).
+#[must_use]
+pub fn to_json_named(bench: &str, points: &[KernelDatapoint]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"schema\": {},", quote(SCHEMA));
-    out.push_str("  \"bench\": \"kernel\",\n");
+    let _ = writeln!(out, "  \"bench\": {},", quote(bench));
     out.push_str("  \"datapoints\": [\n");
     for (i, p) in points.iter().enumerate() {
         out.push_str("    {\n");

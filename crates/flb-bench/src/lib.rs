@@ -21,6 +21,7 @@ pub mod csv;
 pub mod json;
 pub mod kernel_bench;
 pub mod mem;
+pub mod par_bench;
 pub mod registry;
 pub mod report;
 pub mod runner;

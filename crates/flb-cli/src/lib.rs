@@ -115,6 +115,9 @@ USAGE:
                 [--probe-requests N]
   flb kernel-bench [--tasks N] [--family lu|cholesky|layered] [--procs P]
                 [--ccr X] [--seed S] [--no-reference] [--format text|json]
+  flb par-bench [--tasks N] [--family lu|cholesky|layered] [--procs P]
+                [--ccr X] [--seed S] [--threads 1,2,4] [--reps N]
+                [--min-speedup F [--speedup-at T]] [--format text|json]
   flb lint      [--root DIR] [--format text|json] [--deny-unwaived]
 
 SERVICE OPTIONS: --listen takes `HOST:PORT` (default 127.0.0.1:7171) or
@@ -277,6 +280,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "submit" => cmd_submit(&a),
         "chaos" => cmd_chaos(&a),
         "kernel-bench" => cmd_kernel_bench(&a),
+        "par-bench" => cmd_par_bench(&a),
         "lint" => cmd_lint(&a),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
@@ -1081,6 +1085,81 @@ fn cmd_kernel_bench(a: &Args<'_>) -> Result<String, CliError> {
         }
         other => Err(err(format!("unknown --format {other:?} (text|json)"))),
     }
+}
+
+/// `flb par-bench`: thread-scaling of the work-stealing parallel FLB
+/// (the CLI face of experiment X17; the `par` bench bin measures the
+/// committed million-task trajectory).
+fn cmd_par_bench(a: &Args<'_>) -> Result<String, CliError> {
+    use flb_bench::kernel_bench;
+    use flb_bench::mem::fmt_peak_rss;
+    use flb_bench::par_bench::{self, ParBenchSpec};
+    use flb_bench::report::{fmt_seconds, table};
+
+    let tasks: usize = a.parsed("--tasks", 100_000)?;
+    if tasks == 0 {
+        return Err(err("--tasks must be at least 1"));
+    }
+    let mut spec = ParBenchSpec::at_scale(tasks);
+    if let Some(f) = a.value("--family") {
+        spec.family = f.parse().map_err(err)?;
+    }
+    spec.procs = a.parsed("--procs", spec.procs)?;
+    if spec.procs == 0 {
+        return Err(err("--procs must be at least 1"));
+    }
+    spec.ccr = a.parsed("--ccr", spec.ccr)?;
+    spec.seed = a.parsed("--seed", spec.seed)?;
+    if let Some(list) = a.value("--threads") {
+        spec.threads = list
+            .split(',')
+            .map(|t| t.trim().parse().map_err(|e| err(format!("--threads: {e}"))))
+            .collect::<Result<_, _>>()?;
+        if spec.threads.is_empty() {
+            return Err(err("--threads needs at least one thread count"));
+        }
+    }
+    let reps: usize = a.parsed("--reps", 2)?;
+    let points = par_bench::run(&spec, reps.max(1));
+
+    let mut out = match a.value("--format").unwrap_or("text") {
+        "json" => kernel_bench::to_json_named("par", &points),
+        "text" => {
+            let header: Vec<String> =
+                ["point", "V", "schedule", "tasks/s", "vs oracle", "peak RSS"]
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect();
+            let rows: Vec<Vec<String>> = points
+                .iter()
+                .map(|p| {
+                    vec![
+                        p.name.clone(),
+                        p.tasks.to_string(),
+                        fmt_seconds(p.schedule_seconds),
+                        format!("{:.0}", p.tasks_per_second),
+                        p.makespan_ratio_vs_reference
+                            .map_or("—".into(), |r| format!("{r:.4}")),
+                        fmt_peak_rss(p.peak_rss_kb),
+                    ]
+                })
+                .collect();
+            table(&header, &rows)
+        }
+        other => return Err(err(format!("unknown --format {other:?} (text|json)"))),
+    };
+    if let Some(min) = a.value("--min-speedup") {
+        let min: f64 = min
+            .parse()
+            .map_err(|e| err(format!("--min-speedup: {e}")))?;
+        let at: usize = a.parsed("--speedup-at", 4)?;
+        let line = par_bench::speedup_gate(&points, &spec.name(1), &spec.name(at), min)
+            .map_err(|e| err(format!("thread-scaling gate failed: {e}")))?;
+        out.push('\n');
+        out.push_str(&line);
+        out.push('\n');
+    }
+    Ok(out)
 }
 
 /// `flb lint`: run the flb-analyze rules over the workspace sources.

@@ -10,7 +10,13 @@
 use flb_baselines::{Dls, DscLlb, Etf, Fcp, Heft, Hlfet, Mcp};
 use flb_core::{Flb, TieBreak};
 use flb_kernel::FlbKernel;
+use flb_par::FlbPar;
 use flb_sched::Scheduler;
+
+/// Interleaver seed for the registered `flb-par-N` entries. Fixed so
+/// every registry run (and every shrunk counterexample) replays the same
+/// worker interleaving bit-for-bit.
+pub const PAR_REGISTRY_SEED: u64 = 0xF1B_9A12;
 
 /// How faithfully the simulator must reproduce a scheduler's static times.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -32,7 +38,7 @@ pub struct Entry {
     pub replay: Replay,
 }
 
-/// All eleven registered schedulers, in comparison order.
+/// All fourteen registered schedulers, in comparison order.
 #[must_use]
 pub fn all() -> Vec<Entry> {
     fn e(name: &'static str, scheduler: Box<dyn Scheduler>, replay: Replay) -> Entry {
@@ -53,6 +59,27 @@ pub fn all() -> Vec<Entry> {
         // registering it subjects it to every differential and metamorphic
         // oracle, and the sim-replay check holds it to exact times.
         e("flb-kernel", Box::new(FlbKernel::new()), Replay::Exact),
+        // The sharded work-stealing scheduler, run under its seeded
+        // deterministic interleaver so every oracle (and ddmin) can
+        // replay it. N=1 delegates to the exact kernel; N>1 uses the
+        // conservative-LMT relaxation, whose append-style start times
+        // are valid but may be later than the eager simulator's —
+        // replay class NoLater.
+        e(
+            "flb-par-1",
+            Box::new(FlbPar::deterministic(1, PAR_REGISTRY_SEED)),
+            Replay::Exact,
+        ),
+        e(
+            "flb-par-2",
+            Box::new(FlbPar::deterministic(2, PAR_REGISTRY_SEED)),
+            Replay::NoLater,
+        ),
+        e(
+            "flb-par-4",
+            Box::new(FlbPar::deterministic(4, PAR_REGISTRY_SEED)),
+            Replay::NoLater,
+        ),
         e("etf", Box::new(Etf), Replay::Exact),
         e("mcp", Box::new(Mcp::default()), Replay::Exact),
         e("mcp-ins", Box::new(Mcp::original()), Replay::NoLater),
@@ -75,13 +102,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn exactly_eleven_schedulers_with_unique_names() {
+    fn exactly_fourteen_schedulers_with_unique_names() {
         let entries = all();
-        assert_eq!(entries.len(), 11);
+        assert_eq!(entries.len(), 14);
         let mut names: Vec<&str> = entries.iter().map(|e| e.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 11, "duplicate registry names");
+        assert_eq!(names.len(), 14, "duplicate registry names");
     }
 
     /// The kernel and the reference produce identical schedules (the fuzz
@@ -100,11 +127,28 @@ mod tests {
     }
 
     #[test]
-    fn insertion_schedulers_are_no_later() {
+    fn relaxed_schedulers_are_no_later() {
+        // Insertion schedulers backfill idle slots; the sharded parallel
+        // FLB skips the EMT refinement. Both replay equal-or-earlier.
         for e in all() {
-            let expect = matches!(e.name, "mcp-ins" | "heft");
+            let expect = matches!(e.name, "mcp-ins" | "heft" | "flb-par-2" | "flb-par-4");
             assert_eq!(e.replay == Replay::NoLater, expect, "{}", e.name);
         }
+    }
+
+    /// `flb-par-1` must be indistinguishable from the kernel (and hence
+    /// from the reference): same delegation, held to exact replay.
+    #[test]
+    fn par_n1_is_registered_exact_and_matches_the_kernel() {
+        let g = flb_graph::paper::fig1();
+        let m = flb_sched::Machine::new(2);
+        let par = by_name("flb-par-1").expect("flb-par-1 registered");
+        let kernel = by_name("flb-kernel").expect("kernel registered");
+        assert_eq!(par.replay, Replay::Exact);
+        assert_eq!(
+            par.scheduler.schedule(&g, &m).placements(),
+            kernel.scheduler.schedule(&g, &m).placements()
+        );
     }
 
     #[test]

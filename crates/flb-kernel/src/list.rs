@@ -195,10 +195,47 @@ impl<K: Copy + Ord> FlatHeap<K> {
     // flb-analyze: region-end(no-alloc)
 }
 
+/// Where a [`PairingForest`] reads its comparison keys from.
+///
+/// The forest stores no keys: every operation asks this source for
+/// `(time, bottom level)` of a node and compares
+/// `(time(a), Reverse(bl(a)), a)` — a strict total order. The sequential
+/// kernel reads plain slices ([`SliceKeys`]); `flb-par` implements the
+/// trait over atomic arrays so shards can share one key arena while each
+/// owns its forest. Keys must not change while a node is linked into a
+/// heap (the usual heap contract).
+pub trait TaskKeys {
+    /// The primary key (a time quantity) of node `v`.
+    fn time(&self, v: u32) -> Time;
+    /// The tie-break bottom level of node `v` (larger wins).
+    fn bl(&self, v: u32) -> Time;
+}
+
+/// [`TaskKeys`] over two plain slices — the sequential kernel's view.
+#[derive(Clone, Copy, Debug)]
+pub struct SliceKeys<'a> {
+    /// Primary key per node.
+    pub time: &'a [Time],
+    /// Tie-break bottom level per node.
+    pub bl: &'a [Time],
+}
+
+impl TaskKeys for SliceKeys<'_> {
+    #[inline]
+    fn time(&self, v: u32) -> Time {
+        self.time[v as usize]
+    }
+
+    #[inline]
+    fn bl(&self, v: u32) -> Time {
+        self.bl[v as usize]
+    }
+}
+
 /// `P` pairing heaps over a shared universe of `V` nodes.
 ///
 /// The caller owns the root of each heap (`NONE` = empty) and the key
-/// arrays; every operation returns the new root. Nodes must be in at most
+/// source; every operation returns the new root. Nodes must be in at most
 /// one heap of a forest at a time — exactly FLB's invariant that a task is
 /// enabled by one processor.
 #[derive(Clone, Debug)]
@@ -213,12 +250,12 @@ pub struct PairingForest {
     prev: Vec<u32>,
 }
 
-/// `(time[a], Reverse(bl[a]), a) < (time[b], Reverse(bl[b]), b)` — the
+/// `(time(a), Reverse(bl(a)), a) < (time(b), Reverse(bl(b)), b)` — the
 /// paper's task ordering: earlier time first, then larger bottom level,
 /// then smaller id.
 #[inline]
-fn task_less(time: &[Time], bl: &[Time], a: u32, b: u32) -> bool {
-    (time[a as usize], Reverse(bl[a as usize]), a) < (time[b as usize], Reverse(bl[b as usize]), b)
+fn task_less<K: TaskKeys + ?Sized>(keys: &K, a: u32, b: u32) -> bool {
+    (keys.time(a), Reverse(keys.bl(a)), a) < (keys.time(b), Reverse(keys.bl(b)), b)
 }
 
 impl PairingForest {
@@ -238,8 +275,8 @@ impl PairingForest {
 
     /// Melds two non-`NONE` roots; returns the winner.
     #[inline]
-    fn meld(&mut self, time: &[Time], bl: &[Time], a: u32, b: u32) -> u32 {
-        let (top, bot) = if task_less(time, bl, a, b) {
+    fn meld<K: TaskKeys + ?Sized>(&mut self, keys: &K, a: u32, b: u32) -> u32 {
+        let (top, bot) = if task_less(keys, a, b) {
             (a, b)
         } else {
             (b, a)
@@ -257,7 +294,7 @@ impl PairingForest {
     /// Inserts node `v` into the heap rooted at `root` (`NONE` = empty);
     /// returns the new root. `v` must not be in any heap of the forest.
     #[must_use]
-    pub fn insert(&mut self, time: &[Time], bl: &[Time], root: u32, v: u32) -> u32 {
+    pub fn insert<K: TaskKeys + ?Sized>(&mut self, keys: &K, root: u32, v: u32) -> u32 {
         debug_assert!(
             self.child[v as usize] == NONE
                 && self.sib[v as usize] == NONE
@@ -267,13 +304,13 @@ impl PairingForest {
         if root == NONE {
             v
         } else {
-            self.meld(time, bl, root, v)
+            self.meld(keys, root, v)
         }
     }
 
     /// Two-pass pairing combine of a sibling list starting at `first`
     /// (whose `prev` must already be cleared); returns the resulting root.
-    fn combine_siblings(&mut self, time: &[Time], bl: &[Time], first: u32) -> u32 {
+    fn combine_siblings<K: TaskKeys + ?Sized>(&mut self, keys: &K, first: u32) -> u32 {
         // Pass 1: meld adjacent pairs left to right, stacking the winners
         // through their (now free) `sib` links.
         let mut stack = NONE;
@@ -292,7 +329,7 @@ impl PairingForest {
             self.prev[a as usize] = NONE;
             self.sib[b as usize] = NONE;
             self.prev[b as usize] = NONE;
-            let w = self.meld(time, bl, a, b);
+            let w = self.meld(keys, a, b);
             self.sib[w as usize] = stack;
             stack = w;
             cur = next;
@@ -306,7 +343,7 @@ impl PairingForest {
             root = if root == NONE {
                 cur
             } else {
-                self.meld(time, bl, root, cur)
+                self.meld(keys, root, cur)
             };
             cur = next;
         }
@@ -315,7 +352,7 @@ impl PairingForest {
 
     /// Removes the minimum (the root itself); returns the new root.
     #[must_use]
-    pub fn pop_min(&mut self, time: &[Time], bl: &[Time], root: u32) -> u32 {
+    pub fn pop_min<K: TaskKeys + ?Sized>(&mut self, keys: &K, root: u32) -> u32 {
         debug_assert_ne!(root, NONE, "pop from empty heap");
         let c = self.child[root as usize];
         self.child[root as usize] = NONE;
@@ -323,15 +360,15 @@ impl PairingForest {
             return NONE;
         }
         self.prev[c as usize] = NONE;
-        self.combine_siblings(time, bl, c)
+        self.combine_siblings(keys, c)
     }
 
     /// Removes an arbitrary node `v` from the heap rooted at `root`;
     /// returns the new root.
     #[must_use]
-    pub fn remove(&mut self, time: &[Time], bl: &[Time], root: u32, v: u32) -> u32 {
+    pub fn remove<K: TaskKeys + ?Sized>(&mut self, keys: &K, root: u32, v: u32) -> u32 {
         if v == root {
-            return self.pop_min(time, bl, root);
+            return self.pop_min(keys, root);
         }
         // Unlink v from its sibling list (it has a prev: it is not a root).
         let p = self.prev[v as usize];
@@ -353,8 +390,8 @@ impl PairingForest {
             return root;
         }
         self.prev[c as usize] = NONE;
-        let t = self.combine_siblings(time, bl, c);
-        self.meld(time, bl, root, t)
+        let t = self.combine_siblings(keys, c);
+        self.meld(keys, root, t)
     }
 
     // flb-analyze: region-end(no-alloc)
@@ -430,7 +467,14 @@ mod tests {
                 0 | 1 => {
                     let v = (rng() % n) as u32;
                     if !present[v as usize] {
-                        roots[h] = f.insert(&time, &bl, roots[h], v);
+                        roots[h] = f.insert(
+                            &SliceKeys {
+                                time: &time,
+                                bl: &bl,
+                            },
+                            roots[h],
+                            v,
+                        );
                         model[h].insert(key(v));
                         present[v as usize] = true;
                     }
@@ -439,7 +483,13 @@ mod tests {
                     if roots[h] != NONE {
                         let min = roots[h];
                         assert_eq!(key(min), *model[h].iter().next().unwrap());
-                        roots[h] = f.pop_min(&time, &bl, roots[h]);
+                        roots[h] = f.pop_min(
+                            &SliceKeys {
+                                time: &time,
+                                bl: &bl,
+                            },
+                            roots[h],
+                        );
                         model[h].remove(&key(min));
                         present[min as usize] = false;
                     }
@@ -448,7 +498,14 @@ mod tests {
                     // Remove an arbitrary present element of heap h.
                     if let Some(&k) = model[h].iter().nth(rng() % model[h].len().max(1)) {
                         let v = k.2;
-                        roots[h] = f.remove(&time, &bl, roots[h], v);
+                        roots[h] = f.remove(
+                            &SliceKeys {
+                                time: &time,
+                                bl: &bl,
+                            },
+                            roots[h],
+                            v,
+                        );
                         model[h].remove(&k);
                         present[v as usize] = false;
                     }
@@ -467,7 +524,13 @@ mod tests {
             let mut drained = Vec::new();
             while roots[h] != NONE {
                 drained.push(key(roots[h]));
-                roots[h] = f.pop_min(&time, &bl, roots[h]);
+                roots[h] = f.pop_min(
+                    &SliceKeys {
+                        time: &time,
+                        bl: &bl,
+                    },
+                    roots[h],
+                );
             }
             let expect: Vec<_> = model[h].iter().copied().collect();
             assert_eq!(drained, expect);

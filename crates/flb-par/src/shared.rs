@@ -1,0 +1,197 @@
+//! Run-wide shared state: the arenas every shard worker can reach.
+//!
+//! All cross-shard task state is atomic and write-once per run (`lmt`,
+//! `ep`, placements), or monotonic counters (`missing`, `n_placed`,
+//! `epoch`). The only locks are the per-shard inboxes, every one named
+//! `flb-par.inbox` so both halves of the lock-discipline tooling (the
+//! static `lock-order` rule and the dynamic `lockcheck` feature) see
+//! them; no worker ever holds two at once.
+
+use crossbeam::deque::{Stealer, Worker as Deque};
+use flb_graph::Time;
+use flb_kernel::list::TaskKeys;
+use flb_kernel::{FlatGraph, NONE};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+/// How a worker commits the second half of a steal.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StealCommit {
+    /// The correct Chase–Lev commit: a CAS on `top` that detects losing
+    /// the race for the last element.
+    #[default]
+    Cas,
+    /// BUG INJECTION (test harness validation only): commit with a blind
+    /// store, so a lost race goes undetected and a task is delivered
+    /// twice or skipped. The deterministic-interleaving tests pin a seed
+    /// that reproduces the resulting exactly-once violation.
+    Blind,
+}
+
+/// Shared arenas for one parallel run over a [`FlatGraph`].
+pub struct Shared<'g> {
+    /// The immutable task graph (CSR).
+    pub g: &'g FlatGraph,
+    /// Per-processor slowdown factors.
+    pub slow: Vec<Time>,
+    /// Static bottom levels (read-only tie-break priority).
+    pub bl: Vec<Time>,
+    /// Remaining unplaced predecessors per task.
+    pub missing: Vec<AtomicU32>,
+    /// Conservative `LMT(t)` — written once when `t` becomes ready.
+    pub lmt: Vec<AtomicU64>,
+    /// Enabling processor of a ready task (`NONE` for entry tasks).
+    pub ep: Vec<AtomicU32>,
+    /// Placement arenas (`proc_of[t] == NONE` = unplaced).
+    pub proc_of: Vec<AtomicU32>,
+    /// Start time per task (valid once placed).
+    pub start: Vec<AtomicU64>,
+    /// Finish time per task (valid once placed).
+    pub finish: Vec<AtomicU64>,
+    /// Exactly-once accounting: how often each task was scheduled. Always
+    /// 1 after a correct run; the interleaving harness asserts it.
+    pub times_placed: Vec<AtomicU32>,
+    /// Number of placed tasks; the termination condition is `== V`.
+    pub n_placed: AtomicUsize,
+    /// Bumped whenever cross-shard work is published (inbox pushes); the
+    /// epoch-style termination detector re-scans only when it advances.
+    pub epoch: AtomicU64,
+    /// Set when an exactly-once violation is detected; all workers bail.
+    pub poisoned: AtomicBool,
+    /// Per-shard mailboxes for tasks whose enabling processor lives on
+    /// another shard. Never lock two at once (same lock class).
+    pub inboxes: Vec<Mutex<Vec<u32>>>,
+    /// Cheap "inbox may be non-empty" flags so owners skip the lock on
+    /// the hot path. Cleared by the owner *before* draining, so a racing
+    /// set is at worst a spurious (empty) drain, never a lost one.
+    pub inbox_flag: Vec<AtomicBool>,
+    /// Per-shard work-stealing deques: the sharded non-EP list. Only the
+    /// owning shard pushes/pops; everyone else steals.
+    pub deques: Vec<Deque>,
+    /// Thief handles, indexed like `deques`.
+    pub stealers: Vec<Stealer>,
+    /// Processor → owning shard.
+    pub shard_of_proc: Vec<u32>,
+    /// Shard → owned processor range `[lo, hi)`.
+    pub proc_range: Vec<(u32, u32)>,
+}
+
+impl<'g> Shared<'g> {
+    /// Builds the arenas for `shards` workers over `g` on a machine with
+    /// `slow.len()` processors, and seeds entry tasks round-robin into
+    /// the shard deques.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slow` is empty or `shards` is zero or exceeds the
+    /// processor count (every shard must own at least one processor).
+    #[must_use]
+    pub fn new(g: &'g FlatGraph, slow: &[Time], shards: usize) -> Self {
+        let v = g.num_tasks();
+        let p = slow.len();
+        assert!(p > 0, "a machine needs at least one processor");
+        assert!(
+            (1..=p).contains(&shards),
+            "shard count must be in 1..=num_procs"
+        );
+        // Contiguous processor ranges, sizes differing by at most one.
+        let (base, rem) = (p / shards, p % shards);
+        let mut proc_range = Vec::with_capacity(shards);
+        let mut shard_of_proc = vec![0u32; p];
+        let mut lo = 0usize;
+        for s in 0..shards {
+            let hi = lo + base + usize::from(s < rem);
+            proc_range.push((lo as u32, hi as u32));
+            for slot in &mut shard_of_proc[lo..hi] {
+                *slot = s as u32;
+            }
+            lo = hi;
+        }
+        let deques: Vec<Deque> = (0..shards).map(|_| Deque::new(v)).collect();
+        let stealers = deques.iter().map(Deque::stealer).collect();
+        let shared = Shared {
+            g,
+            slow: slow.to_vec(),
+            bl: g.bottom_levels(),
+            missing: (0..v)
+                .map(|i| AtomicU32::new(g.in_degree(i as u32)))
+                .collect(),
+            lmt: (0..v).map(|_| AtomicU64::new(0)).collect(),
+            ep: (0..v).map(|_| AtomicU32::new(NONE)).collect(),
+            proc_of: (0..v).map(|_| AtomicU32::new(NONE)).collect(),
+            start: (0..v).map(|_| AtomicU64::new(0)).collect(),
+            finish: (0..v).map(|_| AtomicU64::new(0)).collect(),
+            times_placed: (0..v).map(|_| AtomicU32::new(0)).collect(),
+            n_placed: AtomicUsize::new(0),
+            epoch: AtomicU64::new(0),
+            poisoned: AtomicBool::new(false),
+            inboxes: (0..shards)
+                .map(|_| Mutex::named("flb-par.inbox", Vec::new()))
+                .collect(),
+            inbox_flag: (0..shards).map(|_| AtomicBool::new(false)).collect(),
+            deques,
+            stealers,
+            shard_of_proc,
+            proc_range,
+        };
+        // Entry tasks have no enabling processor: distribute them
+        // round-robin before any worker starts (LMT = 0, EP = NONE).
+        for t in 0..v as u32 {
+            if shared.missing[t as usize].load(Ordering::Relaxed) == 0 {
+                shared.deques[t as usize % shards].push(t);
+            }
+        }
+        shared
+    }
+
+    /// Number of shards in this run.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// Whether every task has been placed.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.n_placed.load(Ordering::Acquire) == self.g.num_tasks()
+    }
+
+    /// Mails `task` to shard `dest` and publishes the work.
+    pub fn push_inbox(&self, dest: usize, task: u32) {
+        self.inboxes[dest].lock().push(task);
+        self.inbox_flag[dest].store(true, Ordering::Release);
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Exact quiescence scan used by stuck detection: no deque holds
+    /// work and no inbox has undelivered mail. Callers must separately
+    /// confirm that no worker holds local work or a pending steal.
+    #[must_use]
+    pub fn no_queued_work(&self) -> bool {
+        self.deques.iter().all(Deque::is_empty)
+            && self.inboxes.iter().all(|inbox| inbox.lock().is_empty())
+    }
+}
+
+/// Forest/heap key source for the sharded EP lists: conservative LMT out
+/// of the shared atomic arena, static bottom level as the tie-break. A
+/// task's LMT is written once before it is routed and never changes while
+/// linked, satisfying the [`TaskKeys`] stability contract.
+pub struct LmtKeys<'a> {
+    /// Shared conservative-LMT arena.
+    pub lmt: &'a [AtomicU64],
+    /// Static bottom levels.
+    pub bl: &'a [Time],
+}
+
+impl TaskKeys for LmtKeys<'_> {
+    #[inline]
+    fn time(&self, v: u32) -> Time {
+        self.lmt[v as usize].load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn bl(&self, v: u32) -> Time {
+        self.bl[v as usize]
+    }
+}

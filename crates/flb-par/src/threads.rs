@@ -1,0 +1,129 @@
+//! OS-thread execution: one scoped thread per shard over the same
+//! [`Shard::step`] machine the virtual interleaver drives.
+//!
+//! Termination is epoch-style: the hot exit path is the exact placed
+//! count reaching `V` (checked inside `step`), and the *detector* exists
+//! for runs that can never get there (an injected exactly-once bug that
+//! loses a task). A worker that stays idle re-scans for global
+//! quiescence only when the shared epoch — bumped on every cross-shard
+//! publish — has not advanced since its last scan; when every worker
+//! votes quiescent under an unchanged epoch, the run is declared stuck
+//! and poisoned so all threads exit rather than spin forever.
+
+use crate::shard::{Shard, Step};
+use crate::shared::Shared;
+use crate::virt::RunReport;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// How many consecutive idle steps a worker tolerates before it casts a
+/// quiescence vote. Large enough that the detector never fires while a
+/// healthy run is merely rebalancing.
+const IDLE_VOTE_THRESHOLD: u32 = 1024;
+
+/// Placements between cooperative yields. Load balance rests on every
+/// worker making comparable progress (a runahead worker's inflated
+/// finish times pull all EP routing toward itself, starving the rest);
+/// on a machine with fewer free cores than workers the OS alone does
+/// not guarantee that, so each worker offers the core back every so
+/// many placements. Costs one syscall per `YIELD_EVERY` tasks —
+/// invisible when cores are plentiful, decisive when they are not.
+const YIELD_EVERY: u64 = 256;
+
+/// Consecutive idle steps before an out-of-work worker stops spinning
+/// and starts napping. `yield_now` alone is not enough on an
+/// oversubscribed machine: a yielded thread stays runnable, so starved
+/// thieves would still burn whole scheduler slices re-polling empty
+/// deques while the one busy worker waits for the core. A sleep
+/// genuinely deschedules them, and the spin budget is deliberately tiny:
+/// an idle worker that finds nothing within a few polls should get out
+/// of the way, not keep interleaving syscalls with the busy worker.
+const IDLE_SPIN_LIMIT: u32 = 4;
+
+/// Nap length for an idle worker past [`IDLE_SPIN_LIMIT`]. A full
+/// millisecond: on an oversubscribed machine the throughput-optimal
+/// policy is for whichever worker holds work to keep the core, with
+/// idle workers waking only occasionally to steal. The price is paid in
+/// schedule quality, not speed — a long-napping worker's processors
+/// fall behind in virtual time and the runahead worker's inflated
+/// finishes stretch the makespan (experiment X17 measures exactly this
+/// degradation); when cores are plentiful the nap almost never
+/// triggers and both costs vanish.
+const IDLE_NAP: std::time::Duration = std::time::Duration::from_micros(1000);
+
+struct Detector {
+    votes: AtomicU32,
+}
+
+/// One worker's loop: step until done, parking-lot style idling with the
+/// epoch-gated quiescence vote.
+fn worker_loop(sh: &Shared<'_>, shard: &mut Shard, det: &Detector, n: usize) {
+    let mut idles: u32 = 0;
+    let mut voted = false;
+    let mut placed: u64 = 0;
+    let mut seen_epoch = sh.epoch.load(Ordering::Acquire);
+    loop {
+        match shard.step(sh) {
+            Step::Done => break,
+            step @ (Step::Placed | Step::Progress) => {
+                idles = 0;
+                if voted {
+                    det.votes.fetch_sub(1, Ordering::AcqRel);
+                    voted = false;
+                }
+                if step == Step::Placed {
+                    placed += 1;
+                    if placed.is_multiple_of(YIELD_EVERY) {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+            Step::Idle => {
+                idles = idles.saturating_add(1);
+                let now_epoch = sh.epoch.load(Ordering::Acquire);
+                if now_epoch != seen_epoch {
+                    // Work was published somewhere since our last look:
+                    // not quiescent, start over.
+                    seen_epoch = now_epoch;
+                    idles = 0;
+                    if voted {
+                        det.votes.fetch_sub(1, Ordering::AcqRel);
+                        voted = false;
+                    }
+                } else if !voted && idles >= IDLE_VOTE_THRESHOLD && sh.no_queued_work() {
+                    voted = true;
+                    det.votes.fetch_add(1, Ordering::AcqRel);
+                } else if voted && det.votes.load(Ordering::Acquire) == n as u32 {
+                    // Unanimous: nobody has work and nothing is queued
+                    // under a stable epoch — the run lost a task.
+                    sh.poisoned.store(true, Ordering::Release);
+                    break;
+                }
+                if idles >= IDLE_SPIN_LIMIT {
+                    std::thread::sleep(IDLE_NAP);
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+    if voted {
+        det.votes.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Runs every shard on its own scoped thread; returns the merged report
+/// (step counts are meaningful only in the virtual mode and read 0 here).
+pub fn run_threads(sh: &Shared<'_>, shards: &mut [Shard]) -> RunReport {
+    let n = shards.len();
+    let det = Detector {
+        votes: AtomicU32::new(0),
+    };
+    crossbeam::scope(|scope| {
+        for shard in shards.iter_mut() {
+            let (det, sh) = (&det, &*sh);
+            scope.spawn(move |_| worker_loop(sh, shard, det, n));
+        }
+    })
+    .expect("worker thread panicked");
+    RunReport::collect(sh, shards, 0)
+}

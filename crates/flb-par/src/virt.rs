@@ -1,0 +1,110 @@
+//! The deterministic-interleaving harness.
+//!
+//! All worker state machines run on one real thread; a PRNG seeded from
+//! a single `u64` picks which shard advances by one [`Shard::step`] at a
+//! time. Because steals are split across two steps, every owner/thief
+//! race of the real execution corresponds to some interleaving the PRNG
+//! can produce — so any concurrency bug reproduces *bit-for-bit* from
+//! its seed, and a failing instance shrinks through the ordinary ddmin
+//! corpus machinery (the scheduler is deterministic given the seed).
+//!
+//! The harness is also the honest executor for the conformance registry:
+//! registered `flb-par-N` entries run virtually, which keeps them
+//! deterministic and (since every comparison is between homogeneous
+//! linear time quantities and the interleaver never looks at costs)
+//! scale-equivariant under the metamorphic cost-scaling oracle.
+
+use crate::shard::{Shard, ShardStats, Step};
+use crate::shared::Shared;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::Ordering;
+
+/// What a virtual run did and found.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Whether every task was placed exactly once.
+    pub completed: bool,
+    /// Total worker steps executed.
+    pub steps: u64,
+    /// Tasks never placed (non-empty only when a run is poisoned or a
+    /// broken steal commit loses work).
+    pub unplaced: Vec<u32>,
+    /// Merged per-shard counters.
+    pub totals: ShardStats,
+    /// Per-shard counters.
+    pub per_shard: Vec<ShardStats>,
+}
+
+impl RunReport {
+    /// Whether the run upheld the exactly-once contract.
+    #[must_use]
+    pub fn exactly_once(&self) -> bool {
+        self.completed && self.totals.duplicates == 0 && self.unplaced.is_empty()
+    }
+
+    pub(crate) fn collect(sh: &Shared<'_>, shards: &[Shard], steps: u64) -> RunReport {
+        let per_shard: Vec<ShardStats> = shards.iter().map(|s| s.stats).collect();
+        let totals = ShardStats::merged(&per_shard);
+        let unplaced: Vec<u32> = (0..sh.g.num_tasks() as u32)
+            .filter(|&t| sh.proc_of[t as usize].load(Ordering::Relaxed) == flb_kernel::NONE)
+            .collect();
+        RunReport {
+            completed: sh.is_complete() && !sh.poisoned.load(Ordering::Relaxed),
+            steps,
+            unplaced,
+            totals,
+            per_shard,
+        }
+    }
+}
+
+/// Runs the shards to completion under a seeded interleaver.
+///
+/// Termination: normally when every task is placed; a poisoned run
+/// (exactly-once violation) stops at the violation; a *stuck* run — all
+/// workers idle with no queued, pending, or local work left, which only
+/// a broken steal commit can produce by losing a task — is detected by
+/// an exact quiescence scan and reported through
+/// [`RunReport::unplaced`].
+pub fn run_virtual(sh: &Shared<'_>, shards: &mut [Shard], seed: u64) -> RunReport {
+    let n = shards.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut steps = 0u64;
+    let mut idle_streak = 0usize;
+    loop {
+        let w = if n == 1 { 0 } else { rng.random_range(0..n) };
+        match shards[w].step(sh) {
+            Step::Done => break,
+            Step::Idle => {
+                idle_streak += 1;
+                // Only a stalled run idles this long; confirm with an
+                // exact scan before giving up (the PRNG may simply not
+                // have sampled the one busy worker yet).
+                if idle_streak > 8 * n {
+                    if truly_stuck(sh, shards) {
+                        break;
+                    }
+                    idle_streak = 0;
+                }
+            }
+            Step::Placed | Step::Progress => idle_streak = 0,
+        }
+        steps += 1;
+    }
+    RunReport::collect(sh, shards, steps)
+}
+
+/// Exact global quiescence: no shard has local candidates or an open
+/// steal, and no deque or inbox holds work. With the correct commit this
+/// is unreachable before completion; with the injected blind commit it
+/// is how a *lost* task manifests.
+fn truly_stuck(sh: &Shared<'_>, shards: &[Shard]) -> bool {
+    if sh.is_complete() || sh.poisoned.load(Ordering::Relaxed) {
+        return true;
+    }
+    shards
+        .iter()
+        .all(|s| !s.has_pending_steal() && !s.has_local_work(sh))
+        && sh.no_queued_work()
+}

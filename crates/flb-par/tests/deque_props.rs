@@ -1,0 +1,152 @@
+//! Model-based property tests for the vendored Chase–Lev deque.
+//!
+//! A random sequence of owner/thief operations — including *split*
+//! steals whose commit is delayed past arbitrary owner activity — runs
+//! against the real `crossbeam::deque` and an obviously correct
+//! sequential model (a `VecDeque` plus a virtual `top` counter that
+//! advances on every successful steal and on an owner pop of the last
+//! element, exactly as the real `top` does). Every operation must agree
+//! with the model, and at the end the surviving elements must match in
+//! order. Because the real deque is exercised single-threaded here, all
+//! nondeterminism is gone and a mismatch is a hard logic bug rather
+//! than a flaky race.
+
+use crossbeam::deque::{Steal, StealToken, Worker};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// One scripted operation.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Push(u32),
+    Pop,
+    /// Owner-side FIFO take from the steal end (`Worker::take_top`).
+    TakeTop,
+    /// Begin-and-commit in one go (the common fast path).
+    Steal,
+    /// First half of a split steal (no-op if one is already open).
+    Begin,
+    /// Second half (no-op if none is open).
+    Commit,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..1000).prop_map(Op::Push),
+        Just(Op::Pop),
+        Just(Op::TakeTop),
+        Just(Op::Steal),
+        Just(Op::Begin),
+        Just(Op::Commit),
+    ]
+}
+
+/// The sequential model: `queue` front is the steal side, back is the
+/// owner side; `top` mirrors the real deque's monotone steal index.
+struct Model {
+    queue: VecDeque<u32>,
+    top: u64,
+}
+
+impl Model {
+    fn pop(&mut self) -> Option<u32> {
+        let v = self.queue.pop_back()?;
+        if self.queue.is_empty() {
+            // Popping the last element races (and here, wins) the CAS on
+            // `top`, consuming the same index a thief would have.
+            self.top += 1;
+        }
+        Some(v)
+    }
+
+    fn steal(&mut self) -> Steal {
+        match self.queue.pop_front() {
+            Some(v) => {
+                self.top += 1;
+                Steal::Success(v)
+            }
+            None => Steal::Empty,
+        }
+    }
+
+    /// Commit of a steal begun when `top` was `tok_top` on value
+    /// `tok_val`: wins iff no other consumption of that index happened.
+    fn commit(&mut self, tok_top: u64, tok_val: u32) -> Steal {
+        if self.top == tok_top && self.queue.front() == Some(&tok_val) {
+            self.queue.pop_front();
+            self.top += 1;
+            Steal::Success(tok_val)
+        } else {
+            Steal::Retry
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    #[test]
+    fn deque_agrees_with_the_sequential_model(
+        ops in proptest::collection::vec(arb_op(), 1..120),
+    ) {
+        let worker = Worker::new(ops.len());
+        let stealer = worker.stealer();
+        let mut model = Model { queue: VecDeque::new(), top: 0 };
+        let mut open: Option<(StealToken, u64)> = None;
+
+        for (i, &op) in ops.iter().enumerate() {
+            match op {
+                Op::Push(v) => {
+                    worker.push(v);
+                    model.queue.push_back(v);
+                }
+                Op::Pop => {
+                    prop_assert_eq!(worker.pop(), model.pop(), "op {}: pop", i);
+                }
+                Op::TakeTop => {
+                    // Single-threaded, the owner's top CAS always wins, so
+                    // take_top behaves exactly like a successful steal.
+                    let want = match model.steal() {
+                        Steal::Success(v) => Some(v),
+                        _ => None,
+                    };
+                    prop_assert_eq!(worker.take_top(), want, "op {}: take_top", i);
+                }
+                Op::Steal => {
+                    prop_assert_eq!(stealer.steal(), model.steal(), "op {}: steal", i);
+                }
+                Op::Begin => {
+                    if open.is_none() {
+                        let tok = stealer.steal_begin();
+                        let model_front = model.queue.front().copied();
+                        prop_assert_eq!(
+                            tok.map(|t| t.task()),
+                            model_front,
+                            "op {}: begin observed wrong head", i
+                        );
+                        open = tok.map(|t| (t, model.top));
+                    }
+                }
+                Op::Commit => {
+                    if let Some((tok, tok_top)) = open.take() {
+                        let want = model.commit(tok_top, tok.task());
+                        prop_assert_eq!(
+                            stealer.steal_commit(tok), want,
+                            "op {}: commit outcome diverged", i
+                        );
+                    }
+                }
+            }
+            prop_assert_eq!(worker.len(), model.queue.len(), "op {}: length", i);
+        }
+
+        // Drain what's left from the owner side: contents must match.
+        let mut rest = Vec::new();
+        while let Some(v) = worker.pop() {
+            rest.push(v);
+        }
+        let mut want: Vec<u32> = model.queue.iter().copied().collect();
+        want.reverse(); // pop drains back-to-front
+        prop_assert_eq!(rest, want, "surviving elements diverged");
+    }
+}

@@ -1,0 +1,200 @@
+//! Seeded-interleaving properties of the sharded scheduler.
+//!
+//! Everything here runs the deterministic virtual interleaver
+//! ([`flb_par::ExecMode::Deterministic`]): one real thread, PRNG-picked
+//! worker steps, split-phase steals. That makes each property a sweep
+//! over *interleavings* — every seed is a different serialization of the
+//! owner/thief races — while staying bit-reproducible:
+//!
+//! * with the correct CAS steal commit, every interleaving places every
+//!   task exactly once and the resulting flat schedule is valid;
+//! * with the injected blind commit ([`StealCommit::Blind`], the classic
+//!   torn-steal bug), a pinned seed reproduces an exactly-once violation
+//!   — and the *same* seed under the CAS commit is clean, isolating the
+//!   commit as the culprit.
+
+use flb_graph::costs::{CostModel, Dist};
+use flb_graph::gen::RandomLayeredSpec;
+use flb_kernel::{FlatGraph, NONE};
+use flb_par::{run_flat, ParOptions, ParRun, StealCommit};
+use flb_workloads::million::random_layered_flat;
+
+/// A mid-size layered DAG with enough width (and narrow layers near the
+/// top) to generate steal traffic between shards.
+fn steal_heavy_graph(seed: u64) -> FlatGraph {
+    let spec = RandomLayeredSpec {
+        tasks: 60,
+        layers: 6,
+        edge_prob: 0.3,
+        max_skip: 2,
+    };
+    let model = CostModel {
+        comp: Dist::UniformMean(100),
+        ccr: 1.0,
+    };
+    random_layered_flat(&spec, &model, seed)
+}
+
+/// Flat-schedule validity oracle: every task placed on a real processor,
+/// no earlier than data allows (conservative LMT charges communication
+/// from *every* predecessor, so cross- and same-processor arrivals alike
+/// must be covered), and processors never run two tasks at once.
+fn assert_valid(g: &FlatGraph, slow: &[flb_graph::Time], run: &ParRun) {
+    let v = g.num_tasks();
+    for t in 0..v as u32 {
+        let p = run.proc_of[t as usize];
+        assert_ne!(p, NONE, "task {t} unplaced");
+        assert!((p as usize) < slow.len(), "task {t} on bogus proc {p}");
+        assert_eq!(
+            run.finish[t as usize],
+            run.start[t as usize] + g.comp(t) * slow[p as usize],
+            "task {t} duration mismatch"
+        );
+        for (q, w) in g.preds(t) {
+            let arrival = if run.proc_of[q as usize] == p {
+                run.finish[q as usize]
+            } else {
+                run.finish[q as usize] + w
+            };
+            assert!(
+                run.start[t as usize] >= arrival,
+                "task {t} starts before pred {q} arrives"
+            );
+        }
+    }
+    // Non-overlap per processor.
+    for p in 0..slow.len() as u32 {
+        let mut on_p: Vec<u32> = (0..v as u32)
+            .filter(|&t| run.proc_of[t as usize] == p)
+            .collect();
+        on_p.sort_unstable_by_key(|&t| run.start[t as usize]);
+        for pair in on_p.windows(2) {
+            assert!(
+                run.finish[pair[0] as usize] <= run.start[pair[1] as usize],
+                "tasks {} and {} overlap on proc {p}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+}
+
+/// CAS commit: every sampled interleaving, across shard counts and
+/// graphs, places every task exactly once and yields a valid schedule.
+/// This is the steal-never-duplicates / steal-never-loses property.
+#[test]
+fn cas_commit_is_exactly_once_under_many_interleavings() {
+    let slow = vec![1, 1, 2, 1];
+    for gseed in [1u64, 2, 3] {
+        let g = steal_heavy_graph(gseed);
+        for shards in [2usize, 3, 4] {
+            for iseed in 0..40u64 {
+                let opts = ParOptions::deterministic(shards, iseed);
+                let run = run_flat(&g, &slow, &opts);
+                assert!(
+                    run.report.exactly_once(),
+                    "graph {gseed}, {shards} shards, interleaving {iseed}: \
+                     duplicates={} unplaced={:?}",
+                    run.report.totals.duplicates,
+                    run.report.unplaced,
+                );
+                assert_valid(&g, &slow, &run);
+            }
+        }
+    }
+}
+
+/// The interleaver genuinely exercises the split-steal window: across a
+/// modest seed sweep, steals succeed *and* steals lose races (the retry
+/// path), so the properties above are not vacuous.
+#[test]
+fn interleavings_exercise_the_steal_paths() {
+    let g = steal_heavy_graph(1);
+    let slow = vec![1, 1, 1, 1];
+    let mut steals = 0u64;
+    let mut retries = 0u64;
+    for iseed in 0..60u64 {
+        let run = run_flat(&g, &slow, &ParOptions::deterministic(4, iseed));
+        steals += run.report.totals.steals;
+        retries += run.report.totals.steal_retries;
+    }
+    assert!(steals > 0, "no interleaving stole anything");
+    assert!(retries > 0, "no interleaving ever lost a steal race");
+}
+
+/// Same seed, same bits: the virtual run is a pure function of
+/// (graph, machine, options).
+#[test]
+fn identical_seeds_reproduce_identical_runs() {
+    let g = steal_heavy_graph(2);
+    let slow = vec![1, 2, 1];
+    for iseed in [0u64, 9, 1234] {
+        let opts = ParOptions::deterministic(3, iseed);
+        let a = run_flat(&g, &slow, &opts);
+        let b = run_flat(&g, &slow, &opts);
+        assert_eq!(a.proc_of, b.proc_of, "seed {iseed}");
+        assert_eq!(a.start, b.start, "seed {iseed}");
+        assert_eq!(a.report.steps, b.report.steps, "seed {iseed}");
+    }
+}
+
+/// Interleaving seed under which the blind (CAS-free) steal commit
+/// lets an owner pop and a thief commit take the same task. Found by
+/// [`search_for_blind_violation_seed`]; pinned so the regression
+/// reproduces from this single number forever.
+const BLIND_BUG_SEED: u64 = 4;
+
+/// The deliberately injected steal-race bug: under the pinned seed the
+/// blind commit breaks the exactly-once contract (a task is placed
+/// twice or lost), the harness detects it and reports it — and the CAS
+/// commit under the *same* seed and graph is clean, pinning the blame
+/// on the commit protocol rather than the interleaving.
+#[test]
+fn blind_commit_bug_reproduces_from_its_pinned_seed() {
+    let g = steal_heavy_graph(1);
+    let slow = vec![1, 1, 1, 1];
+    let blind = ParOptions {
+        commit: StealCommit::Blind,
+        ..ParOptions::deterministic(2, BLIND_BUG_SEED)
+    };
+    let broken = run_flat(&g, &slow, &blind);
+    assert!(
+        !broken.report.exactly_once(),
+        "pinned seed no longer reproduces the blind-commit violation"
+    );
+    assert!(
+        broken.report.totals.duplicates > 0 || !broken.report.unplaced.is_empty(),
+        "violation must surface as a duplicate or a lost task"
+    );
+
+    let cas = ParOptions::deterministic(2, BLIND_BUG_SEED);
+    let clean = run_flat(&g, &slow, &cas);
+    assert!(
+        clean.report.exactly_once(),
+        "CAS commit must survive the exact same interleaving"
+    );
+}
+
+/// Seed-search harness (ignored; run with `--ignored --nocapture` to
+/// re-derive [`BLIND_BUG_SEED`] if the interleaver ever changes).
+#[test]
+#[ignore = "search harness for BLIND_BUG_SEED, not a regression test"]
+fn search_for_blind_violation_seed() {
+    let g = steal_heavy_graph(1);
+    let slow = vec![1, 1, 1, 1];
+    for seed in 0..20_000u64 {
+        let opts = ParOptions {
+            commit: StealCommit::Blind,
+            ..ParOptions::deterministic(2, seed)
+        };
+        let run = run_flat(&g, &slow, &opts);
+        if !run.report.exactly_once() {
+            println!(
+                "seed {seed}: duplicates={} unplaced={:?}",
+                run.report.totals.duplicates, run.report.unplaced
+            );
+            return;
+        }
+    }
+    panic!("no violating seed in range");
+}

@@ -1,0 +1,77 @@
+//! Schedule-level properties of `FlbPar` over random layered DAGs.
+//!
+//! * `flb-par-1` is *bit-exact* against the sequential `flb-kernel` —
+//!   identical placements, starts and finishes — because N=1 delegates
+//!   to the very same `KernelRun` (the property pins that delegation and
+//!   would catch any accidental divergence, e.g. a future "run one
+//!   relaxed shard" shortcut).
+//! * For N > 1 the relaxed sharded schedule must still be *valid*
+//!   (precedence- and capacity-respecting per `flb_sched::validate`) on
+//!   every instance and interleaving seed sampled, and must place every
+//!   task exactly once (asserted inside `FlbPar::schedule`).
+
+use flb_graph::costs::CostModel;
+use flb_graph::gen::{self, RandomLayeredSpec};
+use flb_graph::TaskGraph;
+use flb_kernel::FlbKernel;
+use flb_par::FlbPar;
+use flb_sched::validate::validate;
+use flb_sched::{Machine, Scheduler};
+use proptest::prelude::*;
+
+fn arb_layered() -> impl Strategy<Value = TaskGraph> {
+    (8usize..80, 2usize..8, any::<u64>(), 0u8..3).prop_map(|(tasks, layers, seed, w)| {
+        let layers = layers.min(tasks);
+        let topo = gen::random_layered(
+            &RandomLayeredSpec {
+                tasks,
+                layers,
+                edge_prob: 0.25,
+                max_skip: 2,
+            },
+            seed,
+        );
+        match w {
+            0 => topo,
+            1 => CostModel::paper_default(0.2).apply(&topo, seed),
+            _ => CostModel::paper_default(5.0).apply(&topo, seed),
+        }
+    })
+}
+
+fn arb_machine() -> impl Strategy<Value = Machine> {
+    prop_oneof![
+        (1usize..9).prop_map(Machine::new),
+        proptest::collection::vec(1u64..4, 1..6).prop_map(Machine::related),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn n1_is_bit_exact_against_the_kernel(
+        g in arb_layered(),
+        m in arb_machine(),
+        seed in any::<u64>(),
+    ) {
+        let par = FlbPar::deterministic(1, seed).schedule(&g, &m);
+        let kernel = FlbKernel::new().schedule(&g, &m);
+        prop_assert_eq!(par.placements(), kernel.placements());
+        prop_assert_eq!(par.makespan(), kernel.makespan());
+    }
+
+    #[test]
+    fn sharded_schedules_are_valid_on_random_instances(
+        g in arb_layered(),
+        m in arb_machine(),
+        seed in any::<u64>(),
+        threads in prop_oneof![Just(2usize), Just(4usize)],
+    ) {
+        let s = FlbPar::deterministic(threads, seed).schedule(&g, &m);
+        prop_assert_eq!(validate(&g, &s), Ok(()), "threads={}", threads);
+        // Exactly-once is asserted inside schedule(); reaching here with
+        // every task placed on a real processor confirms it end-to-end.
+        prop_assert_eq!(s.placements().len(), g.num_tasks());
+    }
+}

@@ -1,0 +1,399 @@
+//! A Chase–Lev-style work-stealing deque specialized to `u32` ids.
+//!
+//! The real `crossbeam-deque` is generic and grows its buffer through
+//! epoch-based reclamation; this stub trades both away for the one shape
+//! the workspace needs — a fixed-capacity ring of `AtomicU32` slots — and
+//! in exchange needs **no unsafe code**: every slot is an atomic, so the
+//! owner/thief races of the algorithm are data-race-free by construction
+//! and the memory orderings below only govern *which* value is observed,
+//! never validity.
+//!
+//! Shape (Chase & Lev, "Dynamic Circular Work-Stealing Deque", SPAA'05):
+//! the owner pushes and pops at the *bottom*; thieves steal at the *top*
+//! with a CAS. The single subtle interleaving — owner popping the last
+//! element while a thief steals it — is resolved by both sides racing a
+//! CAS on `top`.
+//!
+//! Two extras support the deterministic-interleaving harness in
+//! `flb-par`:
+//!
+//! * the steal is split into [`Stealer::steal_begin`] (read `top`,
+//!   `bottom` and the slot) and [`Stealer::steal_commit`] (the CAS), so a
+//!   virtual scheduler can interleave an owner step *between* the two
+//!   halves and make the lost-race path reproducible from a seed;
+//! * [`Stealer::steal_commit_blind`] commits with a plain store instead
+//!   of the CAS — the classic torn-steal bug. It exists so the harness
+//!   can demonstrate that it *catches* the race (a task is then handed to
+//!   two workers, or lost); nothing outside tests may call it.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Sentinel for "no task" inside the ring (never a valid task id here).
+const EMPTY_SLOT: u32 = u32::MAX;
+
+/// Result of a steal attempt, mirroring `crossbeam_deque::Steal`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Steal {
+    /// The deque was observed empty.
+    Empty,
+    /// One task was stolen.
+    Success(u32),
+    /// Lost a race (owner pop or another thief); try again.
+    Retry,
+}
+
+/// A begun-but-uncommitted steal: the observed `top` and the task read
+/// from its slot. Committing races the CAS; the token is consumed either
+/// way.
+#[derive(Clone, Copy, Debug)]
+pub struct StealToken {
+    top: u64,
+    task: u32,
+}
+
+impl StealToken {
+    /// The task this steal would take if the commit wins.
+    #[must_use]
+    pub fn task(&self) -> u32 {
+        self.task
+    }
+}
+
+/// The shared ring: indices grow without bound, slots are `index & mask`.
+struct Buffer {
+    slots: Box<[AtomicU32]>,
+    mask: u64,
+    /// Next slot thieves take from (grows monotonically).
+    top: AtomicU64,
+    /// Next slot the owner pushes into.
+    bottom: AtomicU64,
+}
+
+/// Owner handle: push/pop at the bottom. Methods take `&self` (all state
+/// is atomic) so one deque can sit in shared state; correctness still
+/// requires a single designated owner at a time, which `flb-par`
+/// guarantees by indexing one deque per worker.
+pub struct Worker {
+    buf: Arc<Buffer>,
+}
+
+/// Thief handle: steal at the top. Cloneable and `Send + Sync`.
+#[derive(Clone)]
+pub struct Stealer {
+    buf: Arc<Buffer>,
+}
+
+impl Worker {
+    /// A deque that can hold at least `min_capacity` tasks at once.
+    ///
+    /// The ring is sized to the next power of two *strictly above*
+    /// `min_capacity`, so a deque holding every task of a graph sized to
+    /// `min_capacity = V` can never wrap onto an unstolen slot.
+    #[must_use]
+    pub fn new(min_capacity: usize) -> Self {
+        let cap = (min_capacity as u64 + 1).next_power_of_two();
+        let slots = (0..cap).map(|_| AtomicU32::new(EMPTY_SLOT)).collect();
+        Worker {
+            buf: Arc::new(Buffer {
+                slots,
+                mask: cap - 1,
+                top: AtomicU64::new(0),
+                bottom: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A thief handle onto this deque.
+    #[must_use]
+    pub fn stealer(&self) -> Stealer {
+        Stealer {
+            buf: Arc::clone(&self.buf),
+        }
+    }
+
+    /// Number of tasks currently in the deque (owner-accurate; a racing
+    /// snapshot for everyone else).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        let b = self.buf.bottom.load(Ordering::Relaxed);
+        let t = self.buf.top.load(Ordering::Relaxed);
+        b.saturating_sub(t) as usize
+    }
+
+    /// Whether the deque is (observably) empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pushes `task` at the bottom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring is full — sized per [`Worker::new`], that means
+    /// the caller broke the "each task in at most one deque" invariant.
+    pub fn push(&self, task: u32) {
+        let b = self.buf.bottom.load(Ordering::Relaxed);
+        let t = self.buf.top.load(Ordering::Acquire);
+        assert!(
+            b - t <= self.buf.mask,
+            "deque over capacity: a task was enqueued twice"
+        );
+        self.buf.slots[(b & self.buf.mask) as usize].store(task, Ordering::Release);
+        self.buf.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// The task a [`Worker::pop`] would return, without taking it. Owner
+    /// heuristic only: a thief may still win the last element afterwards.
+    #[must_use]
+    pub fn peek_bottom(&self) -> Option<u32> {
+        let b = self.buf.bottom.load(Ordering::Relaxed);
+        let t = self.buf.top.load(Ordering::Acquire);
+        if t >= b {
+            return None;
+        }
+        Some(self.buf.slots[((b - 1) & self.buf.mask) as usize].load(Ordering::Acquire))
+    }
+
+    /// The task a [`Worker::take_top`] would return, without taking it —
+    /// the *oldest* queued task. Owner heuristic only: a thief may still
+    /// win it afterwards.
+    #[must_use]
+    pub fn peek_top(&self) -> Option<u32> {
+        let t = self.buf.top.load(Ordering::SeqCst);
+        let b = self.buf.bottom.load(Ordering::SeqCst);
+        if t >= b {
+            return None;
+        }
+        Some(self.buf.slots[(t & self.buf.mask) as usize].load(Ordering::Acquire))
+    }
+
+    /// Takes the *top* (oldest) task: FIFO consumption for the owner. It
+    /// claims the slot with the same `top` CAS a thief uses, so it
+    /// composes safely with concurrent stealers; `None` means the deque
+    /// was empty or a thief won the race for this task.
+    #[must_use]
+    pub fn take_top(&self) -> Option<u32> {
+        let t = self.buf.top.load(Ordering::SeqCst);
+        let b = self.buf.bottom.load(Ordering::SeqCst);
+        if t >= b {
+            return None;
+        }
+        let task = self.buf.slots[(t & self.buf.mask) as usize].load(Ordering::Acquire);
+        self.buf
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .ok()
+            .map(|_| task)
+    }
+
+    /// Pops from the bottom (LIFO for the owner). Returns `None` when
+    /// empty or when a thief won the race for the last element.
+    pub fn pop(&self) -> Option<u32> {
+        let b = self.buf.bottom.load(Ordering::Relaxed);
+        let t = self.buf.top.load(Ordering::SeqCst);
+        if t >= b {
+            return None; // already empty; bottom untouched
+        }
+        let b = b - 1;
+        self.buf.bottom.store(b, Ordering::SeqCst);
+        let t = self.buf.top.load(Ordering::SeqCst);
+        if t < b {
+            // More than one task remained: the bottom one is ours alone.
+            return Some(self.buf.slots[(b & self.buf.mask) as usize].load(Ordering::Acquire));
+        }
+        // Last element (`t == b`) — race thieves for it via the top CAS —
+        // or a thief took it between our two top loads (`t == b + 1`).
+        // The deque is empty either way: restore bottom to `b + 1`.
+        let task = self.buf.slots[(b & self.buf.mask) as usize].load(Ordering::Acquire);
+        let won = t == b
+            && self
+                .buf
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok();
+        self.buf.bottom.store(b + 1, Ordering::SeqCst);
+        won.then_some(task)
+    }
+}
+
+impl Stealer {
+    /// One-shot steal: begin + commit.
+    pub fn steal(&self) -> Steal {
+        match self.steal_begin() {
+            Some(tok) => self.steal_commit(tok),
+            None => Steal::Empty,
+        }
+    }
+
+    /// First half of a steal: observe `top`/`bottom` and read the top
+    /// task. `None` means the deque looked empty.
+    #[must_use]
+    pub fn steal_begin(&self) -> Option<StealToken> {
+        let t = self.buf.top.load(Ordering::SeqCst);
+        let b = self.buf.bottom.load(Ordering::SeqCst);
+        if t >= b {
+            return None;
+        }
+        let task = self.buf.slots[(t & self.buf.mask) as usize].load(Ordering::Acquire);
+        Some(StealToken { top: t, task })
+    }
+
+    /// Second half: claim the observed task by CAS on `top`. `Retry`
+    /// means the owner (or another thief) took it first.
+    pub fn steal_commit(&self, tok: StealToken) -> Steal {
+        match self.buf.top.compare_exchange(
+            tok.top,
+            tok.top + 1,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        ) {
+            Ok(_) => Steal::Success(tok.task),
+            Err(_) => Steal::Retry,
+        }
+    }
+
+    /// BUGGY commit used only to validate the race harness: claims the
+    /// task with a blind store instead of the CAS, so a concurrent owner
+    /// pop of the same (last) task is *not* detected — the task is
+    /// delivered twice, or a neighbouring task is silently skipped. The
+    /// deterministic-interleaving tests pin the seed that exposes this.
+    pub fn steal_commit_blind(&self, tok: StealToken) -> Steal {
+        self.buf.top.store(tok.top + 1, Ordering::SeqCst);
+        Steal::Success(tok.task)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_for_owner_fifo_for_thief() {
+        let w = Worker::new(8);
+        let s = w.stealer();
+        for t in 0..4 {
+            w.push(t);
+        }
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.peek_bottom(), Some(3));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(s.steal(), Steal::Success(0));
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn owner_fifo_take_top_walks_oldest_first() {
+        let w = Worker::new(8);
+        let s = w.stealer();
+        for t in 10..14 {
+            w.push(t);
+        }
+        assert_eq!(w.peek_top(), Some(10));
+        assert_eq!(w.take_top(), Some(10));
+        // take_top consumes the same index a thief would: an open token
+        // on the taken task must lose its commit.
+        let tok = s.steal_begin().expect("tasks remain");
+        assert_eq!(tok.task(), 11);
+        assert_eq!(w.take_top(), Some(11));
+        assert_eq!(s.steal_commit(tok), Steal::Retry);
+        assert_eq!(w.pop(), Some(13)); // bottom end still LIFO
+        assert_eq!(w.take_top(), Some(12));
+        assert_eq!(w.take_top(), None);
+        assert_eq!(w.peek_top(), None);
+    }
+
+    #[test]
+    fn split_steal_loses_race_to_owner_pop() {
+        let w = Worker::new(4);
+        let s = w.stealer();
+        w.push(7);
+        let tok = s.steal_begin().expect("one task visible");
+        assert_eq!(tok.task(), 7);
+        // Owner takes the last task between the thief's two halves.
+        assert_eq!(w.pop(), Some(7));
+        assert_eq!(s.steal_commit(tok), Steal::Retry);
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn blind_commit_duplicates_the_last_task() {
+        let w = Worker::new(4);
+        let s = w.stealer();
+        w.push(9);
+        let tok = s.steal_begin().unwrap();
+        assert_eq!(w.pop(), Some(9)); // owner wins the CAS...
+        assert_eq!(s.steal_commit_blind(tok), Steal::Success(9)); // ...thief "wins" too
+    }
+
+    #[test]
+    fn wraps_around_the_ring() {
+        let w = Worker::new(3); // ring of 4
+        let s = w.stealer();
+        for round in 0..10u32 {
+            w.push(round * 2);
+            w.push(round * 2 + 1);
+            assert_eq!(s.steal(), Steal::Success(round * 2));
+            assert_eq!(w.pop(), Some(round * 2 + 1));
+        }
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "over capacity")]
+    fn over_capacity_push_panics() {
+        let w = Worker::new(2); // ring of 4
+        for t in 0..5 {
+            w.push(t);
+        }
+    }
+
+    /// Cross-thread stress: thieves + owner drain exactly the pushed set.
+    #[test]
+    fn concurrent_steals_neither_lose_nor_duplicate() {
+        const N: u32 = 20_000;
+        let w = Worker::new(N as usize);
+        let hits: Vec<AtomicU32> = (0..N).map(|_| AtomicU32::new(0)).collect();
+        let done = AtomicU32::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let s = w.stealer();
+                let (hits, done) = (&hits, &done);
+                scope.spawn(move || loop {
+                    match s.steal() {
+                        Steal::Success(t) => {
+                            hits[t as usize].fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Empty => {
+                            if done.load(Ordering::Acquire) == 1 {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                        Steal::Retry => {}
+                    }
+                });
+            }
+            // Owner interleaves pushes with pops, then drains.
+            for t in 0..N {
+                w.push(t);
+                if t % 3 == 0 {
+                    if let Some(got) = w.pop() {
+                        hits[got as usize].fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            while let Some(got) = w.pop() {
+                hits[got as usize].fetch_add(1, Ordering::Relaxed);
+            }
+            done.store(1, Ordering::Release);
+        });
+        for (t, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "task {t} seen wrong count");
+        }
+    }
+}

@@ -1,5 +1,8 @@
-//! Offline vendored stub of the `crossbeam` scoped-thread API this
-//! workspace uses, implemented over `std::thread::scope` (std ≥ 1.63).
+//! Offline vendored stub of the `crossbeam` APIs this workspace uses:
+//! scoped threads (over `std::thread::scope`, std ≥ 1.63) and a
+//! fixed-capacity Chase–Lev work-stealing deque ([`deque`]).
+
+pub mod deque;
 
 use std::thread;
 
