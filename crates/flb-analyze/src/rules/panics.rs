@@ -14,9 +14,10 @@ pub const ID: &str = "no-panic-in-request-path";
 
 const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
 
-/// Files where `[]` indexing is also flagged: these parse wire bytes,
+/// Files where `[]` indexing is also flagged: these parse wire bytes
+/// (or, for `journal.rs`, bytes recovered from a possibly-torn disk),
 /// so every index is a potential remote-triggered panic.
-const INDEXING_FILES: [&str; 3] = ["proto.rs", "server.rs", "snapshot.rs"];
+const INDEXING_FILES: [&str; 4] = ["proto.rs", "server.rs", "snapshot.rs", "journal.rs"];
 
 /// Files exempt from the rule entirely: test harness transports and
 /// the test client, which live in src/ but never run in a server.
@@ -133,6 +134,14 @@ fn handle(buf: &[u8]) -> u32 {
         let src = "fn f(v: &[u8]) -> u8 { v[0] }";
         assert!(run_on("crates/flb-service/src/overload.rs", src).is_empty());
         assert_eq!(run_on("crates/flb-service/src/snapshot.rs", src).len(), 1);
+        // The journal decodes bytes read back from a possibly-torn disk:
+        // indexing is held to the same standard as the wire files.
+        assert_eq!(run_on("crates/flb-service/src/journal.rs", src).len(), 1);
+        // The replay client is NOT exempt — a hostile trace must not be
+        // able to panic the replay rig (only panic calls are flagged
+        // there, like every other non-wire service file).
+        let panicky = "fn g() { Option::<u8>::None.unwrap(); }";
+        assert_eq!(run_on("crates/flb-service/src/replay.rs", panicky).len(), 1);
     }
 
     #[test]

@@ -100,6 +100,56 @@ fn panic_rule_indexing_waiver_requires_the_bounds_argument() {
 }
 
 #[test]
+fn panic_rule_holds_the_journal_to_the_wire_standard() {
+    let report = analyze(
+        "crates/flb-service/src/journal.rs",
+        include_str!("golden/panics_journal_violating.rs"),
+    );
+    let got = unwaived(&report);
+    assert_eq!(
+        got,
+        [
+            ("no-panic-in-request-path", 7),  // unwrap
+            ("no-panic-in-request-path", 9),  // panic!
+            ("no-panic-in-request-path", 11), // buf[1] on torn-disk bytes
+        ],
+        "full findings: {:#?}",
+        report.findings
+    );
+    // The replay client is scoped but not wire-indexed: the same source
+    // under replay.rs drops the indexing finding, keeps the panics.
+    let replay = analyze(
+        "crates/flb-service/src/replay.rs",
+        include_str!("golden/panics_journal_violating.rs"),
+    );
+    assert_eq!(
+        unwaived(&replay),
+        [
+            ("no-panic-in-request-path", 7),
+            ("no-panic-in-request-path", 9),
+        ],
+        "full findings: {:#?}",
+        replay.findings
+    );
+}
+
+#[test]
+fn panic_rule_journal_indexing_waiver_requires_the_bounds_argument() {
+    let report = analyze(
+        "crates/flb-service/src/journal.rs",
+        include_str!("golden/panics_journal_waived.rs"),
+    );
+    assert_eq!(unwaived(&report), [], "full: {:#?}", report.findings);
+    let waived: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.waived.is_some())
+        .collect();
+    assert_eq!(waived.len(), 1);
+    assert!(waived[0].waived.as_deref().unwrap().contains("guard"));
+}
+
+#[test]
 fn wallclock_rule_fires_in_sim_scoped_crates() {
     let report = analyze(
         "crates/flb-sim/src/clock.rs",

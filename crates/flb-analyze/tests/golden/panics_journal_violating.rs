@@ -1,0 +1,13 @@
+//! Golden input: panics in the journal recovery path.
+//! Analyzed as `crates/flb-service/src/journal.rs` — the journal decodes
+//! bytes read back from a possibly-torn disk, so it is held to the wire
+//! standard: `[]` indexing is flagged alongside unwrap/expect/panic.
+
+pub fn decode_frame(buf: &[u8]) -> u64 {
+    let len = buf.first().unwrap(); // finding: unwrap
+    if *len == 0 {
+        panic!("empty journal frame"); // finding: panic!
+    }
+    let checksum = buf[1]; // finding: torn-disk indexing
+    u64::from(*len) + u64::from(checksum)
+}

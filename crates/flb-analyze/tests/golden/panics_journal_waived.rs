@@ -1,0 +1,11 @@
+//! Golden input: a bounds-guarded journal indexing site, waived.
+//! Analyzed as `crates/flb-service/src/journal.rs`.
+
+pub fn frame_header(buf: &[u8]) -> Option<u64> {
+    if buf.len() < 12 {
+        return None;
+    }
+    // flb-analyze: allow(no-panic-in-request-path, reason="the len() < 12 guard above makes buf[4..12] in bounds")
+    let checksum = &buf[4..12];
+    Some(u64::from_le_bytes(checksum.try_into().ok()?))
+}

@@ -1,0 +1,117 @@
+//! Experiment X18: trace-replay throughput and reply equivalence.
+//!
+//! Replays the pinned committed trace (default `tests/traces/pinned`)
+//! against a throwaway in-process daemon with reply-equivalence checking
+//! on; `--json PATH` writes the `BENCH_10.json` artifact and
+//! `--baseline PATH` gates the measured throughput against a committed
+//! artifact (exit 1 on regression or any reply mismatch).
+//!
+//! Run: `cargo run -p flb-bench --release --bin replay
+//!       [--trace PATH] [--rounds N] [--workers W]
+//!       [--json PATH] [--baseline PATH] [--max-regression F]`
+
+use flb_bench::kernel_bench::{self, DEFAULT_MAX_REGRESSION};
+use flb_bench::replay_bench::{self, ReplayBenchSpec};
+use flb_bench::report::fmt_seconds;
+use std::path::PathBuf;
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_or_die<T: std::str::FromStr>(text: &str, what: &str) -> T
+where
+    T::Err: std::fmt::Display,
+{
+    text.parse().unwrap_or_else(|e| {
+        eprintln!("invalid {what} {text:?}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut spec = ReplayBenchSpec::pinned(
+        flag_value(&args, "--trace")
+            .map_or_else(|| PathBuf::from("tests/traces/pinned"), PathBuf::from),
+    );
+    if let Some(v) = flag_value(&args, "--rounds") {
+        spec.rounds = parse_or_die(&v, "--rounds");
+    }
+    if let Some(v) = flag_value(&args, "--workers") {
+        spec.workers = parse_or_die(&v, "--workers");
+    }
+
+    println!(
+        "X18: pinned-trace replay ({}, best of {})\n",
+        spec.trace.display(),
+        spec.rounds.max(1)
+    );
+
+    let (point, report) = replay_bench::run(&spec).unwrap_or_else(|e| {
+        eprintln!("replay bench failed: {e}");
+        std::process::exit(2);
+    });
+
+    println!("{}", report.render());
+    println!(
+        "{}: {} tasks over {} requests, replayed in {} ({:.0} tasks/s)",
+        point.name,
+        point.tasks,
+        report.sent,
+        fmt_seconds(point.schedule_seconds),
+        point.tasks_per_second
+    );
+
+    if point.makespan_ratio_vs_reference != Some(1.0) {
+        eprintln!("FATAL: replayed replies diverged from the recorded trace");
+        std::process::exit(1);
+    }
+    println!("every deterministic reply matched its recorded digest.");
+
+    let points = vec![point];
+    if let Some(path) = flag_value(&args, "--json") {
+        let text = kernel_bench::to_json_named("replay", &points);
+        if path == "-" {
+            print!("{text}");
+        } else {
+            std::fs::write(&path, &text).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            });
+            println!("\nwrote {path}");
+        }
+    }
+
+    if let Some(path) = flag_value(&args, "--baseline") {
+        let max_regression = flag_value(&args, "--max-regression")
+            .map_or(DEFAULT_MAX_REGRESSION, |v| {
+                parse_or_die(&v, "--max-regression")
+            });
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        let baseline = kernel_bench::parse_report(&text).unwrap_or_else(|e| {
+            eprintln!("invalid baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        println!(
+            "\nregression gate vs {path} (tolerance {:.0}%):",
+            max_regression * 100.0
+        );
+        match kernel_bench::regression_gate(&points, &baseline, max_regression) {
+            Ok(lines) => {
+                for line in lines {
+                    println!("  {line}");
+                }
+            }
+            Err(e) => {
+                eprintln!("REGRESSION: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Experiment X18 companion: trace-replay throughput against the pinned
+//! committed trace.
+//!
+//! The `replay` bench bin loads a journal trace recorded by
+//! `flb record` (the repo pins one under `tests/traces/pinned/`), serves
+//! a throwaway in-process daemon, replays every recorded request at full
+//! speed with reply-equivalence checking on, and fixes the result in a
+//! `BENCH_10.json` artifact that CI re-measures and gates — the same
+//! [`crate::kernel_bench::SCHEMA`] document, parser and
+//! [`crate::kernel_bench::regression_gate`] as the kernel trajectory, so
+//! one JSON toolchain covers both floors.
+//!
+//! The datapoint reuses [`KernelDatapoint`] with trace semantics:
+//! `tasks` is the total task count across recorded requests,
+//! `build_seconds` is the trace-load time, `schedule_seconds` the
+//! best-of-N replay wall time, and `makespan` the sum of locally
+//! recomputed schedule makespans (a stable property of the trace, not of
+//! the run). `makespan_ratio_vs_reference` is the equivalence canary:
+//! `1.0` iff every deterministic record's reply digest matched the
+//! recording, `0.0` otherwise — the bin treats anything but `1.0` as
+//! fatal, exactly like the kernel's bit-exactness check.
+
+use crate::kernel_bench::KernelDatapoint;
+use crate::mem::peak_rss_kb;
+use flb_service::journal::read_trace;
+use flb_service::proto::{decode_request, Request};
+use flb_service::replay::{replay_records, trace_local_makespan, trace_task_count};
+use flb_service::{serve, Endpoint, JournalRecord, ReplayConfig, ReplayReport, ServiceConfig};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Stable name of the pinned-trace datapoint (the baseline-matching key).
+pub const DATAPOINT_NAME: &str = "pinned-replay";
+
+/// Workload-family label carried by replay datapoints.
+pub const FAMILY: &str = "trace";
+
+/// One replay benchmark configuration.
+#[derive(Clone, Debug)]
+pub struct ReplayBenchSpec {
+    /// Trace to replay: a journal segment file or a directory of them.
+    pub trace: PathBuf,
+    /// Replay rounds; the reported wall time is the best round (the CI
+    /// gate compares throughputs across machines, and a single daemon
+    /// round is noisy enough to trip a 25% tolerance on its own).
+    pub rounds: usize,
+    /// Worker threads of the throwaway daemon.
+    pub workers: usize,
+}
+
+impl ReplayBenchSpec {
+    /// The CI configuration: the committed pinned trace, best-of-three.
+    #[must_use]
+    pub fn pinned(trace: PathBuf) -> Self {
+        ReplayBenchSpec {
+            trace,
+            rounds: 3,
+            workers: 2,
+        }
+    }
+}
+
+/// Trace-wide shape counters: total edges and the widest machine.
+fn trace_shape(records: &[JournalRecord]) -> (usize, usize) {
+    let mut edges = 0usize;
+    let mut procs = 0usize;
+    for rec in records {
+        if let Ok(Request::Schedule { request, .. }) = decode_request(&rec.request) {
+            edges = edges.saturating_add(request.graph.num_edges());
+            procs = procs.max(request.machine.num_procs());
+        }
+    }
+    (edges, procs)
+}
+
+/// Runs the replay benchmark: loads the trace, serves an in-process
+/// daemon, replays `rounds` times, and returns the datapoint plus the
+/// final round's replay report (for rendering).
+///
+/// # Errors
+///
+/// Returns a message when the trace is unreadable or empty, or the
+/// daemon cannot start.
+pub fn run(spec: &ReplayBenchSpec) -> Result<(KernelDatapoint, ReplayReport), String> {
+    let t0 = Instant::now();
+    let records = read_trace(&spec.trace)
+        .map_err(|e| format!("cannot read trace {}: {e}", spec.trace.display()))?;
+    let build_seconds = t0.elapsed().as_secs_f64();
+    if records.is_empty() {
+        return Err(format!("trace {} is empty", spec.trace.display()));
+    }
+
+    let tasks = trace_task_count(&records);
+    let makespan = trace_local_makespan(&records);
+    let (edges, procs) = trace_shape(&records);
+
+    let handle = serve(
+        &Endpoint::parse("127.0.0.1:0"),
+        ServiceConfig {
+            workers: spec.workers.max(1),
+            ..ServiceConfig::default()
+        },
+    )
+    .map_err(|e| format!("cannot start replay daemon: {e}"))?;
+    let endpoint = handle.endpoint();
+
+    let cfg = ReplayConfig {
+        speed: 0.0,
+        check: true,
+    };
+    let mut schedule_seconds = f64::INFINITY;
+    let mut clean = true;
+    let mut report = None;
+    for _ in 0..spec.rounds.max(1) {
+        let t1 = Instant::now();
+        let r = replay_records(&endpoint, &records, &cfg);
+        schedule_seconds = schedule_seconds.min(t1.elapsed().as_secs_f64());
+        clean = clean && r.ok();
+        report = Some(r);
+    }
+    handle.shutdown();
+    handle.join();
+    let report = report.ok_or("no replay round ran")?;
+
+    let point = KernelDatapoint {
+        name: DATAPOINT_NAME.to_string(),
+        family: FAMILY.to_string(),
+        tasks: usize::try_from(tasks).unwrap_or(usize::MAX),
+        edges,
+        procs,
+        ccr: 0.0,
+        // The trace carries its own generation seed; the datapoint field
+        // is informational only and never matched by the gate.
+        seed: 0,
+        build_seconds,
+        schedule_seconds,
+        tasks_per_second: tasks as f64 / schedule_seconds,
+        makespan,
+        makespan_ratio_vs_reference: Some(if clean { 1.0 } else { 0.0 }),
+        peak_rss_kb: peak_rss_kb(),
+    };
+    Ok((point, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel_bench::{parse_report, regression_gate, to_json_named};
+    use flb_core::{schedule_request, AlgorithmId, ScheduleRequest};
+    use flb_sched::Machine;
+    use flb_service::journal::write_trace;
+    use flb_service::proto::encode_request;
+
+    fn tiny_trace(dir: &std::path::Path) -> usize {
+        let _ = std::fs::remove_dir_all(dir);
+        let recs: Vec<JournalRecord> = (0..4u64)
+            .map(|i| {
+                let req = ScheduleRequest::new(
+                    AlgorithmId::Flb,
+                    flb_graph::paper::fig1(),
+                    Machine::new(2),
+                );
+                let schedule = schedule_request(&req);
+                let payload = encode_request(&Request::Schedule {
+                    request: Box::new(req),
+                    deadline_ms: 0,
+                    tenant: String::new(),
+                });
+                JournalRecord::served(i * 1000, 1, &schedule, payload)
+            })
+            .collect();
+        write_trace(dir, &recs, 64 << 10).expect("write trace");
+        recs.len()
+    }
+
+    #[test]
+    fn pinned_replay_datapoint_round_trips_through_the_artifact_toolchain() {
+        let dir = std::env::temp_dir().join(format!("flb-replay-bench-{}", std::process::id()));
+        let n = tiny_trace(&dir);
+        let spec = ReplayBenchSpec {
+            trace: dir.clone(),
+            rounds: 1,
+            workers: 2,
+        };
+        let (point, report) = run(&spec).expect("bench runs");
+        assert_eq!(report.sent, n as u64);
+        assert!(report.ok(), "replay must match its own trace: {report:?}");
+        assert_eq!(point.name, DATAPOINT_NAME);
+        assert_eq!(point.family, FAMILY);
+        assert!(point.tasks > 0 && point.edges > 0 && point.procs == 2);
+        assert_eq!(point.makespan_ratio_vs_reference, Some(1.0));
+        assert!(point.tasks_per_second > 0.0);
+
+        // The datapoint flows through the shared JSON artifact machinery.
+        let text = to_json_named("replay", std::slice::from_ref(&point));
+        let parsed = parse_report(&text).expect("artifact parses");
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].name, DATAPOINT_NAME);
+        let gate = regression_gate(&parsed, &[point], 0.25).expect("self-gate passes");
+        assert!(gate[0].contains("ok"), "gate line: {}", gate[0]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_and_empty_traces_are_reported_not_panicked() {
+        let spec = ReplayBenchSpec::pinned(PathBuf::from("/nonexistent/trace"));
+        let err = run(&spec).unwrap_err();
+        assert!(err.contains("cannot read trace"), "got: {err}");
+    }
+}

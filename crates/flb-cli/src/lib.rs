@@ -105,14 +105,22 @@ USAGE:
                 [--tenant-quota RATE[:BURST]] [--shed-policy POLICY]
                 [--reserved-slots N] [--tenant-backlog-cap N]
                 [--breaker-threshold N] [--breaker-cooldown-ms T]
-                [--chaos-markers]
+                [--record DIR] [--journal-sync none|interval[:MS]|always]
+                [--journal-segment-bytes N] [--journal-queue N]
+                [--journal-stall-ms T] [--chaos-markers]
   flb submit    [--listen ADDR] <graph opts> [--alg A] [--procs P | --speeds ...]
                 [--tenant NAME] [--deadline-ms T] [--repeat N] [--retries N]
                 [--check] [--save FILE] | --ping | --stats | --shutdown
+  flb stats     [--listen ADDR] [--format text|json]
+  flb record    --out DIR [--offline | --listen ADDR] [--requests N]
+                [--seed S] [--spacing-us T] [--segment-bytes N]
+  flb replay    --trace PATH [--listen ADDR | --spawn] [--speed F]
+                [--no-check]
   flb chaos     [--listen ADDR] [--seed S] [--scenarios N] [--flood N]
                 [--probe-every N] [--inject-panics] [--expect-workers N]
                 [--tenant-chaos] [--flood-threads N] [--flood-ms T]
-                [--probe-requests N]
+                [--probe-requests N] [--trace PATH]
+                [--expect-journal-drops] [--format text|json]
   flb kernel-bench [--tasks N] [--family lu|cholesky|layered] [--procs P]
                 [--ccr X] [--seed S] [--no-reference] [--format text|json]
   flb par-bench [--tasks N] [--family lu|cholesky|layered] [--procs P]
@@ -136,7 +144,15 @@ SERVICE OPTIONS: --listen takes `HOST:PORT` (default 127.0.0.1:7171) or
   anonymous tenants. `--chaos-markers` honors the chaos panic-injection
   graph names and belongs in test rigs only; `chaos --tenant-chaos`
   adds tenant floods, quota edges, breaker flapping and the measured
-  isolation invariant to a chaos run.
+  isolation invariant to a chaos run. `serve --record DIR` journals every
+  served schedule request to crash-safe segment files (off the request
+  path: a stalled disk drops journal records, visibly in `stats`, never
+  a client); --journal-sync picks the fsync policy (default
+  interval:100). `record --offline` writes a seed-regenerable trace;
+  `replay --trace` re-sends a trace and verifies deterministic replies
+  are byte-identical. `chaos --trace` mutates recorded frames instead of
+  synthetic ones; `--expect-journal-drops` asserts the stalled-journal
+  invariant against a `--journal-stall-ms` rig.
 
 MACHINE OPTIONS (schedule/compare): --procs P for the paper's homogeneous
   machine, or --speeds 1,1,2,4 for related processors (integer slowdowns).
@@ -278,6 +294,9 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "report" => cmd_report(&a),
         "serve" => cmd_serve(&a),
         "submit" => cmd_submit(&a),
+        "stats" => cmd_stats(&a),
+        "record" => cmd_record(&a),
+        "replay" => cmd_replay(&a),
         "chaos" => cmd_chaos(&a),
         "kernel-bench" => cmd_kernel_bench(&a),
         "par-bench" => cmd_par_bench(&a),
@@ -825,6 +844,12 @@ fn cmd_serve(a: &Args<'_>) -> Result<String, CliError> {
         tenant_backlog_cap: a.parsed("--tenant-backlog-cap", defaults.tenant_backlog_cap)?,
         breaker_threshold: a.parsed("--breaker-threshold", defaults.breaker_threshold)?,
         breaker_cooldown_ms: a.parsed("--breaker-cooldown-ms", defaults.breaker_cooldown_ms)?,
+        record_dir: a.value("--record").map(std::path::PathBuf::from),
+        journal_sync: a.parsed("--journal-sync", defaults.journal_sync)?,
+        journal_segment_bytes: a
+            .parsed("--journal-segment-bytes", defaults.journal_segment_bytes)?,
+        journal_queue: a.parsed("--journal-queue", defaults.journal_queue)?,
+        journal_stall_ms: a.parsed("--journal-stall-ms", defaults.journal_stall_ms)?,
         ..defaults
     };
     let workers = cfg.workers;
@@ -977,17 +1002,179 @@ fn cmd_chaos(a: &Args<'_>) -> Result<String, CliError> {
         flood_ms: a.parsed("--flood-ms", defaults.flood_ms)?,
         probe_requests: a.parsed("--probe-requests", defaults.probe_requests)?,
         isolation_floor_us: defaults.isolation_floor_us,
+        trace: a.value("--trace").map(std::path::PathBuf::from),
+        expect_journal_drops: a.flag("--expect-journal-drops"),
     };
     if cfg.scenarios == 0 {
         return Err(err("--scenarios must be at least 1"));
     }
+    let format = a.value("--format").unwrap_or("text");
+    if format != "text" && format != "json" {
+        return Err(err(format!(
+            "unknown --format '{format}' (expected text or json)"
+        )));
+    }
     let report = flb_service::chaos::run(&endpoint, &cfg)
         .map_err(|e| err(format!("chaos run against {endpoint} failed: {e}")))?;
     let mut out = String::new();
-    let _ = writeln!(out, "endpoint        {endpoint}");
-    let _ = writeln!(out, "seed            {}", cfg.seed);
-    out.push_str(&report.render());
+    if format == "json" {
+        out.push_str(&report.render_json());
+    } else {
+        let _ = writeln!(out, "endpoint        {endpoint}");
+        let _ = writeln!(out, "seed            {}", cfg.seed);
+        out.push_str(&report.render());
+    }
     if report.passed() {
+        Ok(out)
+    } else {
+        Err(err(out))
+    }
+}
+
+/// `stats`: fetch the daemon's live counters, as text or stable JSON.
+fn cmd_stats(a: &Args<'_>) -> Result<String, CliError> {
+    let endpoint = load_endpoint(a);
+    let stats = flb_service::Client::connect(&endpoint)
+        .and_then(|mut c| c.stats())
+        .map_err(|e| err(format!("stats from {endpoint} failed: {e}")))?;
+    match a.value("--format").unwrap_or("text") {
+        "json" => Ok(stats.render_json()),
+        "text" => Ok(stats.render()),
+        other => Err(err(format!(
+            "unknown --format '{other}' (expected text or json)"
+        ))),
+    }
+}
+
+/// Deterministic, seeded schedule-request payloads for trace generation:
+/// same seed, same byte-identical sequence, every run, every machine.
+fn trace_requests(seed: u64, n: u32) -> Vec<flb_core::ScheduleRequest> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let graph = match rng.random_range(0..3u32) {
+            0 => flb_graph::gen::chain(rng.random_range(3..12usize)),
+            1 => {
+                flb_graph::gen::fork_join(rng.random_range(2..6usize), rng.random_range(1..4usize))
+            }
+            _ => flb_graph::gen::independent(rng.random_range(3..9usize)),
+        };
+        let alg = match rng.random_range(0..3u32) {
+            0 => flb_core::AlgorithmId::Flb,
+            1 => flb_core::AlgorithmId::Etf,
+            _ => flb_core::AlgorithmId::Mcp,
+        };
+        let machine = Machine::new(rng.random_range(2..5usize));
+        out.push(flb_core::ScheduleRequest::new(alg, graph, machine));
+    }
+    out
+}
+
+/// `record`: produce a replayable trace in the journal segment format.
+///
+/// With `--offline` (the pinned-trace path) requests are scheduled
+/// locally — the trace is byte-for-byte regenerable from its seed, with
+/// synthetic `--spacing-us` timestamps and no wallclock anywhere.
+/// Without it, the generated requests are submitted to a live daemon
+/// and the recorded digests are of the replies *it* served.
+fn cmd_record(a: &Args<'_>) -> Result<String, CliError> {
+    let Some(out_dir) = a.value("--out") else {
+        return Err(err("record: missing --out DIR for the trace"));
+    };
+    let n: u32 = a.parsed("--requests", 64)?;
+    if n == 0 {
+        return Err(err("--requests must be at least 1"));
+    }
+    let seed: u64 = a.parsed("--seed", 1999)?;
+    let spacing_us: u64 = a.parsed("--spacing-us", 2_000)?;
+    let segment_bytes: u64 = a.parsed("--segment-bytes", 64 << 10)?;
+    let offline = a.flag("--offline");
+
+    let mut live = if offline {
+        None
+    } else {
+        let endpoint = load_endpoint(a);
+        Some(
+            flb_service::Client::connect(&endpoint)
+                .map_err(|e| err(format!("cannot connect to {endpoint}: {e}")))?,
+        )
+    };
+
+    let mut records = Vec::with_capacity(n as usize);
+    for (i, request) in trace_requests(seed, n).into_iter().enumerate() {
+        let payload = flb_service::proto::encode_request(&flb_service::Request::Schedule {
+            request: Box::new(request.clone()),
+            deadline_ms: 0,
+            tenant: String::new(),
+        });
+        let ts_us = i as u64 * spacing_us;
+        let schedule = match live.as_mut() {
+            None => flb_core::schedule_request(&request),
+            Some(client) => {
+                match client
+                    .schedule_with_retry(request.algorithm, &request.graph, &request.machine, 0, 10)
+                    .map_err(|e| err(format!("record: request {i} failed: {e}")))?
+                {
+                    flb_service::Submission::Done(reply) => reply.schedule,
+                    other => {
+                        return Err(err(format!(
+                            "record: request {i} was not served ({other:?}); record against an idle daemon"
+                        )))
+                    }
+                }
+            }
+        };
+        records.push(flb_service::JournalRecord::served(
+            ts_us, 1, &schedule, payload,
+        ));
+    }
+    let dir = std::path::Path::new(out_dir);
+    let segments = flb_service::journal::write_trace(dir, &records, segment_bytes)
+        .map_err(|e| err(format!("cannot write trace to {out_dir}: {e}")))?;
+    Ok(format!(
+        "recorded {} requests into {} segment(s) at {} (seed {}, {})\n",
+        records.len(),
+        segments,
+        out_dir,
+        seed,
+        if offline { "offline" } else { "live" },
+    ))
+}
+
+/// `replay`: drive a daemon with a recorded trace and verify that
+/// deterministic replies are byte-identical to the recording.
+fn cmd_replay(a: &Args<'_>) -> Result<String, CliError> {
+    let Some(trace) = a.value("--trace") else {
+        return Err(err(
+            "replay: missing --trace PATH (journal dir or segment file)",
+        ));
+    };
+    let cfg = flb_service::ReplayConfig {
+        speed: a.parsed("--speed", 0.0)?,
+        check: !a.flag("--no-check"),
+    };
+    // --spawn serves a throwaway in-process daemon for the run — the
+    // one-command way to check a trace still replays cleanly.
+    let (endpoint, spawned) = if a.flag("--spawn") {
+        let handle = flb_service::serve(
+            &flb_service::Endpoint::parse("127.0.0.1:0"),
+            flb_service::ServiceConfig::default(),
+        )
+        .map_err(|e| err(format!("cannot spawn replay daemon: {e}")))?;
+        (handle.endpoint(), Some(handle))
+    } else {
+        (load_endpoint(a), None)
+    };
+    let report = flb_service::replay_trace(&endpoint, std::path::Path::new(trace), &cfg)
+        .map_err(|e| err(format!("replay of {trace} failed: {e}")))?;
+    if let Some(handle) = spawned {
+        handle.shutdown();
+        handle.join();
+    }
+    let out = report.render();
+    if report.ok() {
         Ok(out)
     } else {
         Err(err(out))
@@ -1277,6 +1464,214 @@ mod tests {
         );
         assert_eq!(total as usize, findings.len());
         assert_eq!(waived + unwaived, total);
+    }
+
+    /// `flb record --offline` and `flb replay --spawn` are a closed loop:
+    /// the trace is byte-for-byte regenerable from its seed and replays
+    /// with every deterministic reply digest matching.
+    #[test]
+    fn record_and_replay_round_trip_via_cli() {
+        let base = std::env::temp_dir().join(format!("flb-cli-trace-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let dir_a = base.join("a");
+        let dir_b = base.join("b");
+        let a = dir_a.to_str().unwrap().to_string();
+        let b = dir_b.to_str().unwrap().to_string();
+
+        let out = run_str(&[
+            "record",
+            "--offline",
+            "--out",
+            &a,
+            "--requests",
+            "12",
+            "--seed",
+            "42",
+        ])
+        .unwrap();
+        assert!(out.contains("recorded 12 requests"), "{out}");
+
+        // The pinned-trace contract: same seed, same bytes, every run.
+        run_str(&[
+            "record",
+            "--offline",
+            "--out",
+            &b,
+            "--requests",
+            "12",
+            "--seed",
+            "42",
+        ])
+        .unwrap();
+        let seg = flb_service::journal::segment_file_name(1);
+        assert_eq!(
+            std::fs::read(dir_a.join(&seg)).unwrap(),
+            std::fs::read(dir_b.join(&seg)).unwrap(),
+            "offline traces must be byte-identical across runs"
+        );
+
+        let replayed = run_str(&["replay", "--trace", &a, "--spawn"]).unwrap();
+        assert!(replayed.contains("sent        12"), "{replayed}");
+        assert!(replayed.contains("mismatched  0"), "{replayed}");
+
+        // Flag validation: both commands name their missing argument.
+        assert!(run_str(&["record", "--offline"])
+            .unwrap_err()
+            .to_string()
+            .contains("--out"));
+        assert!(run_str(&["replay", "--spawn"])
+            .unwrap_err()
+            .to_string()
+            .contains("--trace"));
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    /// `flb stats --format json` and `flb chaos --format json` emit the
+    /// stable `flb-service-stats/v1` / `flb-chaos/v1` schemas, parsed
+    /// here with the bench JSON reader (the same one CI tooling uses).
+    #[test]
+    fn stats_and_chaos_json_schemas_are_stable() {
+        use flb_bench::json::{parse, Value};
+
+        let base = std::env::temp_dir().join(format!("flb-cli-json-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        let sock = base.join("flb.sock");
+        let listen = format!("unix:{}", sock.display());
+        let record_dir = base.join("journal");
+        let record = record_dir.to_str().unwrap().to_string();
+
+        let server = {
+            let listen = listen.clone();
+            let record = record.clone();
+            std::thread::spawn(move || {
+                run_str(&[
+                    "serve",
+                    "--listen",
+                    &listen,
+                    "--workers",
+                    "2",
+                    "--record",
+                    &record,
+                    "--journal-sync",
+                    "always",
+                ])
+            })
+        };
+        let mut ready = false;
+        for _ in 0..200 {
+            if run_str(&["submit", "--listen", &listen, "--ping"]).is_ok() {
+                ready = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert!(ready, "daemon never became reachable on {listen}");
+        run_str(&[
+            "submit", "--listen", &listen, "--fig1", "--alg", "flb", "--procs", "2",
+        ])
+        .unwrap();
+
+        // The journal hand-off is asynchronous, so poll until the writer
+        // has drained the append before sampling the schema.
+        let mut out = String::new();
+        for _ in 0..200 {
+            out = run_str(&["stats", "--listen", &listen, "--format", "json"]).unwrap();
+            if parse(&out)
+                .ok()
+                .and_then(|v| v.get("journal_appended").and_then(Value::as_u64))
+                == Some(1)
+            {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let v = parse(&out).expect("stats emits valid JSON");
+        assert_eq!(
+            v.get("schema").and_then(Value::as_str),
+            Some("flb-service-stats/v1")
+        );
+        for key in [
+            "requests",
+            "schedule_requests",
+            "p50_us",
+            "p99_us",
+            "journal_appended",
+            "journal_dropped",
+            "journal_bytes",
+            "journal_segments",
+            "journal_recovered",
+            "journal_truncated_bytes",
+            "journal_quarantined",
+            "quarantine_pruned",
+        ] {
+            assert!(
+                v.get(key).and_then(Value::as_u64).is_some(),
+                "stats JSON missing counter {key:?}: {out}"
+            );
+        }
+        assert!(v.get("hit_rate").and_then(Value::as_f64).is_some());
+        assert!(v.get("overload_state").and_then(Value::as_str).is_some());
+        assert!(v.get("per_algorithm").and_then(Value::as_array).is_some());
+        // The daemon records, so the served request reached the journal.
+        assert_eq!(v.get("journal_appended").and_then(Value::as_u64), Some(1));
+
+        // Chaos with a recorded corpus, reported as JSON.
+        let trace_dir = base.join("trace");
+        let trace = trace_dir.to_str().unwrap().to_string();
+        run_str(&[
+            "record",
+            "--offline",
+            "--out",
+            &trace,
+            "--requests",
+            "10",
+            "--seed",
+            "7",
+        ])
+        .unwrap();
+        let out = run_str(&[
+            "chaos",
+            "--listen",
+            &listen,
+            "--seed",
+            "5",
+            "--scenarios",
+            "30",
+            "--flood-ms",
+            "300",
+            "--probe-requests",
+            "6",
+            "--trace",
+            &trace,
+            "--format",
+            "json",
+        ])
+        .unwrap();
+        let v = parse(&out).expect("chaos emits valid JSON");
+        assert_eq!(
+            v.get("schema").and_then(Value::as_str),
+            Some("flb-chaos/v1")
+        );
+        assert_eq!(v.get("passed"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("trace_frames").and_then(Value::as_u64), Some(10));
+        for key in ["scenarios", "torn_frames", "floods", "probes_ok"] {
+            assert!(
+                v.get(key).and_then(Value::as_u64).is_some(),
+                "chaos JSON missing counter {key:?}: {out}"
+            );
+        }
+        assert_eq!(
+            v.get("failures")
+                .and_then(Value::as_array)
+                .map(<[Value]>::len),
+            Some(0),
+            "{out}"
+        );
+
+        run_str(&["submit", "--listen", &listen, "--shutdown"]).unwrap();
+        server.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(&base);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! run is reproducible from its seed alone.
 
 use crate::client::{Client, Submission};
+use crate::journal;
 use crate::proto::{encode_request, read_response, Request, MAGIC, MAX_FRAME};
 use crate::server::{Endpoint, HARD_PANIC_MARKER, PANIC_MARKER};
 use flb_core::{AlgorithmId, ScheduleRequest};
@@ -30,6 +31,7 @@ use rand::{Rng, SeedableRng};
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -67,6 +69,16 @@ pub struct ChaosConfig {
     /// `flooded_p99 <= 3 * max(baseline_p99, floor)`, so a near-zero
     /// unloaded baseline does not make the bound impossibly tight.
     pub isolation_floor_us: u64,
+    /// Recorded trace (journal directory or single segment) used as the
+    /// mutation corpus: the torn/partial/disconnect/corruption scenarios
+    /// then maul *real recorded traffic* instead of synthetic frames.
+    pub trace: Option<PathBuf>,
+    /// Run the stalled-journal scenario and require the daemon's journal
+    /// drop counter to move. Only meaningful against a daemon started
+    /// with `--record` and a deliberately slowed writer
+    /// (`--journal-stall-ms`): it proves the journal sheds records under
+    /// disk stall while every client request keeps being served.
+    pub expect_journal_drops: bool,
 }
 
 impl Default for ChaosConfig {
@@ -83,6 +95,8 @@ impl Default for ChaosConfig {
             flood_ms: 2_000,
             probe_requests: 30,
             isolation_floor_us: 50_000,
+            trace: None,
+            expect_journal_drops: false,
         }
     }
 }
@@ -124,6 +138,12 @@ pub struct ChaosReport {
     pub probe_shed: u64,
     /// Well-formed probes that were served correctly.
     pub probes_ok: u64,
+    /// Recorded frames loaded as the mutation corpus (0 = synthetic).
+    pub trace_frames: u64,
+    /// Stalled-journal probe bursts executed.
+    pub journal_probes: u64,
+    /// The daemon's journal drop counter after the stalled-journal burst.
+    pub journal_dropped_seen: u64,
     /// Invariant violations; an empty list means the run passed.
     pub failures: Vec<String>,
 }
@@ -176,13 +196,67 @@ impl ChaosReport {
         let _ = writeln!(out, "flooded p99 us  {}", self.flooded_p99_us);
         let _ = writeln!(out, "probe shed      {}", self.probe_shed);
         let _ = writeln!(out, "probes ok       {}", self.probes_ok);
+        let _ = writeln!(out, "trace frames    {}", self.trace_frames);
+        let _ = writeln!(out, "journal probes  {}", self.journal_probes);
+        let _ = writeln!(out, "journal dropped {}", self.journal_dropped_seen);
         let _ = writeln!(out, "failures        {}", self.failures.len());
         for f in &self.failures {
             let _ = writeln!(out, "  FAIL: {f}");
         }
         out
     }
+
+    /// Renders the report as a single stable-schema JSON object
+    /// (`flb-chaos/v1`), for machine consumption in CI.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"schema\": \"{CHAOS_SCHEMA}\",");
+        let _ = writeln!(out, "  \"scenarios\": {},", self.scenarios_run());
+        let _ = writeln!(out, "  \"torn_frames\": {},", self.torn_frames);
+        let _ = writeln!(out, "  \"partial_writes\": {},", self.partial_writes);
+        let _ = writeln!(out, "  \"disconnects\": {},", self.disconnects);
+        let _ = writeln!(out, "  \"corruptions\": {},", self.corruptions);
+        let _ = writeln!(out, "  \"floods\": {},", self.floods);
+        let _ = writeln!(out, "  \"deadline_storms\": {},", self.deadline_storms);
+        let _ = writeln!(out, "  \"oversize_frames\": {},", self.oversize_frames);
+        let _ = writeln!(out, "  \"panics_injected\": {},", self.panics_injected);
+        let _ = writeln!(out, "  \"hard_kills\": {},", self.hard_kills);
+        let _ = writeln!(out, "  \"tenant_floods\": {},", self.tenant_floods);
+        let _ = writeln!(out, "  \"quota_edges\": {},", self.quota_edges);
+        let _ = writeln!(out, "  \"breaker_flaps\": {},", self.breaker_flaps);
+        let _ = writeln!(
+            out,
+            "  \"priority_inversions\": {},",
+            self.priority_inversions
+        );
+        let _ = writeln!(out, "  \"baseline_p99_us\": {},", self.baseline_p99_us);
+        let _ = writeln!(out, "  \"flooded_p99_us\": {},", self.flooded_p99_us);
+        let _ = writeln!(out, "  \"probe_shed\": {},", self.probe_shed);
+        let _ = writeln!(out, "  \"probes_ok\": {},", self.probes_ok);
+        let _ = writeln!(out, "  \"trace_frames\": {},", self.trace_frames);
+        let _ = writeln!(out, "  \"journal_probes\": {},", self.journal_probes);
+        let _ = writeln!(
+            out,
+            "  \"journal_dropped_seen\": {},",
+            self.journal_dropped_seen
+        );
+        let _ = writeln!(out, "  \"passed\": {},", self.passed());
+        let _ = write!(out, "  \"failures\": [");
+        for (i, f) in self.failures.iter().enumerate() {
+            let sep = if i == 0 { "" } else { ", " };
+            let _ = write!(out, "{sep}{}", crate::metrics::json_str(f));
+        }
+        let _ = writeln!(out, "]");
+        let _ = writeln!(out, "}}");
+        out
+    }
 }
+
+/// Stable identifier of the chaos JSON schema.
+pub const CHAOS_SCHEMA: &str = "flb-chaos/v1";
 
 /// A raw (frame-level) connection for hostile traffic.
 enum Raw {
@@ -303,16 +377,34 @@ fn unique_graph(name: &str, tasks: usize) -> TaskGraph {
     b.build().expect("unique graph")
 }
 
-fn scenario_torn_frame(rng: &mut StdRng, endpoint: &Endpoint) -> io::Result<()> {
-    let bytes = frame_bytes(&ordinary_request(rng, 0));
+/// A base frame for the byte-mutation scenarios: a recorded production
+/// frame when a trace corpus is loaded, a synthetic request otherwise.
+fn corpus_frame(rng: &mut StdRng, corpus: &[Vec<u8>]) -> Vec<u8> {
+    if corpus.is_empty() {
+        frame_bytes(&ordinary_request(rng, 0))
+    } else {
+        corpus[rng.random_range(0..corpus.len())].clone()
+    }
+}
+
+fn scenario_torn_frame(
+    rng: &mut StdRng,
+    endpoint: &Endpoint,
+    corpus: &[Vec<u8>],
+) -> io::Result<()> {
+    let bytes = corpus_frame(rng, corpus);
     let cut = rng.random_range(1..bytes.len());
     let mut conn = Raw::connect(endpoint)?;
     conn.write_all(&bytes[..cut])?;
     Ok(()) // dropped mid-frame
 }
 
-fn scenario_partial_write(rng: &mut StdRng, endpoint: &Endpoint) -> io::Result<()> {
-    let bytes = frame_bytes(&ordinary_request(rng, 0));
+fn scenario_partial_write(
+    rng: &mut StdRng,
+    endpoint: &Endpoint,
+    corpus: &[Vec<u8>],
+) -> io::Result<()> {
+    let bytes = corpus_frame(rng, corpus);
     let cut = rng.random_range(1..bytes.len());
     let mut conn = Raw::connect(endpoint)?;
     let mut sent = 0;
@@ -327,8 +419,12 @@ fn scenario_partial_write(rng: &mut StdRng, endpoint: &Endpoint) -> io::Result<(
     Ok(()) // trickled, then abandoned
 }
 
-fn scenario_disconnect(rng: &mut StdRng, endpoint: &Endpoint) -> io::Result<()> {
-    let bytes = frame_bytes(&ordinary_request(rng, 0));
+fn scenario_disconnect(
+    rng: &mut StdRng,
+    endpoint: &Endpoint,
+    corpus: &[Vec<u8>],
+) -> io::Result<()> {
+    let bytes = corpus_frame(rng, corpus);
     let mut conn = Raw::connect(endpoint)?;
     conn.write_all(&bytes)?;
     // Hang up without reading the reply: the server's write hits a
@@ -336,8 +432,12 @@ fn scenario_disconnect(rng: &mut StdRng, endpoint: &Endpoint) -> io::Result<()> 
     Ok(())
 }
 
-fn scenario_corruption(rng: &mut StdRng, endpoint: &Endpoint) -> io::Result<()> {
-    let mut bytes = frame_bytes(&ordinary_request(rng, 0));
+fn scenario_corruption(
+    rng: &mut StdRng,
+    endpoint: &Endpoint,
+    corpus: &[Vec<u8>],
+) -> io::Result<()> {
+    let mut bytes = corpus_frame(rng, corpus);
     for _ in 0..rng.random_range(1..=4u32) {
         let i = rng.random_range(0..bytes.len());
         bytes[i] ^= 1 << rng.random_range(0..8u32);
@@ -710,6 +810,48 @@ fn isolation_experiment(endpoint: &Endpoint, cfg: &ChaosConfig, report: &mut Cha
     }
 }
 
+/// The stalled-journal invariant: against a daemon whose journal writer
+/// is deliberately slowed (`--journal-stall-ms`), a burst of journaled
+/// schedule requests must all be served — the bounded hand-off sheds
+/// *records*, visibly in the drop counter, never *clients*.
+fn scenario_stalled_journal(rng: &mut StdRng, endpoint: &Endpoint, report: &mut ChaosReport) {
+    report.journal_probes += 1;
+    let outcome = (|| -> io::Result<()> {
+        let mut client = Client::connect_as(endpoint, "chaos-journal")?;
+        let t0 = Instant::now();
+        for _ in 0..48 {
+            let graph = unique_graph("journal-stall", rng.random_range(3..7usize));
+            if let Err(e) = client.schedule(AlgorithmId::Flb, graph, Machine::new(2), 0) {
+                report
+                    .failures
+                    .push(format!("stalled journal: request failed: {e}"));
+                return Ok(());
+            }
+        }
+        if t0.elapsed() > Duration::from_secs(5) {
+            report.failures.push(format!(
+                "stalled journal: 48 requests took {:?} — journaling is on the request path",
+                t0.elapsed()
+            ));
+        }
+        let stats = Client::connect(endpoint).and_then(|mut c| c.stats())?;
+        report.journal_dropped_seen = stats.journal_dropped;
+        if stats.journal_dropped == 0 {
+            report.failures.push(
+                "stalled journal: drop counter never moved — the stall was not absorbed \
+                 by the bounded queue"
+                    .to_string(),
+            );
+        }
+        Ok(())
+    })();
+    if let Err(e) = outcome {
+        report
+            .failures
+            .push(format!("stalled-journal probe failed outright: {e}"));
+    }
+}
+
 /// A well-formed client doing a full ping + schedule round trip; its
 /// success is the "keeps serving legitimate traffic" invariant.
 fn probe(endpoint: &Endpoint, report: &mut ChaosReport) {
@@ -779,6 +921,31 @@ pub fn run(endpoint: &Endpoint, cfg: &ChaosConfig) -> io::Result<ChaosReport> {
 
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut report = ChaosReport::default();
+
+    // With a trace configured, the byte-mutation scenarios maul real
+    // recorded frames instead of synthetic ones. An unreadable trace is
+    // a usage error, reported loudly rather than silently degraded.
+    let corpus: Vec<Vec<u8>> = match &cfg.trace {
+        Some(path) => journal::read_trace(path)?
+            .into_iter()
+            .map(|rec| {
+                let mut f = Vec::with_capacity(8 + rec.request.len());
+                f.extend_from_slice(&MAGIC.to_le_bytes());
+                f.extend_from_slice(&(rec.request.len() as u32).to_le_bytes());
+                f.extend_from_slice(&rec.request);
+                f
+            })
+            .collect(),
+        None => Vec::new(),
+    };
+    if cfg.trace.is_some() && corpus.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "chaos trace holds no records",
+        ));
+    }
+    report.trace_frames = corpus.len() as u64;
+
     for i in 0..cfg.scenarios {
         let kinds = if cfg.inject_panics { 9 } else { 7 };
         // Hostile-client I/O errors are expected (the server is allowed to
@@ -786,19 +953,19 @@ pub fn run(endpoint: &Endpoint, cfg: &ChaosConfig) -> io::Result<ChaosReport> {
         let _ = match rng.random_range(0..kinds as u32) {
             0 => {
                 report.torn_frames += 1;
-                scenario_torn_frame(&mut rng, endpoint)
+                scenario_torn_frame(&mut rng, endpoint, &corpus)
             }
             1 => {
                 report.partial_writes += 1;
-                scenario_partial_write(&mut rng, endpoint)
+                scenario_partial_write(&mut rng, endpoint, &corpus)
             }
             2 => {
                 report.disconnects += 1;
-                scenario_disconnect(&mut rng, endpoint)
+                scenario_disconnect(&mut rng, endpoint, &corpus)
             }
             3 => {
                 report.corruptions += 1;
-                scenario_corruption(&mut rng, endpoint)
+                scenario_corruption(&mut rng, endpoint, &corpus)
             }
             4 => {
                 report.floods += 1;
@@ -844,6 +1011,9 @@ pub fn run(endpoint: &Endpoint, cfg: &ChaosConfig) -> io::Result<ChaosReport> {
             probe(endpoint, &mut report);
         }
         isolation_experiment(endpoint, cfg, &mut report);
+    }
+    if cfg.expect_journal_drops {
+        scenario_stalled_journal(&mut rng, endpoint, &mut report);
     }
     probe(endpoint, &mut report);
     await_recovery(endpoint, cfg.expect_workers, &mut report);
@@ -900,6 +1070,37 @@ mod tests {
         assert!(!r.passed());
         assert!(r.render().contains("FAIL: x"));
         assert!(r.render().contains("probe shed      0"));
+    }
+
+    #[test]
+    fn json_report_is_stable_and_escapes_failures() {
+        let mut r = ChaosReport {
+            torn_frames: 3,
+            trace_frames: 12,
+            journal_dropped_seen: 7,
+            ..ChaosReport::default()
+        };
+        r.failures.push("quote \" and \\ slash".into());
+        let json = r.render_json();
+        assert!(json.contains("\"schema\": \"flb-chaos/v1\""));
+        assert!(json.contains("\"torn_frames\": 3"));
+        assert!(json.contains("\"trace_frames\": 12"));
+        assert!(json.contains("\"journal_dropped_seen\": 7"));
+        assert!(json.contains("\"passed\": false"));
+        assert!(json.contains("\\\""));
+        assert!(json.contains("\\\\"));
+    }
+
+    #[test]
+    fn corpus_frames_are_used_verbatim_when_present() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let recorded = vec![vec![1u8, 2, 3, 4, 5, 6, 7, 8, 9]];
+        for _ in 0..8 {
+            assert_eq!(corpus_frame(&mut rng, &recorded), recorded[0]);
+        }
+        // And without a corpus, frames are synthesized with the magic.
+        let synth = corpus_frame(&mut rng, &[]);
+        assert_eq!(u32::from_le_bytes(synth[..4].try_into().unwrap()), MAGIC);
     }
 
     #[test]

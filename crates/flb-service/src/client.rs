@@ -245,7 +245,7 @@ impl Client {
     /// Fetches the live counters.
     pub fn stats(&mut self) -> io::Result<StatsSnapshot> {
         match self.round_trip(&Request::Stats)? {
-            Response::Stats(s) => Ok(s),
+            Response::Stats(s) => Ok(*s),
             resp => Err(unexpected("stats", &resp)),
         }
     }

@@ -46,9 +46,11 @@ pub mod cache;
 pub mod chaos;
 pub mod client;
 pub mod fingerprint;
+pub mod journal;
 pub mod metrics;
 pub mod overload;
 pub mod proto;
+pub mod replay;
 pub mod server;
 pub mod snapshot;
 
@@ -56,10 +58,12 @@ pub use cache::ShardedLru;
 pub use chaos::{ChaosConfig, ChaosReport};
 pub use client::{Client, RetryPolicy, ScheduleReply, Submission};
 pub use fingerprint::{graph_fingerprint, request_fingerprint};
+pub use journal::{JournalCounters, JournalRecord, SyncPolicy};
 pub use metrics::{Gauges, Metrics, StatsSnapshot, TenantStat};
 pub use overload::{
     Breaker, Decision, OverloadConfig, OverloadCtl, OverloadState, ShedPolicy, TenantId,
     TokenBucket,
 };
 pub use proto::{Request, Response};
+pub use replay::{replay_trace, ReplayConfig, ReplayReport};
 pub use server::{serve, Endpoint, ServiceConfig, ServiceHandle, HARD_PANIC_MARKER, PANIC_MARKER};

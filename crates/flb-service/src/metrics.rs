@@ -1,9 +1,11 @@
 //! Live service counters: lock-free atomics updated on every request,
 //! snapshotted on demand by the `stats` protocol request.
 
+use crate::journal::JournalCounters;
 use crate::overload::OverloadState;
 use flb_core::AlgorithmId;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 pub use crate::overload::TenantStat;
 
@@ -103,6 +105,9 @@ pub struct Metrics {
     pub per_algorithm: [AtomicU64; N_ALGS],
     /// End-to-end latency of answered schedule requests.
     pub latency: LatencyHistogram,
+    /// Request-journal counters, shared with the journal writer thread
+    /// and boot recovery (hence the `Arc`).
+    pub journal: Arc<JournalCounters>,
 }
 
 impl Metrics {
@@ -154,6 +159,14 @@ impl Metrics {
                 .map(|a| (a, get(&self.per_algorithm[a.code() as usize])))
                 .collect(),
             per_tenant,
+            journal_appended: get(&self.journal.appended),
+            journal_dropped: get(&self.journal.dropped),
+            journal_bytes: get(&self.journal.bytes),
+            journal_segments: get(&self.journal.segments),
+            journal_recovered: get(&self.journal.recovered),
+            journal_truncated_bytes: get(&self.journal.truncated_bytes),
+            journal_quarantined: get(&self.journal.quarantined),
+            quarantine_pruned: get(&self.journal.pruned),
         }
     }
 }
@@ -239,6 +252,24 @@ pub struct StatsSnapshot {
     pub per_algorithm: Vec<(AlgorithmId, u64)>,
     /// Per-tenant admission counters, aggregated by display name.
     pub per_tenant: Vec<TenantStat>,
+    /// Journal records durably written.
+    pub journal_appended: u64,
+    /// Journal events shed (full queue or failing disk) — never blocks
+    /// a client.
+    pub journal_dropped: u64,
+    /// Journal bytes written, framing included.
+    pub journal_bytes: u64,
+    /// Journal segment files opened since boot.
+    pub journal_segments: u64,
+    /// Intact records found by journal boot recovery.
+    pub journal_recovered: u64,
+    /// Torn-tail bytes truncated by journal boot recovery.
+    pub journal_truncated_bytes: u64,
+    /// Corrupt journal segments quarantined at boot.
+    pub journal_quarantined: u64,
+    /// Old quarantine files (snapshot and journal) pruned under the
+    /// evidence cap.
+    pub quarantine_pruned: u64,
 }
 
 impl StatsSnapshot {
@@ -302,8 +333,132 @@ impl StatsSnapshot {
                 t.wait_p99_us
             );
         }
+        let _ = writeln!(out, "jrnl appended   {}", self.journal_appended);
+        let _ = writeln!(out, "jrnl dropped    {}", self.journal_dropped);
+        let _ = writeln!(out, "jrnl bytes      {}", self.journal_bytes);
+        let _ = writeln!(out, "jrnl segments   {}", self.journal_segments);
+        let _ = writeln!(out, "jrnl recovered  {}", self.journal_recovered);
+        let _ = writeln!(out, "jrnl truncated  {}", self.journal_truncated_bytes);
+        let _ = writeln!(out, "jrnl quarantine {}", self.journal_quarantined);
+        let _ = writeln!(out, "quar. pruned    {}", self.quarantine_pruned);
         out
     }
+
+    /// Renders the snapshot as the stable `flb-service-stats/v1` JSON
+    /// document (`flb stats --format json`).
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{STATS_SCHEMA}\",");
+        let fields: &[(&str, u64)] = &[
+            ("requests", self.requests),
+            ("schedule_requests", self.schedule_requests),
+            ("cache_hits", self.cache_hits),
+            ("cache_misses", self.cache_misses),
+            ("scheduler_invocations", self.scheduler_invocations),
+            ("rejected", self.rejected),
+            ("shed", self.shed),
+            ("breaker_rejected", self.breaker_rejected),
+            ("expired", self.expired),
+            ("errors", self.errors),
+            ("io_timeouts", self.io_timeouts),
+            ("evicted_slow", self.evicted_slow),
+            ("worker_panics", self.worker_panics),
+            ("worker_respawns", self.worker_respawns),
+            ("snapshot_saves", self.snapshot_saves),
+            ("snapshot_loaded", self.snapshot_loaded),
+            ("snapshot_quarantined", self.snapshot_quarantined),
+            ("queue_depth", self.queue_depth),
+            ("workers", self.workers),
+            ("cache_entries", self.cache_entries),
+            ("open_connections", self.open_connections),
+            ("overload_transitions", self.overload_transitions),
+            ("tenants_tracked", self.tenants_tracked),
+            ("p50_us", self.p50_us),
+            ("p99_us", self.p99_us),
+            ("journal_appended", self.journal_appended),
+            ("journal_dropped", self.journal_dropped),
+            ("journal_bytes", self.journal_bytes),
+            ("journal_segments", self.journal_segments),
+            ("journal_recovered", self.journal_recovered),
+            ("journal_truncated_bytes", self.journal_truncated_bytes),
+            ("journal_quarantined", self.journal_quarantined),
+            ("quarantine_pruned", self.quarantine_pruned),
+        ];
+        for (k, v) in fields {
+            let _ = writeln!(out, "  \"{k}\": {v},");
+        }
+        let _ = writeln!(out, "  \"hit_rate\": {:.6},", self.hit_rate());
+        let _ = writeln!(
+            out,
+            "  \"overload_state\": {},",
+            json_str(self.overload_state.name())
+        );
+        out.push_str("  \"per_algorithm\": [");
+        let mut first = true;
+        for (alg, n) in &self.per_algorithm {
+            if *n == 0 {
+                continue;
+            }
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"name\": {}, \"count\": {n}}}",
+                json_str(alg.name())
+            );
+        }
+        out.push_str("],\n");
+        out.push_str("  \"per_tenant\": [");
+        for (i, t) in self.per_tenant.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"name\": {}, \"admitted\": {}, \"shed\": {}, \"breaker_rejected\": {}, \"breaker_open\": {}, \"wait_p50_us\": {}, \"wait_p99_us\": {}}}",
+                json_str(&t.name),
+                t.admitted,
+                t.shed,
+                t.breaker_rejected,
+                t.breaker_open,
+                t.wait_p50_us,
+                t.wait_p99_us
+            );
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Schema identifier of [`StatsSnapshot::render_json`] documents.
+pub const STATS_SCHEMA: &str = "flb-service-stats/v1";
+
+/// Minimal JSON string quoting (the service crate deliberately has no
+/// JSON dependency; tenant names are the only free-form strings here).
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 #[cfg(test)]
@@ -389,5 +544,33 @@ mod tests {
         assert!(rendered.contains("overload state  shedding"));
         assert!(rendered.contains("tenant team-a"));
         assert!(rendered.contains("OPEN"));
+    }
+
+    #[test]
+    fn journal_counters_flow_into_the_snapshot_and_renderings() {
+        let m = Metrics::default();
+        m.journal.appended.store(5, Ordering::Relaxed);
+        m.journal.dropped.store(2, Ordering::Relaxed);
+        m.journal.pruned.store(3, Ordering::Relaxed);
+        let s = m.snapshot(Gauges::default(), vec![]);
+        assert_eq!(s.journal_appended, 5);
+        assert_eq!(s.journal_dropped, 2);
+        assert_eq!(s.quarantine_pruned, 3);
+        let text = s.render();
+        assert!(text.contains("jrnl appended   5"));
+        assert!(text.contains("jrnl dropped    2"));
+        assert!(text.contains("quar. pruned    3"));
+        let json = s.render_json();
+        assert!(json.contains("\"schema\": \"flb-service-stats/v1\""));
+        assert!(json.contains("\"journal_appended\": 5"));
+        assert!(json.contains("\"quarantine_pruned\": 3"));
+    }
+
+    #[test]
+    fn json_strings_escape_hostile_tenant_names() {
+        assert_eq!(json_str("plain"), "\"plain\"");
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_str("x\ny"), "\"x\\ny\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
     }
 }

@@ -88,8 +88,8 @@ pub enum Response {
         /// Remaining cooldown in milliseconds.
         retry_after_ms: u64,
     },
-    /// Live counters.
-    Stats(StatsSnapshot),
+    /// Live counters (boxed: the snapshot dwarfs every other variant).
+    Stats(Box<StatsSnapshot>),
     /// The request could not be served; human-readable reason.
     Error(String),
     /// Liveness answer.
@@ -103,15 +103,35 @@ const REQ_STATS: u8 = 2;
 const REQ_PING: u8 = 3;
 const REQ_SHUTDOWN: u8 = 4;
 
-const RESP_SCHEDULE: u8 = 1;
-const RESP_BUSY: u8 = 2;
-const RESP_EXPIRED: u8 = 3;
-const RESP_STATS: u8 = 4;
-const RESP_ERROR: u8 = 5;
-const RESP_PONG: u8 = 6;
-const RESP_SHUTTING_DOWN: u8 = 7;
-const RESP_OVERLOADED: u8 = 8;
-const RESP_BREAKER_OPEN: u8 = 9;
+pub(crate) const RESP_SCHEDULE: u8 = 1;
+pub(crate) const RESP_BUSY: u8 = 2;
+pub(crate) const RESP_EXPIRED: u8 = 3;
+pub(crate) const RESP_STATS: u8 = 4;
+pub(crate) const RESP_ERROR: u8 = 5;
+pub(crate) const RESP_PONG: u8 = 6;
+pub(crate) const RESP_SHUTTING_DOWN: u8 = 7;
+pub(crate) const RESP_OVERLOADED: u8 = 8;
+pub(crate) const RESP_BREAKER_OPEN: u8 = 9;
+
+impl Response {
+    /// The stable wire kind code of this response (the byte that leads
+    /// its payload). Journal records store it so replay knows which
+    /// recorded replies are deterministic.
+    #[must_use]
+    pub fn kind_code(&self) -> u8 {
+        match self {
+            Response::Schedule { .. } => RESP_SCHEDULE,
+            Response::Busy { .. } => RESP_BUSY,
+            Response::Expired => RESP_EXPIRED,
+            Response::Stats(_) => RESP_STATS,
+            Response::Error(_) => RESP_ERROR,
+            Response::Pong => RESP_PONG,
+            Response::ShuttingDown => RESP_SHUTTING_DOWN,
+            Response::Overloaded { .. } => RESP_OVERLOADED,
+            Response::BreakerOpen { .. } => RESP_BREAKER_OPEN,
+        }
+    }
+}
 
 fn invalid(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
@@ -237,6 +257,20 @@ fn put_stats(w: &mut Writer, s: &StatsSnapshot) {
         w.put_u64(t.wait_p50_us);
         w.put_u64(t.wait_p99_us);
     }
+    // Journal extension: appended after the overload extension, same
+    // contract — decoders of older layouts see it absent and default.
+    for v in [
+        s.journal_appended,
+        s.journal_dropped,
+        s.journal_bytes,
+        s.journal_segments,
+        s.journal_recovered,
+        s.journal_truncated_bytes,
+        s.journal_quarantined,
+        s.quarantine_pruned,
+    ] {
+        w.put_u64(v);
+    }
 }
 
 fn get_stats(r: &mut Reader<'_>) -> Result<StatsSnapshot, WireError> {
@@ -277,6 +311,15 @@ fn get_stats(r: &mut Reader<'_>) -> Result<StatsSnapshot, WireError> {
             });
         }
     }
+    // Journal extension (absent in frames from older encoders).
+    let mut journal = [0u64; 8];
+    if r.remaining() > 0 {
+        for v in &mut journal {
+            *v = r.u64()?;
+        }
+    }
+    let [journal_appended, journal_dropped, journal_bytes, journal_segments, journal_recovered, journal_truncated_bytes, journal_quarantined, quarantine_pruned] =
+        journal;
     let [requests, schedule_requests, cache_hits, cache_misses, scheduler_invocations, rejected, expired, errors, io_timeouts, evicted_slow, worker_panics, worker_respawns, snapshot_saves, snapshot_loaded, snapshot_quarantined, queue_depth, workers, cache_entries, open_connections, p50_us, p99_us] =
         vals;
     Ok(StatsSnapshot {
@@ -308,6 +351,14 @@ fn get_stats(r: &mut Reader<'_>) -> Result<StatsSnapshot, WireError> {
         overload_state,
         tenants_tracked,
         per_tenant,
+        journal_appended,
+        journal_dropped,
+        journal_bytes,
+        journal_segments,
+        journal_recovered,
+        journal_truncated_bytes,
+        journal_quarantined,
+        quarantine_pruned,
     })
 }
 
@@ -377,7 +428,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
         RESP_BREAKER_OPEN => Response::BreakerOpen {
             retry_after_ms: r.u64()?,
         },
-        RESP_STATS => Response::Stats(get_stats(&mut r)?),
+        RESP_STATS => Response::Stats(Box::new(get_stats(&mut r)?)),
         RESP_ERROR => Response::Error(r.str()?),
         RESP_PONG => Response::Pong,
         RESP_SHUTTING_DOWN => Response::ShuttingDown,
@@ -591,6 +642,14 @@ mod tests {
                     ..TenantStat::default()
                 },
             ],
+            journal_appended: 40,
+            journal_dropped: 2,
+            journal_bytes: 9_000,
+            journal_segments: 3,
+            journal_recovered: 17,
+            journal_truncated_bytes: 13,
+            journal_quarantined: 1,
+            quarantine_pruned: 4,
         };
         let resps = [
             Response::Schedule {
@@ -606,7 +665,7 @@ mod tests {
             Response::BreakerOpen {
                 retry_after_ms: 900,
             },
-            Response::Stats(stats),
+            Response::Stats(Box::new(stats)),
             Response::Error("boom".into()),
             Response::Pong,
             Response::ShuttingDown,
@@ -641,6 +700,35 @@ mod tests {
         assert_eq!(s.shed, 0);
         assert_eq!(s.overload_state, OverloadState::Healthy);
         assert!(s.per_tenant.is_empty());
+        assert_eq!(s.journal_appended, 0);
+        assert_eq!(s.quarantine_pruned, 0);
+    }
+
+    /// A frame carrying the overload extension but stopping before the
+    /// journal extension (the PR-5-era layout) must still decode, with
+    /// the journal counters defaulted.
+    #[test]
+    fn overload_only_stats_frames_still_decode() {
+        let mut w = flb_sched::io::wire::Writer::new();
+        for v in 1..=21u64 {
+            w.put_u64(v);
+        }
+        w.put_u32(0); // no per-algorithm rows
+        for v in [7u64, 8, 9, 1, 2] {
+            w.put_u64(v); // shed, breaker, transitions, state, tenants
+        }
+        w.put_u32(0); // no per-tenant rows
+        let mut payload = vec![RESP_STATS];
+        payload.extend_from_slice(&w.into_bytes());
+        let Response::Stats(s) = decode_response(&payload).unwrap() else {
+            panic!("not a stats response");
+        };
+        assert_eq!(s.shed, 7);
+        assert_eq!(s.breaker_rejected, 8);
+        assert_eq!(s.tenants_tracked, 2);
+        assert_eq!(s.journal_appended, 0);
+        assert_eq!(s.journal_dropped, 0);
+        assert_eq!(s.quarantine_pruned, 0);
     }
 
     #[test]

@@ -42,9 +42,10 @@
 
 use crate::cache::ShardedLru;
 use crate::fingerprint::request_fingerprint;
+use crate::journal::{self, SyncPolicy};
 use crate::metrics::{Gauges, Metrics};
 use crate::overload::{Decision, OverloadConfig, OverloadCtl, ShedPolicy, TenantId};
-use crate::proto::{read_request, write_response, Request, Response};
+use crate::proto::{decode_request, read_frame, write_response, Request, Response};
 use crate::snapshot::{self, SnapshotError};
 use flb_core::{schedule_request, ScheduleRequest};
 use flb_sched::Schedule;
@@ -121,6 +122,19 @@ pub struct ServiceConfig {
     pub breaker_threshold: u32,
     /// Breaker cooldown before the half-open probe, in milliseconds.
     pub breaker_cooldown_ms: u64,
+    /// Journal directory for durable request recording (`--record`);
+    /// `None` disables journaling entirely.
+    pub record_dir: Option<PathBuf>,
+    /// When the journal writer fsyncs.
+    pub journal_sync: SyncPolicy,
+    /// Journal segment rotation threshold in bytes.
+    pub journal_segment_bytes: u64,
+    /// Bounded hand-off queue between connections and the journal
+    /// writer; when full, events are dropped and counted.
+    pub journal_queue: usize,
+    /// Test-only simulated per-record disk stall in milliseconds (chaos
+    /// rigs; proves the journal sheds instead of blocking clients).
+    pub journal_stall_ms: u64,
 }
 
 impl Default for ServiceConfig {
@@ -145,6 +159,11 @@ impl Default for ServiceConfig {
             tenant_backlog_cap: 0,
             breaker_threshold: 5,
             breaker_cooldown_ms: 1_000,
+            record_dir: None,
+            journal_sync: SyncPolicy::default(),
+            journal_segment_bytes: 8 << 20,
+            journal_queue: 1024,
+            journal_stall_ms: 0,
         }
     }
 }
@@ -370,6 +389,8 @@ struct Shared {
     live_workers: AtomicU64,
     /// Join handles of every worker ever spawned (original + respawned).
     worker_handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Bounded hand-off to the journal writer thread (`--record`).
+    journal: Option<journal::Appender>,
 }
 
 impl Shared {
@@ -542,7 +563,9 @@ fn snapshot_loop(shared: &Arc<Shared>) {
     }
 }
 
-/// Serves one schedule request end-to-end, returning the response.
+/// Serves one schedule request end-to-end, returning the response plus
+/// the served schedule as an `Arc` (so the journal writer can digest it
+/// off the request path — the connection thread never re-encodes it).
 ///
 /// Cache hits bypass admission entirely — answering from memory costs
 /// the daemon almost nothing, so quotas only govern the expensive path.
@@ -551,7 +574,7 @@ fn serve_schedule(
     request: Box<ScheduleRequest>,
     deadline_ms: u64,
     tenant: &TenantId,
-) -> Response {
+) -> (Response, Option<Arc<Schedule>>) {
     let t0 = Instant::now();
     Metrics::bump(&shared.metrics.schedule_requests);
     shared.metrics.count_algorithm(request.algorithm);
@@ -561,19 +584,21 @@ fn serve_schedule(
         Metrics::bump(&shared.metrics.cache_hits);
         let micros = t0.elapsed().as_micros() as u64;
         shared.metrics.latency.record(micros);
-        return Response::Schedule {
+        let resp = Response::Schedule {
             cached: true,
             micros,
             schedule: (*schedule).clone(),
         };
+        return (resp, Some(schedule));
     }
     Metrics::bump(&shared.metrics.cache_misses);
 
     if shared.shutdown.load(Ordering::SeqCst) {
         Metrics::bump(&shared.metrics.rejected);
-        return Response::Busy {
+        let resp = Response::Busy {
             retry_after_ms: shared.cfg.retry_after_ms,
         };
+        return (resp, None);
     }
     let (tx, rx) = mpsc::channel();
     let job = Job {
@@ -588,32 +613,37 @@ fn serve_schedule(
         Decision::Admitted => shared.job_ready.notify_one(),
         Decision::Busy => {
             Metrics::bump(&shared.metrics.rejected);
-            return Response::Busy {
+            let resp = Response::Busy {
                 retry_after_ms: shared.cfg.retry_after_ms,
             };
+            return (resp, None);
         }
         Decision::Shed { retry_after_ms } => {
             Metrics::bump(&shared.metrics.shed);
-            return Response::Overloaded { retry_after_ms };
+            return (Response::Overloaded { retry_after_ms }, None);
         }
         Decision::BreakerOpen { retry_after_ms } => {
             Metrics::bump(&shared.metrics.breaker_rejected);
-            return Response::BreakerOpen { retry_after_ms };
+            return (Response::BreakerOpen { retry_after_ms }, None);
         }
     }
     match rx.recv() {
-        Ok(WorkerReply::Done { schedule, micros }) => Response::Schedule {
-            cached: false,
-            micros,
-            schedule: (*schedule).clone(),
-        },
-        Ok(WorkerReply::Expired) => Response::Expired,
+        Ok(WorkerReply::Done { schedule, micros }) => {
+            let resp = Response::Schedule {
+                cached: false,
+                micros,
+                schedule: (*schedule).clone(),
+            };
+            (resp, Some(schedule))
+        }
+        Ok(WorkerReply::Expired) => (Response::Expired, None),
         Ok(WorkerReply::Panicked(msg)) => {
             Metrics::bump(&shared.metrics.errors);
-            Response::Error(format!("scheduler panicked: {msg}"))
+            let resp = Response::Error(format!("scheduler panicked: {msg}"));
+            (resp, None)
         }
         // All workers gone: shutdown raced the request.
-        Err(_) => Response::ShuttingDown,
+        Err(_) => (Response::ShuttingDown, None),
     }
 }
 
@@ -622,8 +652,10 @@ fn serve_schedule(
 fn connection_loop<S: Transport>(shared: &Arc<Shared>, conn: &mut DeadlineConn<S>, conn_id: u64) {
     loop {
         conn.begin_read();
-        let request = match read_request(conn) {
-            Ok(Some(req)) => req,
+        // The frame is read raw and decoded separately so the payload
+        // bytes can move into the journal without a second encode.
+        let payload = match read_frame(conn) {
+            Ok(Some(payload)) => payload,
             Ok(None) => return, // clean disconnect
             Err(e) if is_timeout(&e) => {
                 // Slow sender: evict. The goodbye is best-effort and
@@ -641,12 +673,24 @@ fn connection_loop<S: Transport>(shared: &Arc<Shared>, conn: &mut DeadlineConn<S
                 return;
             }
         };
+        let request = match decode_request(&payload) {
+            Ok(req) => req,
+            Err(e) => {
+                Metrics::bump(&shared.metrics.errors);
+                conn.begin_write();
+                let _ = write_response(conn, &Response::Error(e.to_string()));
+                return;
+            }
+        };
         Metrics::bump(&shared.metrics.requests);
+        let ts_us = shared.now_us();
+        let mut journal_schedule = None;
+        let mut journal_this = false;
         let response = match request {
             Request::Ping => Response::Pong,
             Request::Stats => {
                 let (gauges, per_tenant) = shared.stats_view();
-                Response::Stats(shared.metrics.snapshot(gauges, per_tenant))
+                Response::Stats(Box::new(shared.metrics.snapshot(gauges, per_tenant)))
             }
             Request::Shutdown => {
                 // Answer the client *before* tearing the daemon down: once
@@ -669,9 +713,26 @@ fn connection_loop<S: Transport>(shared: &Arc<Shared>, conn: &mut DeadlineConn<S
                 } else {
                     TenantId::Named(tenant)
                 };
-                serve_schedule(shared, request, deadline_ms, &id)
+                let (resp, schedule) = serve_schedule(shared, request, deadline_ms, &id);
+                journal_schedule = schedule;
+                journal_this = true;
+                resp
             }
         };
+        // Journal the served request (schedule traffic only — that is
+        // the replayable stream). `append` is a bounded try_send: it
+        // never blocks this thread, whatever the disk is doing.
+        if journal_this {
+            if let Some(j) = &shared.journal {
+                j.append(journal::JournalEvent {
+                    ts_us,
+                    conn_id,
+                    reply_kind: response.kind_code(),
+                    reply: journal_schedule,
+                    request: payload,
+                });
+            }
+        }
         conn.begin_write();
         match write_response(conn, &response) {
             Ok(()) => {}
@@ -703,6 +764,7 @@ pub struct ServiceHandle {
     accept: Option<JoinHandle<()>>,
     supervisor: Option<JoinHandle<()>>,
     snapshotter: Option<JoinHandle<()>>,
+    journal: Option<JoinHandle<()>>,
 }
 
 impl ServiceHandle {
@@ -745,6 +807,12 @@ impl ServiceHandle {
         }
         if let Some(snapshotter) = self.snapshotter.take() {
             let _ = snapshotter.join();
+        }
+        // The journal writer drains its queue on shutdown; joining it
+        // here makes every acknowledged-and-enqueued record durable
+        // before the caller sees the daemon as stopped.
+        if let Some(journal) = self.journal.take() {
+            let _ = journal.join();
         }
         // All cache writers are gone: the final snapshot is complete.
         self.shared.save_snapshot();
@@ -845,12 +913,19 @@ fn load_snapshot_on_boot(shared: &Shared) {
         }
         Err(SnapshotError::Corrupt(msg)) => {
             Metrics::bump(&shared.metrics.snapshot_quarantined);
-            match snapshot::quarantine(path) {
-                Ok(q) => eprintln!(
-                    "flb-service: {msg}; quarantined {} -> {}",
-                    path.display(),
-                    q.display()
-                ),
+            match snapshot::quarantine_capped(path, snapshot::QUARANTINE_KEEP) {
+                Ok((q, pruned)) => {
+                    shared
+                        .metrics
+                        .journal
+                        .pruned
+                        .fetch_add(pruned, Ordering::Relaxed);
+                    eprintln!(
+                        "flb-service: {msg}; quarantined {} -> {}",
+                        path.display(),
+                        q.display()
+                    );
+                }
                 Err(e) => eprintln!(
                     "flb-service: {msg}; quarantine of {} failed: {e}",
                     path.display()
@@ -890,10 +965,57 @@ pub fn serve(endpoint: &Endpoint, cfg: ServiceConfig) -> io::Result<ServiceHandl
         retry_after_ms: cfg.retry_after_ms,
         ..OverloadConfig::default()
     };
+    let metrics = Metrics::default();
+
+    // Journal recovery happens *before* the listener starts serving so
+    // a crashed run's torn tail is healed exactly once, with no writer
+    // racing the scan. Recovery never refuses to start: a broken
+    // journal directory simply means we serve without recording.
+    let mut journal_writer_parts = None;
+    let mut journal_appender = None;
+    if let Some(dir) = &cfg.record_dir {
+        match journal::recover_dir(dir) {
+            Ok(rec) => {
+                metrics
+                    .journal
+                    .recovered
+                    .store(rec.records, Ordering::Relaxed);
+                metrics
+                    .journal
+                    .truncated_bytes
+                    .store(rec.truncated_bytes, Ordering::Relaxed);
+                metrics
+                    .journal
+                    .quarantined
+                    .store(rec.quarantined, Ordering::Relaxed);
+                metrics.journal.pruned.store(rec.pruned, Ordering::Relaxed);
+                let (appender, rx) =
+                    journal::channel(cfg.journal_queue, Arc::clone(&metrics.journal));
+                journal_appender = Some(appender);
+                journal_writer_parts = Some((
+                    journal::WriterConfig {
+                        dir: dir.clone(),
+                        sync: cfg.journal_sync,
+                        segment_bytes: cfg.journal_segment_bytes,
+                        stall_ms: cfg.journal_stall_ms,
+                    },
+                    rx,
+                    rec.next_index,
+                ));
+            }
+            Err(e) => {
+                eprintln!(
+                    "flb-service: journal recovery in {} failed: {e}; serving without recording",
+                    dir.display()
+                );
+            }
+        }
+    }
+
     let shared = Arc::new(Shared {
         endpoint: resolved,
         cache: ShardedLru::new(cfg.cache_capacity, cfg.cache_shards),
-        metrics: Metrics::default(),
+        metrics,
         queue: Mutex::named("queue", OverloadCtl::new(overload)),
         job_ready: Condvar::new(),
         shutdown: AtomicBool::new(false),
@@ -902,10 +1024,21 @@ pub fn serve(endpoint: &Endpoint, cfg: ServiceConfig) -> io::Result<ServiceHandl
         next_anon: AtomicU64::new(1),
         live_workers: AtomicU64::new(0),
         worker_handles: Mutex::named("worker-handles", Vec::new()),
+        journal: journal_appender,
         cfg,
     });
 
     load_snapshot_on_boot(&shared);
+
+    let journal_thread = journal_writer_parts.map(|(wcfg, rx, start_index)| {
+        let counters = Arc::clone(&shared.metrics.journal);
+        let shared = Arc::clone(&shared);
+        thread::spawn(move || {
+            journal::writer_loop(&wcfg, &rx, &counters, start_index, &|| {
+                shared.shutdown.load(Ordering::SeqCst)
+            });
+        })
+    });
 
     for _ in 0..shared.cfg.workers {
         spawn_worker(&shared);
@@ -963,6 +1096,7 @@ pub fn serve(endpoint: &Endpoint, cfg: ServiceConfig) -> io::Result<ServiceHandl
         accept: Some(accept),
         supervisor,
         snapshotter,
+        journal: journal_thread,
     })
 }
 

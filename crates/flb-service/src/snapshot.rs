@@ -205,6 +205,72 @@ pub fn quarantine(path: &Path) -> io::Result<PathBuf> {
     Ok(target)
 }
 
+/// How many quarantine files [`quarantine_capped`] keeps per source path.
+pub const QUARANTINE_KEEP: usize = 8;
+
+/// Quarantines like [`quarantine`], then prunes the *oldest* quarantine
+/// files of the same source path down to `keep` — so repeated
+/// corruptions (snapshot or journal) can never fill the disk with
+/// evidence. Age is judged by file modification time (suffix number as
+/// the tiebreak). Returns the quarantine path and how many old files
+/// were deleted.
+pub fn quarantine_capped(path: &Path, keep: usize) -> io::Result<(PathBuf, u64)> {
+    let target = quarantine(path)?;
+    let mut pruned = 0u64;
+
+    // Siblings named `<file>.corrupt` or `<file>.corrupt.N`.
+    let parent = path
+        .parent()
+        .map_or_else(|| PathBuf::from("."), Path::to_path_buf);
+    let Some(stem) = path.file_name().map(|n| {
+        let mut s = n.to_os_string();
+        s.push(".corrupt");
+        s
+    }) else {
+        return Ok((target, 0));
+    };
+    let mut candidates: Vec<(std::time::SystemTime, u64, PathBuf)> = Vec::new();
+    for entry in std::fs::read_dir(&parent)?.flatten() {
+        let name = entry.file_name();
+        let Some(name_str) = name.to_str() else {
+            continue;
+        };
+        let Some(stem_str) = stem.to_str() else {
+            continue;
+        };
+        let number = if name_str == stem_str {
+            0u64
+        } else {
+            match name_str
+                .strip_prefix(stem_str)
+                .and_then(|rest| rest.strip_prefix('.'))
+                .and_then(|digits| digits.parse().ok())
+            {
+                Some(n) => n,
+                None => continue,
+            }
+        };
+        let mtime = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+        candidates.push((mtime, number, entry.path()));
+    }
+    if candidates.len() > keep.max(1) {
+        candidates.sort();
+        let excess = candidates.len() - keep.max(1);
+        for (_, _, victim) in candidates.into_iter().take(excess) {
+            if victim == target {
+                continue; // never delete the evidence just captured
+            }
+            if std::fs::remove_file(&victim).is_ok() {
+                pruned += 1;
+            }
+        }
+    }
+    Ok((target, pruned))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,6 +376,45 @@ mod tests {
 
         // A missing file is Io, not Corrupt: a fresh boot, not an alarm.
         assert!(matches!(load(&path), Err(SnapshotError::Io(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Quarantine evidence is bounded: past the cap, the *oldest* files
+    /// are deleted and counted, and the file just captured survives.
+    #[test]
+    fn quarantine_growth_is_capped() {
+        let dir = std::env::temp_dir().join(format!("flb-quar-cap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.snap");
+
+        let keep = 3;
+        let mut total_pruned = 0u64;
+        let mut last = PathBuf::new();
+        for i in 0..8 {
+            std::fs::write(&path, format!("corrupt generation {i}")).unwrap();
+            let (target, pruned) = quarantine_capped(&path, keep).unwrap();
+            total_pruned += pruned;
+            last = target;
+        }
+        let corrupt_files: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().contains(".corrupt"))
+            .collect();
+        assert!(
+            corrupt_files.len() <= keep,
+            "cap violated: {} quarantine files survive",
+            corrupt_files.len()
+        );
+        assert_eq!(total_pruned as usize, 8 - keep);
+        assert!(last.exists(), "the newest evidence must survive pruning");
+        // An unrelated sibling (e.g. a journal segment) is never touched.
+        let bystander = dir.join("journal-00000001.flbj");
+        std::fs::write(&bystander, b"not evidence").unwrap();
+        std::fs::write(&path, b"one more").unwrap();
+        let _ = quarantine_capped(&path, keep).unwrap();
+        assert!(bystander.exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }
